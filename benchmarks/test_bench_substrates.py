@@ -1,0 +1,86 @@
+"""S1 — substrate scaling benches.
+
+Runtime of the heavy substrates (STA, placement, extraction, logic
+simulation) on ISCAS-class sizes, so regressions in the enabling
+machinery are visible independent of the flow.
+"""
+
+import pytest
+
+from repro.liberty.library import VARIANT_LVT
+from repro.netlist.techmap import technology_map
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.routing.extract import PostRouteExtractor
+from repro.sim.logic import Simulator
+from repro.timing.constraints import Constraints
+from repro.timing.sta import TimingAnalyzer
+
+
+def _mapped(library, name):
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit(name)
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+@pytest.fixture(scope="module")
+def c5315(library):
+    return _mapped(library, "c5315")
+
+
+@pytest.fixture(scope="module")
+def c5315_placed(library, c5315):
+    placement = GlobalPlacer(c5315, library).run()
+    legalize(placement, c5315, library)
+    return placement
+
+
+def test_bench_sta_c5315(benchmark, library, c5315):
+    cons = Constraints(clock_period=50.0)
+
+    def run_sta():
+        return TimingAnalyzer(c5315, library, cons).run()
+
+    report = benchmark(run_sta)
+    assert report.endpoint_checks
+
+
+def test_bench_placer_c5315(benchmark, library, c5315):
+    def place():
+        return GlobalPlacer(c5315, library, iterations=12).run()
+
+    placement = benchmark.pedantic(place, rounds=1, iterations=1)
+    assert len(placement.locations) == len(c5315.instances)
+
+
+def test_bench_extraction_c5315(benchmark, library, c5315, c5315_placed):
+    def extract():
+        return PostRouteExtractor(c5315, c5315_placed, library).extract()
+
+    parasitics = benchmark.pedantic(extract, rounds=1, iterations=1)
+    assert parasitics
+
+
+def test_bench_simulation_c880(benchmark, library):
+    netlist = _mapped(library, "c880")
+    sim = Simulator(netlist, library)
+    vector = {p.name: 1 for p in netlist.input_ports()}
+
+    def simulate():
+        return sim.evaluate(vector)
+
+    result = benchmark(simulate)
+    assert result.output_values
+
+
+def test_bench_library_build(benchmark):
+    from repro.device.process import Technology
+    from repro.liberty.synth import LibraryBuilder
+
+    def build():
+        return LibraryBuilder(Technology()).build()
+
+    library = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert len(library) > 80

@@ -1,0 +1,78 @@
+"""Table 1: area and standby leakage of the three techniques.
+
+Regenerates the paper's only data table: circuits A and B, Dual-Vth /
+conventional Selective-MT / improved Selective-MT, area and leakage
+normalized to Dual-Vth = 100 %.
+
+Absolute numbers differ from the paper (our substrate is a synthetic
+90 nm-class model and synthetic circuits; see EXPERIMENTS.md), but the
+*shape* assertions here pin what the paper claims:
+
+* both SMT techniques slash standby leakage by >=70 % vs Dual-Vth;
+* the improved technique leaks less than the conventional one;
+* the conventional technique pays the largest area; improved sits
+  between Dual-Vth and conventional.
+"""
+
+import pytest
+
+from repro.config import Technique
+from repro.experiments import run_table1, table1_config
+from conftest import run_once
+
+
+@pytest.fixture(scope="module")
+def table1(library):
+    return run_table1(library)
+
+
+def test_bench_table1(benchmark, library):
+    result = run_once(benchmark, lambda: run_table1(library,
+                                                    circuits=("B",)))
+    assert result.comparisons
+
+
+class TestTable1Shape:
+    def test_render(self, table1):
+        print()
+        print(table1.render())
+
+    @pytest.mark.parametrize("circuit", ["A", "B"])
+    def test_leakage_reduction_vs_dual_vth(self, table1, circuit):
+        conventional = table1.measured(circuit, Technique.CONVENTIONAL_SMT,
+                                       "leakage")
+        improved = table1.measured(circuit, Technique.IMPROVED_SMT,
+                                   "leakage")
+        assert conventional < 30.0   # paper: 14.6 / 19.4
+        assert improved < 26.0       # paper: 9.4 / 12.2
+
+    @pytest.mark.parametrize("circuit", ["A", "B"])
+    def test_improved_beats_conventional_leakage(self, table1, circuit):
+        conventional = table1.measured(circuit, Technique.CONVENTIONAL_SMT,
+                                       "leakage")
+        improved = table1.measured(circuit, Technique.IMPROVED_SMT,
+                                   "leakage")
+        assert improved < conventional
+
+    @pytest.mark.parametrize("circuit", ["A", "B"])
+    def test_area_ordering(self, table1, circuit):
+        dual = table1.measured(circuit, Technique.DUAL_VTH, "area")
+        conventional = table1.measured(circuit, Technique.CONVENTIONAL_SMT,
+                                       "area")
+        improved = table1.measured(circuit, Technique.IMPROVED_SMT, "area")
+        assert dual == pytest.approx(100.0)
+        assert dual < improved < conventional
+
+    @pytest.mark.parametrize("circuit", ["A", "B"])
+    def test_improved_halves_area_overhead(self, table1, circuit):
+        """Headline: ~20 % total area saving vs conventional, i.e. the
+        improved overhead is roughly half the conventional one."""
+        conventional = table1.measured(circuit, Technique.CONVENTIONAL_SMT,
+                                       "area") - 100.0
+        improved = table1.measured(circuit, Technique.IMPROVED_SMT,
+                                   "area") - 100.0
+        assert improved < 0.75 * conventional
+
+    def test_circuit_a_tighter_than_b(self):
+        assert table1_config("A").timing_margin \
+            < table1_config("B").timing_margin

@@ -1,0 +1,55 @@
+"""Build a custom-technology library and round-trip it through .lib.
+
+Shows the library substrate end to end: define a modified process
+(lower supply, tighter Vth split), synthesize the multi-Vth library,
+serialize to Liberty text, re-parse it, and verify the round trip.
+"""
+
+from repro import Technology
+from repro.liberty.library import library_from_ast
+from repro.liberty.parser import parse_liberty
+from repro.liberty.synth import LibraryBuilder
+from repro.liberty.writer import write_liberty
+
+
+def main() -> int:
+    tech = Technology(
+        name="custom65lp",
+        vdd=1.0,
+        vth_low=0.28,
+        vth_high=0.40,
+    )
+    print(f"Custom technology: {tech.name}, Vdd={tech.vdd} V")
+    print(f"  leakage ratio low/high Vth: {tech.leakage_ratio():.1f}x")
+
+    library = LibraryBuilder(tech, name="custom_smt").build()
+    print(f"  synthesized {len(library)} cells")
+
+    text = write_liberty(library)
+    print(f"  Liberty text: {len(text.splitlines())} lines")
+    path = "custom_smt.lib"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print(f"  wrote {path}")
+
+    reparsed = library_from_ast(parse_liberty(text), tech=tech)
+    assert set(reparsed.cells) == set(library.cells)
+    sample = reparsed.cell("NAND2_X1_MTV")
+    original = library.cell("NAND2_X1_MTV")
+    assert abs(sample.area - original.area) < 1e-6
+    print(f"  round trip OK — e.g. {sample.name}: area "
+          f"{sample.area:.2f} um^2, standby "
+          f"{sample.default_leakage_nw * 1e3:.2f} pW, pins "
+          f"{', '.join(sample.pins)}")
+
+    print("\nDelay comparison at (slew=0.02ns, load=0.004pF):")
+    for variant in ("LVT", "MTV", "HVT"):
+        cell = reparsed.cell(f"NAND2_X1_{variant}")
+        arc = cell.single_output().arc_from("A")
+        rise, fall = arc.delay(0.02, 0.004)
+        print(f"  {variant}: {max(rise, fall):.4f} ns")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

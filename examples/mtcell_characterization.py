@@ -1,0 +1,64 @@
+"""Characterize the MT-cell variants (the Fig. 1 story).
+
+Prints delay / standby leakage / area for every variant of a few base
+cells, plus the underlying device-model numbers that make the
+Selective-MT technique work.
+"""
+
+from repro import build_default_library
+from repro.device.mosfet import MosfetModel
+from repro.liberty.library import (
+    VARIANT_CMT,
+    VARIANT_HVT,
+    VARIANT_LVT,
+    VARIANT_MT,
+    VARIANT_MTV,
+)
+
+VARIANTS = (VARIANT_LVT, VARIANT_HVT, VARIANT_MT, VARIANT_MTV, VARIANT_CMT)
+BASES = ("INV_X1", "NAND2_X1", "NOR2_X1", "XOR2_X1")
+
+
+def main() -> int:
+    library = build_default_library()
+    tech = library.tech
+
+    print(f"Technology: {tech.name}  Vdd={tech.vdd} V  "
+          f"Vth(low/high)={tech.vth_low}/{tech.vth_high} V")
+    nmos_low = MosfetModel(tech, tech.vth_low, "nmos")
+    nmos_high = MosfetModel(tech, tech.vth_high, "nmos")
+    print(f"device leakage ratio (low/high Vth): "
+          f"{nmos_low.subthreshold_current(1.0) / nmos_high.subthreshold_current(1.0):.1f}x")
+    print(f"device drive ratio   (low/high Vth): "
+          f"{nmos_high.effective_resistance(1.0) / nmos_low.effective_resistance(1.0):.2f}x slower\n")
+
+    for base in BASES:
+        print(f"--- {base} ---")
+        print(f"{'variant':<5} {'delay(ns)':>10} {'standby(nW)':>12} "
+              f"{'area(um2)':>10} {'pins':<24}")
+        for variant in VARIANTS:
+            name = f"{base}_{variant}"
+            if name not in library:
+                continue
+            cell = library.cell(name)
+            arc = cell.single_output().arc_from(
+                cell.data_input_names()[0])
+            rise, fall = arc.delay(0.02, 0.004)
+            print(f"{variant:<5} {max(rise, fall):10.4f} "
+                  f"{cell.default_leakage_nw:12.5f} {cell.area:10.2f} "
+                  f"{','.join(cell.pins):<24}")
+        print()
+
+    print("Switch cell family:")
+    print(f"{'cell':<12} {'width(um)':>10} {'Ron(kOhm)':>10} "
+          f"{'leak(nW)':>9} {'area(um2)':>10}")
+    model = MosfetModel(tech, tech.vth_high, "nmos")
+    for switch in library.switch_cells():
+        print(f"{switch.name:<12} {switch.switch_width_um:10.1f} "
+              f"{model.on_resistance(switch.switch_width_um):10.4f} "
+              f"{switch.default_leakage_nw:9.3f} {switch.area:10.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,52 @@
+"""Scratch calibration script: scan timing margins and report the
+LVT/MT fractions each produces (used to pick Table 1 experiment
+margins; not part of the library)."""
+
+import sys
+
+import repro
+from repro.core.dual_vth import DualVthAssigner
+from repro.liberty.library import VARIANT_HVT, VARIANT_LVT, VARIANT_MT
+from repro.netlist.techmap import technology_map
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.routing.extract import PreRouteEstimator
+from repro.timing.constraints import Constraints
+from repro.timing.sta import TimingAnalyzer
+
+
+def scan(circuit_name, margins, fast_variant):
+    lib = repro.build_default_library()
+    base = repro.load_circuit(circuit_name)
+    for margin in margins:
+        nl = base.clone()
+        technology_map(nl, lib, VARIANT_LVT)
+        placement = GlobalPlacer(nl, lib).run()
+        legalize(placement, nl, lib)
+        pre = PreRouteEstimator(nl, placement, lib).extract()
+        probe = Constraints(clock_period=1000.0)
+        rep = TimingAnalyzer(nl, lib, probe, parasitics=pre).run()
+        min_period = 1000.0 - rep.wns
+        period = min_period * (1 + margin) * 0.98
+        cons = Constraints(clock_period=period)
+        assigner = DualVthAssigner(nl, lib, cons, parasitics=pre,
+                                   fast_variant=fast_variant,
+                                   slow_variant=VARIANT_HVT, rounds=4)
+        try:
+            res = assigner.run()
+        except Exception as exc:
+            print(f"{circuit_name} margin={margin} fast={fast_variant}: "
+                  f"INFEASIBLE ({exc})")
+            continue
+        total = res.fast_count + res.slow_count
+        print(f"{circuit_name} margin={margin} fast={fast_variant}: "
+              f"fast={res.fast_count}/{total} "
+              f"({100 * res.fast_fraction:.1f}%) wns={res.final_report.wns:+.4f}")
+
+
+if __name__ == "__main__":
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "circuitA"
+    margins = [float(m) for m in sys.argv[2].split(",")] \
+        if len(sys.argv) > 2 else [0.08, 0.10, 0.12, 0.15]
+    variant = sys.argv[3] if len(sys.argv) > 3 else VARIANT_LVT
+    scan(circuit, margins, variant)

@@ -1,0 +1,63 @@
+"""repro — Area-efficient Selective Multi-Threshold CMOS methodology.
+
+A from-scratch Python reproduction of Kitahara et al., "Area-efficient
+Selective Multi-Threshold CMOS Design Methodology for Standby Leakage
+Power Reduction" (DATE 2005), including every substrate the paper's
+flow rides on: device models, a multi-Vth Liberty library, netlist
+database, logic simulation, STA, placement, routing/extraction, CTS and
+the virtual-ground (CoolPower-style) switch optimizer.
+
+Quickstart::
+
+    from repro import (build_default_library, load_circuit,
+                       SelectiveMtFlow, Technique)
+
+    library = build_default_library()
+    netlist = load_circuit("c880")
+    flow = SelectiveMtFlow(netlist, library, Technique.IMPROVED_SMT)
+    result = flow.run()
+    print(result.render_stages())
+    print(f"standby leakage: {result.leakage_nw:.1f} nW")
+"""
+
+from repro.benchcircuits.suite import available_circuits, load_circuit
+from repro.config import FlowConfig, Technique
+from repro.core.artifacts import export_design, verify_export
+from repro.core.compare import TechniqueComparison, compare_techniques
+from repro.core.flow import FlowResult, SelectiveMtFlow
+from repro.device.process import DEFAULT_TECHNOLOGY, Technology
+from repro.errors import ReproError
+from repro.experiments import run_table1, table1_config
+from repro.liberty.synth import LibraryBuilder, build_default_library
+from repro.netlist.bench_io import parse_bench, parse_bench_file
+from repro.netlist.core import Netlist
+from repro.netlist.stats import design_stats
+from repro.timing.constraints import Constraints
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "available_circuits",
+    "load_circuit",
+    "FlowConfig",
+    "Technique",
+    "export_design",
+    "verify_export",
+    "TechniqueComparison",
+    "compare_techniques",
+    "FlowResult",
+    "SelectiveMtFlow",
+    "DEFAULT_TECHNOLOGY",
+    "Technology",
+    "ReproError",
+    "run_table1",
+    "table1_config",
+    "LibraryBuilder",
+    "build_default_library",
+    "parse_bench",
+    "parse_bench_file",
+    "Netlist",
+    "design_stats",
+    "Constraints",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Benchmark circuits.
+
+* :mod:`repro.benchcircuits.generator` — seeded random gate-level
+  circuit generator (layered or tapered depth profiles).
+* :mod:`repro.benchcircuits.iscas85` — ISCAS-85: the real ``c17`` plus
+  synthetic stand-ins matching the published size statistics of the
+  larger members (the suite itself is not redistributable here; the
+  substitution is documented in DESIGN.md).
+* :mod:`repro.benchcircuits.iscas89` — ISCAS-89: the real ``s27`` plus
+  synthetic s-series stand-ins.
+* :mod:`repro.benchcircuits.suite` — registry, including the paper's
+  circuit A / circuit B substitutes.
+"""
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.benchcircuits.suite import available_circuits, load_circuit
+
+__all__ = [
+    "GeneratorConfig",
+    "generate_circuit",
+    "available_circuits",
+    "load_circuit",
+]

@@ -1,0 +1,245 @@
+"""Seeded random gate-level circuit generator.
+
+Produces generic-gate netlists (NAND2/NOR2/... names that
+:func:`repro.netlist.techmap.technology_map` binds to a library) with a
+controlled size, I/O count, flip-flop count and **depth profile**:
+
+* ``layered`` — gates sit in uniform layers, each consuming the layer
+  below; almost every path has near-maximal depth, so a timing
+  constraint leaves *many* critical cells (the paper's circuit A
+  profile);
+* ``tapered`` — a free random DAG with geometric look-back; path depths
+  spread widely, so few cells end up critical (circuit B profile).
+
+The generator is fully deterministic for a given config.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.errors import ReproError
+from repro.netlist.core import Netlist, PinDirection
+
+#: (generic base, arity, weight) — the gate mix.
+DEFAULT_GATE_MIX = (
+    ("NAND", 2, 0.28),
+    ("NOR", 2, 0.14),
+    ("AND", 2, 0.10),
+    ("OR", 2, 0.10),
+    ("INV", 1, 0.12),
+    ("XOR", 2, 0.08),
+    ("NAND", 3, 0.10),
+    ("NOR", 3, 0.04),
+    ("NAND", 4, 0.04),
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of one synthetic circuit."""
+
+    n_gates: int
+    n_inputs: int
+    n_outputs: int
+    n_ffs: int = 0
+    depth: int = 12
+    style: str = "layered"          # "layered" | "tapered"
+    seed: int = 1
+    gate_mix: tuple = DEFAULT_GATE_MIX
+
+    def __post_init__(self):
+        if self.n_gates < 1 or self.n_inputs < 1 or self.n_outputs < 1:
+            raise ReproError("gates/inputs/outputs must all be positive")
+        if self.style not in ("layered", "tapered", "grid"):
+            raise ReproError(f"unknown style {self.style!r}")
+        if self.depth < 1:
+            raise ReproError("depth must be at least 1")
+
+
+def _pick_gate(rng: random.Random, mix) -> tuple[str, int]:
+    total = sum(w for _b, _a, w in mix)
+    roll = rng.uniform(0.0, total)
+    acc = 0.0
+    for base, arity, weight in mix:
+        acc += weight
+        if roll <= acc:
+            return base, arity
+    return mix[-1][0], mix[-1][1]
+
+
+def generate_circuit(name: str, config: GeneratorConfig) -> Netlist:
+    """Generate a deterministic generic-gate netlist."""
+    rng = random.Random(config.seed)
+    netlist = Netlist(name)
+
+    sources: list[str] = []
+    for i in range(config.n_inputs):
+        port = netlist.add_input(f"pi{i}")
+        sources.append(port.net.name)
+    ff_nets: list[str] = []
+    if config.n_ffs:
+        if "CLK" not in netlist.ports:
+            netlist.add_input("CLK")
+        for i in range(config.n_ffs):
+            q_net = f"ffq{i}"
+            netlist.get_or_create_net(q_net)
+            ff_nets.append(q_net)
+            sources.append(q_net)
+
+    if config.style == "grid":
+        # Grid = datapath-array profile (the circuit A stand-in): a
+        # depth x width mesh of uniform 2-input gates where every cell
+        # lies on a maximal-depth path, so a tight margin leaves a
+        # large near-critical fraction — the regime Table 1's circuit A
+        # numbers imply.
+        gate_nets = _generate_grid(netlist, config, rng, sources)
+        per_layer = max(config.n_gates // config.depth, 1)
+        late = gate_nets[-max(per_layer, 1):]
+    elif config.style == "layered":
+        # Layered: endpoints at maximal depth, mixed gate types.
+        gate_nets = _generate_layered(netlist, config, rng, sources)
+        per_layer = max(config.n_gates // config.depth, 1)
+        late = gate_nets[-max(2 * per_layer, 1):]
+    else:
+        gate_nets = _generate_tapered(netlist, config, rng, sources)
+        # Tapered = the circuit B profile: endpoint depths spread out.
+        late = gate_nets[-max(len(gate_nets) // 2, 1):]
+
+    # Flip-flops: D from late nets, Q drives the reserved source nets.
+    for i, q_net in enumerate(ff_nets):
+        inst = netlist.add_instance(f"ff{i}", "DFF")
+        d_net = rng.choice(late)
+        netlist.connect(inst, "D", d_net, PinDirection.INPUT)
+        netlist.connect(inst, "CK", "CLK", PinDirection.INPUT)
+        netlist.connect(inst, "Q", q_net, PinDirection.OUTPUT)
+
+    # Primary outputs from distinct late nets.
+    pool = [n for n in late if n not in netlist.ports]
+    rng.shuffle(pool)
+    picked = pool[-config.n_outputs:] if len(pool) >= config.n_outputs \
+        else pool
+    for net_name in picked:
+        _expose_output(netlist, net_name)
+    return netlist
+
+
+def _expose_output(netlist: Netlist, net_name: str):
+    from repro.netlist.core import Port, PortDirection
+
+    port_name = net_name
+    if port_name in netlist.ports:
+        port_name = f"{net_name}_po"
+    port = Port(port_name, PortDirection.OUTPUT)
+    netlist.ports[port_name] = port
+    net = netlist.get_or_create_net(net_name)
+    port.net = net
+    net.sink_ports.append(port)
+
+
+_PIN_NAMES = tuple("ABCD")
+
+
+def _add_gate(netlist: Netlist, rng: random.Random, config: GeneratorConfig,
+              index: int, candidates: list[str]) -> str:
+    base, arity = _pick_gate(rng, config.gate_mix)
+    arity = min(arity, len(candidates))
+    if arity == 0:
+        raise ReproError("no candidate nets to drive a gate")
+    if arity == 1:
+        cell = "INV"
+    else:
+        cell = f"{base}{arity}" if base not in ("INV", "BUF") else base
+    out_net = f"n{index}"
+    inst = netlist.add_instance(f"g{index}", cell)
+    chosen = rng.sample(candidates, arity)
+    for pin_name, src in zip(_PIN_NAMES, chosen):
+        netlist.connect(inst, pin_name, src, PinDirection.INPUT)
+    netlist.connect(inst, "Z", out_net, PinDirection.OUTPUT)
+    return out_net
+
+
+def _generate_layered(netlist: Netlist, config: GeneratorConfig,
+                      rng: random.Random, sources: list[str]) -> list[str]:
+    per_layer = max(config.n_gates // config.depth, 1)
+    produced: list[str] = []
+    previous = list(sources)
+    index = 0
+    for layer in range(config.depth):
+        layer_nets: list[str] = []
+        remaining = config.n_gates - index
+        layers_left = config.depth - layer
+        count = min(max(remaining // layers_left, 1), remaining)
+        for _ in range(count):
+            if index >= config.n_gates:
+                break
+            # Mostly the previous layer; a sprinkle of older nets keeps
+            # reconvergence realistic.
+            candidates = previous if rng.random() < 0.85 or not produced \
+                else produced
+            layer_nets.append(_add_gate(netlist, rng, config, index,
+                                        candidates))
+            index += 1
+        if layer_nets:
+            previous = layer_nets
+            produced.extend(layer_nets)
+        if index >= config.n_gates:
+            break
+    return produced
+
+
+def _generate_grid(netlist: Netlist, config: GeneratorConfig,
+                   rng: random.Random, sources: list[str]) -> list[str]:
+    """Depth x width mesh of uniform 2-input gates (datapath array).
+
+    Gate (i, j) consumes nets (j, j+1) of row i-1, like the carry/sum
+    lattice of an array multiplier; rows alternate NAND2/NOR2 so every
+    maximal path crosses the identical gate sequence — per-path delay
+    is uniform and, under a tight margin, *most* of the circuit is
+    near-critical (the timing-wall profile aggressive synthesis
+    produces on real datapaths).
+    """
+    del rng  # fully deterministic by construction
+    width = max(config.n_gates // config.depth, 2)
+    produced: list[str] = []
+    # Feed the first row from flip-flop outputs when available (they
+    # are placed inside the die, keeping first-stage wires short and
+    # path delays uniform); fall back to primary inputs.
+    ff_first = sorted(sources, key=lambda s: 0 if s.startswith("ffq") else 1)
+    previous = ff_first
+    index = 0
+    for layer in range(config.depth):
+        row: list[str] = []
+        for j in range(width):
+            if index >= config.n_gates:
+                break
+            cell = "NAND2" if layer % 2 == 0 else "NOR2"
+            out_net = f"n{index}"
+            inst = netlist.add_instance(f"g{index}", cell)
+            # Clamp (no wraparound): keeps every net physically local.
+            a = previous[min(j, len(previous) - 1)]
+            b = previous[min(j + 1, len(previous) - 1)]
+            netlist.connect(inst, "A", a, PinDirection.INPUT)
+            netlist.connect(inst, "B", b, PinDirection.INPUT)
+            netlist.connect(inst, "Z", out_net, PinDirection.OUTPUT)
+            row.append(out_net)
+            index += 1
+        if row:
+            previous = row
+            produced.extend(row)
+        if index >= config.n_gates:
+            break
+    return produced
+
+
+def _generate_tapered(netlist: Netlist, config: GeneratorConfig,
+                      rng: random.Random, sources: list[str]) -> list[str]:
+    produced: list[str] = []
+    all_nets = list(sources)
+    window = max(4 * config.depth, 16)
+    for index in range(config.n_gates):
+        recent = all_nets[-window:]
+        produced.append(_add_gate(netlist, rng, config, index, recent))
+        all_nets.append(produced[-1])
+    return produced

@@ -1,0 +1,86 @@
+"""ISCAS-85 combinational benchmarks.
+
+``c17`` ships verbatim (six NAND2s — small enough to embed).  The
+larger suite members are replaced by *synthetic stand-ins* generated to
+the published size statistics (gate count, I/O count, logic depth) of
+each circuit; the substitution is recorded in DESIGN.md.  Stand-ins are
+seeded deterministically per circuit name, so every run sees identical
+netlists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.netlist.bench_io import parse_bench
+from repro.netlist.core import Netlist
+
+#: The genuine ISCAS-85 c17 netlist.
+C17_BENCH = """\
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class Iscas85Spec:
+    """Published size statistics of an ISCAS-85 circuit."""
+
+    gates: int
+    inputs: int
+    outputs: int
+    depth: int
+
+
+#: Published statistics of the ISCAS-85 suite (gates/PI/PO/levels).
+ISCAS85_SPECS: dict[str, Iscas85Spec] = {
+    "c432": Iscas85Spec(160, 36, 7, 17),
+    "c499": Iscas85Spec(202, 41, 32, 11),
+    "c880": Iscas85Spec(383, 60, 26, 24),
+    "c1355": Iscas85Spec(546, 41, 32, 24),
+    "c1908": Iscas85Spec(880, 33, 25, 40),
+    "c2670": Iscas85Spec(1193, 157, 64, 32),
+    "c3540": Iscas85Spec(1669, 50, 22, 47),
+    "c5315": Iscas85Spec(2307, 178, 123, 49),
+    "c6288": Iscas85Spec(2416, 32, 32, 124),
+    "c7552": Iscas85Spec(3512, 207, 108, 43),
+}
+
+
+def load_c17() -> Netlist:
+    """The genuine c17 benchmark."""
+    return parse_bench(C17_BENCH, name="c17")
+
+
+def load_iscas85(name: str) -> Netlist:
+    """Load an ISCAS-85 circuit (c17 real, others synthetic stand-ins)."""
+    if name == "c17":
+        return load_c17()
+    spec = ISCAS85_SPECS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown ISCAS-85 circuit {name!r}")
+    config = GeneratorConfig(
+        n_gates=spec.gates,
+        n_inputs=spec.inputs,
+        n_outputs=spec.outputs,
+        depth=spec.depth,
+        style="layered",
+        seed=sum(ord(c) for c in name))
+    return generate_circuit(name, config)
+
+
+def iscas85_names() -> list[str]:
+    return ["c17"] + sorted(ISCAS85_SPECS)

@@ -1,0 +1,88 @@
+"""ISCAS-89 sequential benchmarks.
+
+``s27`` ships verbatim; larger members are synthetic stand-ins with the
+published gate/flip-flop/IO statistics (substitution documented in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.netlist.bench_io import parse_bench
+from repro.netlist.core import Netlist
+
+#: The genuine ISCAS-89 s27 netlist (3 flip-flops, 10 gates).
+S27_BENCH = """\
+# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+"""
+
+
+@dataclasses.dataclass(frozen=True)
+class Iscas89Spec:
+    """Published size statistics of an ISCAS-89 circuit."""
+
+    gates: int
+    ffs: int
+    inputs: int
+    outputs: int
+    depth: int
+
+
+ISCAS89_SPECS: dict[str, Iscas89Spec] = {
+    "s298": Iscas89Spec(119, 14, 3, 6, 9),
+    "s344": Iscas89Spec(160, 15, 9, 11, 20),
+    "s386": Iscas89Spec(159, 6, 7, 7, 11),
+    "s526": Iscas89Spec(193, 21, 3, 6, 9),
+    "s820": Iscas89Spec(289, 5, 18, 19, 10),
+    "s1196": Iscas89Spec(529, 18, 14, 14, 24),
+    "s1423": Iscas89Spec(657, 74, 17, 5, 59),
+    "s5378": Iscas89Spec(2779, 179, 35, 49, 25),
+    "s9234": Iscas89Spec(5597, 211, 36, 39, 58),
+}
+
+
+def load_s27() -> Netlist:
+    """The genuine s27 benchmark."""
+    return parse_bench(S27_BENCH, name="s27")
+
+
+def load_iscas89(name: str) -> Netlist:
+    """Load an ISCAS-89 circuit (s27 real, others synthetic stand-ins)."""
+    if name == "s27":
+        return load_s27()
+    spec = ISCAS89_SPECS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown ISCAS-89 circuit {name!r}")
+    config = GeneratorConfig(
+        n_gates=spec.gates,
+        n_inputs=spec.inputs,
+        n_outputs=spec.outputs,
+        n_ffs=spec.ffs,
+        depth=spec.depth,
+        style="tapered",
+        seed=sum(ord(c) for c in name))
+    return generate_circuit(name, config)
+
+
+def iscas89_names() -> list[str]:
+    return ["s27"] + sorted(ISCAS89_SPECS)

@@ -1,0 +1,61 @@
+"""Circuit registry, including the paper's circuit A / circuit B.
+
+The paper evaluates two unnamed TOSHIBA production circuits.  We stand
+in two synthetic designs whose *profiles* reproduce what Table 1
+implies about them:
+
+* ``circuitA`` — layered (uniform path depth): under a tight timing
+  margin, a large fraction of cells sits on near-critical paths, so
+  many MT-cells are needed — matching A's larger area overheads
+  (164.8 % conventional / 133.2 % improved).
+* ``circuitB`` — tapered (spread path depth): fewer critical cells,
+  matching B's smaller overheads (142.2 % / 115.7 %).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.benchcircuits.iscas85 import iscas85_names, load_iscas85
+from repro.benchcircuits.iscas89 import iscas89_names, load_iscas89
+from repro.netlist.core import Netlist
+
+
+def load_circuit_a() -> Netlist:
+    """The paper's circuit A stand-in (timing-tight, many MT-cells)."""
+    return generate_circuit("circuitA", GeneratorConfig(
+        n_gates=1400, n_inputs=48, n_outputs=32, n_ffs=96,
+        depth=40, style="grid", seed=2005))
+
+
+def load_circuit_b() -> Netlist:
+    """The paper's circuit B stand-in (looser, fewer MT-cells)."""
+    return generate_circuit("circuitB", GeneratorConfig(
+        n_gates=900, n_inputs=40, n_outputs=24, n_ffs=64,
+        depth=24, style="grid", seed=2006))
+
+
+_REGISTRY: dict[str, Callable[[], Netlist]] = {
+    "circuitA": load_circuit_a,
+    "circuitB": load_circuit_b,
+}
+for _name in iscas85_names():
+    _REGISTRY[_name] = (lambda n=_name: load_iscas85(n))
+for _name in iscas89_names():
+    _REGISTRY[_name] = (lambda n=_name: load_iscas89(n))
+
+
+def available_circuits() -> list[str]:
+    """Names accepted by :func:`load_circuit`."""
+    return sorted(_REGISTRY)
+
+
+def load_circuit(name: str) -> Netlist:
+    """Load a registered circuit by name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; available: "
+            f"{', '.join(available_circuits())}") from None

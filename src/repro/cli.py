@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Examples::
+
+    repro-smt list
+    repro-smt flow --circuit c880 --technique improved_smt
+    repro-smt compare --circuit circuitA --margin 0.12
+    repro-smt library --out my.lib
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchcircuits.suite import available_circuits, load_circuit
+from repro.config import FlowConfig, Technique
+from repro.core.compare import compare_techniques
+from repro.core.flow import SelectiveMtFlow
+from repro.liberty.synth import build_default_library
+from repro.liberty.writer import write_liberty
+from repro.power.report import render_leakage_table
+from repro import units
+
+
+def _add_flow_options(parser: argparse.ArgumentParser):
+    parser.add_argument("--circuit", required=True,
+                        help="circuit name (see `list`)")
+    parser.add_argument("--margin", type=float, default=0.15,
+                        help="timing margin over the all-LVT critical delay")
+    parser.add_argument("--bounce", type=float, default=0.05,
+                        help="VGND bounce limit as a fraction of Vdd")
+    parser.add_argument("--max-cells", type=int, default=64,
+                        help="EM cap: MT-cells per switch")
+    parser.add_argument("--max-rail", type=float, default=400.0,
+                        help="VGND rail length cap (um)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="placement seed")
+
+
+def _config_from(args) -> FlowConfig:
+    return FlowConfig(
+        timing_margin=args.margin,
+        bounce_limit_fraction=args.bounce,
+        max_cells_per_switch=args.max_cells,
+        max_rail_length_um=args.max_rail,
+        placement_seed=args.seed)
+
+
+def cmd_list(_args) -> int:
+    for name in available_circuits():
+        print(name)
+    return 0
+
+
+def cmd_flow(args) -> int:
+    library = build_default_library()
+    netlist = load_circuit(args.circuit)
+    technique = Technique(args.technique)
+    flow = SelectiveMtFlow(netlist, library, technique, _config_from(args))
+    result = flow.run()
+    print(result.render_stages())
+    print()
+    print(render_leakage_table(result.leakage))
+    print()
+    print(f"total area      : {units.pretty_area(result.total_area)}")
+    print(f"final timing    : {result.timing.summary()}")
+    if result.network is not None:
+        from repro.vgnd.report import render_network_table
+
+        print()
+        print(render_network_table(result.network, library))
+    if args.export:
+        from repro.core.artifacts import export_design, verify_export
+
+        manifest = export_design(result, library, args.export)
+        problems = verify_export(manifest, library)
+        status = "verified clean" if not problems else \
+            f"PROBLEMS: {problems}"
+        print(f"\nexported design database to {args.export} ({status})")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.netlist.stats import design_stats
+    from repro.netlist.techmap import technology_map
+
+    library = build_default_library()
+    netlist = load_circuit(args.circuit)
+    technology_map(netlist, library)
+    print(design_stats(netlist, library).render())
+    return 0
+
+
+def cmd_compare(args) -> int:
+    library = build_default_library()
+    netlist = load_circuit(args.circuit)
+    comparison = compare_techniques(netlist, library, _config_from(args))
+    print(comparison.render())
+    return 0
+
+
+def cmd_library(args) -> int:
+    library = build_default_library()
+    text = write_liberty(library)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(library)} cells to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-smt",
+        description="Selective Multi-Threshold CMOS design flow "
+                    "(DATE 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available circuits") \
+        .set_defaults(func=cmd_list)
+
+    flow_parser = sub.add_parser("flow", help="run one technique")
+    _add_flow_options(flow_parser)
+    flow_parser.add_argument(
+        "--technique", default="improved_smt",
+        choices=[t.value for t in Technique])
+    flow_parser.add_argument(
+        "--export", metavar="DIR",
+        help="write the design database (.v/.def/.spef/.sdc/.lib) here")
+    flow_parser.set_defaults(func=cmd_flow)
+
+    stats_parser = sub.add_parser("stats",
+                                  help="print design statistics")
+    stats_parser.add_argument("--circuit", required=True)
+    stats_parser.set_defaults(func=cmd_stats)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run all three techniques (Table 1 format)")
+    _add_flow_options(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    library_parser = sub.add_parser(
+        "library", help="emit the synthesized multi-Vth library")
+    library_parser.add_argument("--out", help="output .lib path")
+    library_parser.set_defaults(func=cmd_library)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

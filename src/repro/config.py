@@ -1,0 +1,72 @@
+"""Flow configuration.
+
+One :class:`FlowConfig` object parameterizes every stage of the
+Selective-MT flow; defaults match the DESIGN.md experiment setup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import FlowError
+
+
+class Technique(enum.Enum):
+    """The three techniques Table 1 compares."""
+
+    DUAL_VTH = "dual_vth"
+    CONVENTIONAL_SMT = "conventional_smt"
+    IMPROVED_SMT = "improved_smt"
+
+
+@dataclasses.dataclass
+class FlowConfig:
+    """Knobs for the RTL-to-layout Selective-MT flow."""
+
+    # Timing: the clock period is the all-low-Vth critical delay times
+    # (1 + timing_margin).  Small margins force many MT-cells (a
+    # timing-tight design like the paper's circuit A); larger margins
+    # let more cells become high-Vth (circuit B).
+    timing_margin: float = 0.15
+    clock_period_ns: float | None = None   # overrides margin when set
+
+    # Placement.
+    utilization: float = 0.7
+    aspect_ratio: float = 1.0
+    placement_seed: int = 1
+    placer_iterations: int = 24
+
+    # Vth assignment.
+    assignment_rounds: int = 4
+    # The assignment runs against a slightly tightened period so that
+    # pre-route estimation error, holder loading and CTS skew cannot
+    # break post-route timing closure.
+    assignment_guardband: float = 0.04
+
+    # Virtual-ground optimizer (§3 constraints).  Matches the bounce
+    # assumed when the MT library was characterized.
+    bounce_limit_fraction: float = 0.04    # of Vdd
+    max_rail_length_um: float = 400.0
+    max_cells_per_switch: int = 64
+
+    # MTE buffering.
+    mte_fanout_limit: int = 16
+    mte_buffer_cell: str = "BUF_X8_HVT"
+
+    # CTS.
+    cts_fanout_limit: int = 8
+    cts_buffer_cell: str = "BUF_X4_HVT"
+
+    # ECO.
+    hold_fix_buffer_cell: str = "BUF_X1_HVT"
+    max_hold_fix_passes: int = 3
+
+    def __post_init__(self):
+        if self.timing_margin < 0:
+            raise FlowError("timing margin must be non-negative")
+        if not 0.0 < self.bounce_limit_fraction < 0.5:
+            raise FlowError("bounce limit fraction must be in (0, 0.5)")
+
+    def bounce_limit_v(self, vdd: float) -> float:
+        return self.bounce_limit_fraction * vdd

@@ -1,0 +1,108 @@
+"""Three-technique comparison (the Table 1 harness).
+
+Runs Dual-Vth, conventional Selective-MT and improved Selective-MT on
+the same circuit with identical constraints and reports area/leakage
+normalized to the Dual-Vth baseline — the exact format of Table 1.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config import FlowConfig, Technique
+from repro.core.flow import FlowResult, SelectiveMtFlow
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist
+
+
+@dataclasses.dataclass
+class ComparisonRow:
+    """Normalized area/leakage of one technique on one circuit."""
+
+    circuit: str
+    technique: Technique
+    area_um2: float
+    leakage_nw: float
+    area_pct: float
+    leakage_pct: float
+    mt_cells: int = 0
+    switches: int = 0
+    holders: int = 0
+
+
+@dataclasses.dataclass
+class TechniqueComparison:
+    """All three techniques on one circuit."""
+
+    circuit: str
+    rows: list[ComparisonRow]
+    results: dict[Technique, FlowResult]
+
+    def row(self, technique: Technique) -> ComparisonRow:
+        for row in self.rows:
+            if row.technique == technique:
+                return row
+        raise KeyError(f"no row for {technique}")
+
+    def render(self) -> str:
+        lines = [
+            f"Circuit {self.circuit}",
+            f"{'Technique':<18} {'Area':>10} {'Leakage':>10} "
+            f"{'MT':>6} {'SW':>5} {'HOLD':>5}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.technique.value:<18} {row.area_pct:9.2f}% "
+                f"{row.leakage_pct:9.2f}% {row.mt_cells:6d} "
+                f"{row.switches:5d} {row.holders:5d}")
+        return "\n".join(lines)
+
+
+def _count_kinds(result: FlowResult, library: Library) -> tuple[int, int, int]:
+    mt = switches = holders = 0
+    for inst in result.netlist.instances.values():
+        if inst.cell_name not in library:
+            continue
+        cell = library.cell(inst.cell_name)
+        if cell.is_mt:
+            mt += 1
+        elif cell.is_switch:
+            switches += 1
+        elif cell.is_holder:
+            holders += 1
+    return mt, switches, holders
+
+
+def compare_techniques(netlist: Netlist, library: Library,
+                       config: FlowConfig | None = None,
+                       circuit_name: str | None = None,
+                       techniques: tuple[Technique, ...] = (
+                           Technique.DUAL_VTH,
+                           Technique.CONVENTIONAL_SMT,
+                           Technique.IMPROVED_SMT)) -> TechniqueComparison:
+    """Run the requested techniques and normalize to Dual-Vth."""
+    config = config or FlowConfig()
+    circuit_name = circuit_name or netlist.name
+    results: dict[Technique, FlowResult] = {}
+    for technique in techniques:
+        flow = SelectiveMtFlow(netlist, library, technique, config)
+        results[technique] = flow.run()
+
+    baseline = results.get(Technique.DUAL_VTH)
+    base_area = baseline.total_area if baseline else 1.0
+    base_leak = baseline.leakage_nw if baseline else 1.0
+
+    rows = []
+    for technique in techniques:
+        result = results[technique]
+        mt, switches, holders = _count_kinds(result, library)
+        rows.append(ComparisonRow(
+            circuit=circuit_name,
+            technique=technique,
+            area_um2=result.total_area,
+            leakage_nw=result.leakage_nw,
+            area_pct=100.0 * result.total_area / base_area,
+            leakage_pct=100.0 * result.leakage_nw / base_leak,
+            mt_cells=mt, switches=switches, holders=holders))
+    return TechniqueComparison(circuit=circuit_name, rows=rows,
+                               results=results)

@@ -1,0 +1,203 @@
+"""Engineering-change-order (ECO) timing fixes.
+
+The last Fig. 4 box: "ECO and timing analysis are performed for fixing
+the hold violation and for verification".
+
+* :class:`HoldFixer` — hold violations (early paths after CTS skew)
+  are fixed with small high-Vth delay buffers before the violating
+  flip-flop D pins.
+* :class:`SetupFixer` — residual setup violations (post-route wire
+  growth beyond the assignment guardband, e.g. the conventional SMT
+  netlist bloating the die) are fixed by swapping slow-variant cells
+  on violating paths back to the technique's fast class, via a
+  technique-specific ``fast_swap`` callback supplied by the flow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Mapping
+
+from repro.liberty.library import Library, VthClass
+from repro.netlist.core import Instance, Netlist
+from repro.netlist.transform import insert_buffer
+from repro.timing.constraints import Constraints
+from repro.timing.paths import extract_path
+from repro.timing.sta import TimingAnalyzer, TimingReport
+
+
+@dataclasses.dataclass
+class EcoResult:
+    """Outcome of the hold-fix ECO."""
+
+    buffers_added: list[str]
+    passes: int
+    final_report: TimingReport
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self.buffers_added)
+
+
+class HoldFixer:
+    """Fixes hold violations by delay-buffer insertion."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 constraints: Constraints,
+                 parasitics: Mapping[str, object] | None = None,
+                 derates: Mapping[str, float] | None = None,
+                 clock_arrivals: Mapping[str, float] | None = None,
+                 buffer_cell: str = "BUF_X1_HVT",
+                 max_passes: int = 3):
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.parasitics = parasitics
+        self.derates = derates
+        self.clock_arrivals = clock_arrivals
+        self.buffer_cell = buffer_cell
+        self.max_passes = max_passes
+
+    def _sta(self) -> TimingReport:
+        return TimingAnalyzer(
+            self.netlist, self.library, self.constraints,
+            parasitics=self.parasitics, derates=self.derates,
+            clock_arrivals=self.clock_arrivals).run()
+
+    def _buffer_delay_estimate(self) -> float:
+        """Nominal delay of one padding buffer (ns)."""
+        cell = self.library.cell(self.buffer_cell)
+        arc = cell.single_output().arc_from("A")
+        if arc is None:
+            return 0.02
+        rise, fall = arc.delay(0.02, cell.single_output().capacitance
+                               if cell.single_output().capacitance
+                               else 0.002)
+        return max(min(rise, fall), 1e-3)
+
+    def run(self) -> EcoResult:
+        buffers: list[str] = []
+        passes = 0
+        report = self._sta()
+        unit_delay = self._buffer_delay_estimate()
+        while not report.hold_met and passes < self.max_passes:
+            passes += 1
+            fixed_any = False
+            for check in report.endpoint_checks:
+                if check.kind != "hold" or check.slack >= 0.0:
+                    continue
+                inst_name, pin_name = check.endpoint.split("/", 1)
+                inst = self.netlist.instances.get(inst_name)
+                if inst is None:
+                    continue
+                pin = inst.pins.get(pin_name)
+                if pin is None or pin.net is None:
+                    continue
+                # Insert enough buffers in a chain to close the window.
+                needed = min(int(-check.slack / unit_delay) + 1, 20)
+                for _ in range(needed):
+                    buffer_inst = insert_buffer(
+                        self.netlist, pin.net, self.buffer_cell,
+                        sinks=[pin], name_prefix="holdfix")
+                    buffers.append(buffer_inst.name)
+                fixed_any = True
+            if not fixed_any:
+                break
+            report = self._sta()
+        return EcoResult(buffers_added=buffers, passes=passes,
+                         final_report=report)
+
+
+@dataclasses.dataclass
+class SetupEcoResult:
+    """Outcome of the setup-repair ECO."""
+
+    swapped: list[str]
+    passes: int
+    final_report: TimingReport
+
+    @property
+    def swap_count(self) -> int:
+        return len(self.swapped)
+
+
+class SetupFixer:
+    """Fixes setup violations by re-accelerating cells on bad paths.
+
+    ``fast_swap(instance) -> bool`` performs the technique-specific
+    swap (HVT -> LVT for Dual-Vth, HVT -> CMT for conventional SMT,
+    HVT -> MTV + cluster join for improved SMT) and returns whether it
+    changed the instance.
+    """
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 constraints: Constraints,
+                 fast_swap: Callable[[Instance], bool],
+                 parasitics: Mapping[str, object] | None = None,
+                 derates: Mapping[str, float] | None = None,
+                 clock_arrivals: Mapping[str, float] | None = None,
+                 max_passes: int = 16, endpoints_per_pass: int = 16):
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.fast_swap = fast_swap
+        self.parasitics = parasitics
+        self.derates = derates
+        self.clock_arrivals = clock_arrivals
+        self.max_passes = max_passes
+        self.endpoints_per_pass = endpoints_per_pass
+
+    def _sta(self) -> TimingReport:
+        return TimingAnalyzer(
+            self.netlist, self.library, self.constraints,
+            parasitics=self.parasitics, derates=self.derates,
+            clock_arrivals=self.clock_arrivals).run()
+
+    def run(self) -> SetupEcoResult:
+        swapped: list[str] = []
+        passes = 0
+        report = self._sta()
+        while report.wns < 0.0 and passes < self.max_passes:
+            passes += 1
+            changed = self._repair_pass(report, swapped)
+            if not changed:
+                break
+            report = self._sta()
+        return SetupEcoResult(swapped=swapped, passes=passes,
+                              final_report=report)
+
+    def _repair_pass(self, report: TimingReport,
+                     swapped: list[str]) -> bool:
+        violating = sorted(
+            (c for c in report.endpoint_checks
+             if c.kind in ("setup", "output") and c.slack < 0.0),
+            key=lambda c: c.slack)
+        changed = False
+        seen: set[str] = set()
+        for check in violating[:self.endpoints_per_pass]:
+            path = extract_path(self.netlist, report, check.endpoint)
+            if path is None or not path.instances():
+                continue
+            # Swap only about as many cells as the violation needs: a
+            # fast swap recovers roughly a quarter of one stage delay.
+            stage_delay = max(check.arrival / max(len(path.steps), 1), 1e-6)
+            budget = int(-check.slack / (0.25 * stage_delay)) + 1
+            # Start from the endpoint backwards — the tail of the path
+            # is most likely shared across the violating endpoints.
+            for inst_name in reversed(path.instances()):
+                if budget <= 0:
+                    break
+                if inst_name in seen:
+                    continue
+                seen.add(inst_name)
+                inst = self.netlist.instances.get(inst_name)
+                if inst is None or inst.cell_name not in self.library:
+                    continue
+                cell = self.library.cell(inst.cell_name)
+                if cell.vth_class != VthClass.HIGH or cell.is_sequential:
+                    continue
+                if self.fast_swap(inst):
+                    swapped.append(inst_name)
+                    changed = True
+                    budget -= 1
+        return changed

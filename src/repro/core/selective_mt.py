@@ -1,0 +1,81 @@
+"""Conventional Selective-MT construction (Fig. 2).
+
+Every cell the timing optimizer keeps "fast" becomes a conventional
+MT-cell (Fig. 1(a)): low-Vth logic with an *embedded* high-Vth switch
+transistor and built-in output holder.  Each such cell carries its own
+switch — the area and leakage overhead the improved technique halves —
+and its MTE pin connects to the sleep signal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.liberty.library import Library, VARIANT_CMT, VARIANT_HVT, VARIANT_MT
+from repro.netlist.core import Netlist, PinDirection
+from repro.netlist.transform import swap_variant
+from repro.core.dual_vth import AssignmentResult, DualVthAssigner
+from repro.timing.constraints import Constraints
+
+
+@dataclasses.dataclass
+class ConventionalSmtResult:
+    """Outcome of the conventional Selective-MT construction."""
+
+    assignment: AssignmentResult
+    mt_cell_names: list[str]
+    mte_net_name: str
+
+    @property
+    def mt_count(self) -> int:
+        return len(self.mt_cell_names)
+
+
+class ConventionalSmtBuilder:
+    """Builds a conventional Selective-MT circuit in place."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 constraints: Constraints,
+                 parasitics=None, rounds: int = 4,
+                 mte_net_name: str = "MTE"):
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.parasitics = parasitics
+        self.rounds = rounds
+        self.mte_net_name = mte_net_name
+
+    def run(self) -> ConventionalSmtResult:
+        # Assignment with the MT variant as the fast class: cells on
+        # critical paths stay MT, everything else becomes high-Vth.
+        # (MT timing tables already include the virtual-ground derate,
+        # so the timing constraint holds for the final MT circuit.)
+        assigner = DualVthAssigner(
+            self.netlist, self.library, self.constraints,
+            parasitics=self.parasitics,
+            fast_variant=VARIANT_MT, slow_variant=VARIANT_HVT,
+            rounds=self.rounds)
+        assignment = assigner.run()
+
+        # Ensure an MTE port exists.
+        if self.mte_net_name not in self.netlist.ports:
+            self.netlist.add_input(self.mte_net_name)
+        mte_net = self.netlist.net(self.mte_net_name)
+
+        # Swap the fast set to conventional MT-cells and hook up MTE.
+        mt_names = []
+        for name in assignment.fast_instances:
+            inst = self.netlist.instances[name]
+            cell = self.library.cell(inst.cell_name)
+            if not self.library.has_variant(cell, VARIANT_CMT):
+                continue  # sequential cells stay powered
+            swap_variant(self.netlist, inst, self.library, VARIANT_CMT)
+            mte_pin = inst.pins.get("MTE")
+            if mte_pin is not None and mte_pin.net is None:
+                self.netlist.connect(inst, "MTE", mte_net,
+                                     PinDirection.INPUT)
+            mt_names.append(name)
+        return ConventionalSmtResult(
+            assignment=assignment,
+            mt_cell_names=mt_names,
+            mte_net_name=self.mte_net_name)

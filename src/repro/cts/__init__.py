@@ -1,0 +1,5 @@
+"""Clock tree synthesis."""
+
+from repro.cts.tree import ClockTreeSynthesizer, CtsResult
+
+__all__ = ["ClockTreeSynthesizer", "CtsResult"]

@@ -1,0 +1,218 @@
+"""Recursive-bisection buffered clock tree synthesis.
+
+Flip-flop clock pins are recursively partitioned by alternating
+median x/y splits until each leaf group fits the buffer fanout limit;
+a buffer is inserted at each group's centroid, and groups pair up
+level by level until a single root buffer hangs off the clock port.
+
+The synthesizer edits the netlist (real buffer instances, re-wired CK
+pins), places the new buffers, and reports per-flip-flop clock
+arrival times (buffer LUT delays plus Elmore-style wire delays) that
+STA consumes as launch/capture skew.
+
+Clock buffers default to the high-Vth variant: the clock tree must not
+leak in standby and its own delay is absorbed by the skew balance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.errors import FlowError
+from repro.liberty.library import Library
+from repro.netlist.core import Instance, Netlist, PinDirection
+from repro.placement.placer import Placement, place_incremental
+
+
+@dataclasses.dataclass
+class CtsResult:
+    """Outcome of clock tree synthesis."""
+
+    clock_arrivals: dict[str, float]     # per flip-flop instance
+    buffer_instances: list[str]
+    levels: int
+    skew: float
+
+    @property
+    def buffer_count(self) -> int:
+        return len(self.buffer_instances)
+
+
+@dataclasses.dataclass
+class _Group:
+    """One cluster of clock sinks during bottom-up merging."""
+
+    x: float
+    y: float
+    # (instance name, pin name) sinks for leaf groups; child buffer
+    # instances for upper levels.
+    members: list[tuple[str, str]]
+    arrival_offset: float = 0.0   # delay accumulated below this group
+
+
+class ClockTreeSynthesizer:
+    """Builds a buffered clock tree for one placed netlist."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 placement: Placement, clock_port: str = "CLK",
+                 buffer_cell: str = "BUF_X4_HVT",
+                 fanout_limit: int = 8):
+        if fanout_limit < 2:
+            raise FlowError("CTS fanout limit must be at least 2")
+        self.netlist = netlist
+        self.library = library
+        self.placement = placement
+        self.clock_port = clock_port
+        self.buffer_cell = buffer_cell
+        self.fanout_limit = fanout_limit
+        self.tech = library.tech
+
+    def clock_sinks(self) -> list[tuple[Instance, str]]:
+        """(instance, pin name) for every clock pin on the clock net."""
+        port = self.netlist.ports.get(self.clock_port)
+        if port is None or port.net is None:
+            return []
+        return [(pin.instance, pin.name) for pin in list(port.net.sinks)]
+
+    def run(self) -> CtsResult:
+        sinks = self.clock_sinks()
+        if not sinks:
+            return CtsResult({}, [], 0, 0.0)
+        if self.buffer_cell not in self.library:
+            raise FlowError(f"CTS buffer cell {self.buffer_cell!r} missing "
+                            f"from library")
+
+        # Leaf grouping by recursive median bisection.
+        entries = [(inst.name, pin_name,
+                    *self.placement.location(inst.name))
+                   for inst, pin_name in sinks]
+        leaf_groups = self._bisect(entries)
+
+        buffers: list[str] = []
+        arrivals: dict[str, float] = {}
+        level = 0
+        # Build leaf buffers.
+        groups: list[_Group] = []
+        for members in leaf_groups:
+            group = self._make_group(members)
+            buffer_name = self._insert_buffer(group, level)
+            buffers.append(buffer_name)
+            groups.append(_Group(
+                x=group.x, y=group.y,
+                members=[(buffer_name, "A")],
+                arrival_offset=group.arrival_offset))
+        level += 1
+        # Merge upward until one group remains.
+        while len(groups) > 1:
+            groups.sort(key=lambda g: (g.y, g.x))
+            merged: list[_Group] = []
+            for i in range(0, len(groups), self.fanout_limit):
+                chunk = groups[i:i + self.fanout_limit]
+                members = [m for g in chunk for m in g.members]
+                offset = max(g.arrival_offset for g in chunk)
+                group = _Group(
+                    x=statistics.fmean(g.x for g in chunk),
+                    y=statistics.fmean(g.y for g in chunk),
+                    members=members, arrival_offset=offset)
+                buffer_name = self._insert_buffer(group, level)
+                buffers.append(buffer_name)
+                merged.append(_Group(group.x, group.y,
+                                     [(buffer_name, "A")],
+                                     group.arrival_offset))
+            groups = merged
+            level += 1
+
+        # Compute per-FF arrival: walk the buffer chain delays.
+        arrivals = self._compute_arrivals(sinks)
+        skew = (max(arrivals.values()) - min(arrivals.values())
+                if arrivals else 0.0)
+        return CtsResult(arrivals, buffers, level, skew)
+
+    # --- construction -----------------------------------------------------------
+
+    def _bisect(self, entries: list[tuple]) -> list[list[tuple]]:
+        """Recursively split (name, pin, x, y) entries by median."""
+        if len(entries) <= self.fanout_limit:
+            return [entries]
+        xs = [e[2] for e in entries]
+        ys = [e[3] for e in entries]
+        split_on_x = (max(xs) - min(xs)) >= (max(ys) - min(ys))
+        key = (lambda e: e[2]) if split_on_x else (lambda e: e[3])
+        ordered = sorted(entries, key=key)
+        mid = len(ordered) // 2
+        return self._bisect(ordered[:mid]) + self._bisect(ordered[mid:])
+
+    def _make_group(self, members: list[tuple]) -> _Group:
+        return _Group(
+            x=statistics.fmean(e[2] for e in members),
+            y=statistics.fmean(e[3] for e in members),
+            members=[(e[0], e[1]) for e in members])
+
+    def _insert_buffer(self, group: _Group, level: int) -> str:
+        """Insert one buffer driving the group's member pins."""
+        name = self.netlist.unique_name(f"ctsbuf_l{level}")
+        net_name = self.netlist.unique_name(f"clk_l{level}")
+        buffer_inst = self.netlist.add_instance(name, self.buffer_cell)
+        out_net = self.netlist.get_or_create_net(net_name)
+        self.netlist.connect(buffer_inst, "Z", out_net, PinDirection.OUTPUT)
+        # Input initially hangs off the clock root; upper levels re-wire it.
+        clock_net = self.netlist.ports[self.clock_port].net
+        self.netlist.connect(buffer_inst, "A", clock_net, PinDirection.INPUT)
+        for inst_name, pin_name in group.members:
+            inst = self.netlist.instance(inst_name)
+            pin = inst.pin(pin_name)
+            self.netlist.disconnect(pin)
+            self.netlist.connect(inst, pin_name, out_net, pin.direction)
+        place_incremental(self.placement, self.netlist, self.library,
+                          name, (group.x, group.y))
+        return name
+
+    # --- analysis -------------------------------------------------------------------
+
+    def _compute_arrivals(self, sinks) -> dict[str, float]:
+        """Per-flip-flop clock arrival via the buffer chain."""
+        arrivals: dict[str, float] = {}
+        cache: dict[str, float] = {}
+        for inst, pin_name in sinks:
+            arrivals[inst.name] = self._arrival_at(inst, pin_name, cache)
+        return arrivals
+
+    def _arrival_at(self, inst: Instance, pin_name: str,
+                    cache: dict[str, float]) -> float:
+        pin = inst.pin(pin_name)
+        net = pin.net
+        if net is None or net.driver is None:
+            return 0.0  # directly on the clock port
+        driver = net.driver.instance
+        key = driver.name
+        if key in cache:
+            base = cache[key]
+        else:
+            base = self._arrival_at(driver, "A", cache) \
+                + self._buffer_delay(driver)
+            cache[key] = base
+        return base + self._wire_delay(driver, inst)
+
+    def _buffer_delay(self, buffer_inst: Instance) -> float:
+        cell = self.library.cell(buffer_inst.cell_name)
+        arc = cell.single_output().arc_from("A")
+        if arc is None:
+            return 0.0
+        out_net = buffer_inst.pin("Z").net
+        load = 0.0
+        if out_net is not None:
+            for sink in out_net.sinks:
+                sink_cell = self.library.cells.get(sink.instance.cell_name)
+                if sink_cell is not None and sink.name in sink_cell.pins:
+                    load += sink_cell.pins[sink.name].capacitance
+        rise, fall = arc.delay(0.05, load)
+        return max(rise, fall)
+
+    def _wire_delay(self, source: Instance, target: Instance) -> float:
+        sx, sy = self.placement.location(source.name)
+        tx, ty = self.placement.location(target.name)
+        length = abs(sx - tx) + abs(sy - ty)
+        res = length * self.tech.wire_res_per_um
+        cap = length * self.tech.wire_cap_per_um
+        return 0.69 * res * cap * 0.5

@@ -1,0 +1,24 @@
+"""Transistor-level device models.
+
+This package is the physics substrate for the whole reproduction.  The
+paper's numbers come from a proprietary TOSHIBA 90 nm process; we replace
+it with a compact analytical model:
+
+* :mod:`repro.device.process` — the :class:`Technology` description
+  (supply, threshold voltages, current factors, wire parasitics).
+* :mod:`repro.device.mosfet` — alpha-power-law on-current and
+  exponential subthreshold leakage models.
+* :mod:`repro.device.switchfet` — the discrete sleep-switch transistor
+  family used by the virtual-ground optimizer.
+"""
+
+from repro.device.mosfet import MosfetModel
+from repro.device.process import Technology
+from repro.device.switchfet import SwitchCellSpec, SwitchFamily
+
+__all__ = [
+    "MosfetModel",
+    "Technology",
+    "SwitchCellSpec",
+    "SwitchFamily",
+]

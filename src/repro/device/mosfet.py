@@ -1,0 +1,143 @@
+"""Alpha-power-law MOSFET model.
+
+Two analytic equations drive all cell characterization:
+
+* **On-current** (Sakurai-Newton alpha-power law):
+  ``Id_sat = k_sat * W * (Vgs - Vth)^alpha`` in mA with W in um.
+
+* **Subthreshold leakage**:
+  ``I_leak = i0 * W * exp((Vgs - Vth) / (n*vT)) * (1 - exp(-Vds/vT))``
+  in mA.  In standby Vgs = 0 for an off device, and the drain term is
+  ~1 for any Vds more than a few vT.
+
+The :class:`MosfetModel` wraps a :class:`~repro.device.process.Technology`
+plus a threshold voltage and polarity, exposing width-parameterized
+current, resistance, capacitance and leakage queries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.device.process import Technology
+
+
+@dataclasses.dataclass(frozen=True)
+class MosfetModel:
+    """A MOSFET of fixed threshold/polarity in a given technology.
+
+    Parameters
+    ----------
+    tech:
+        The process technology.
+    vth:
+        Threshold voltage in volts (use ``tech.vth_low``/``tech.vth_high``).
+    polarity:
+        ``"nmos"`` or ``"pmos"``; PMOS devices are derated by
+        ``tech.pmos_factor`` for drive strength.
+    """
+
+    tech: Technology
+    vth: float
+    polarity: str = "nmos"
+
+    def __post_init__(self):
+        if self.polarity not in ("nmos", "pmos"):
+            raise ValueError(f"polarity must be nmos/pmos, got {self.polarity!r}")
+        if not 0.0 < self.vth < self.tech.vdd:
+            raise ValueError(
+                f"vth {self.vth} must lie strictly between 0 and vdd "
+                f"{self.tech.vdd}")
+
+    # --- drive -------------------------------------------------------------
+
+    def _drive_factor(self) -> float:
+        if self.polarity == "pmos":
+            return self.tech.k_sat * self.tech.pmos_factor
+        return self.tech.k_sat
+
+    def saturation_current(self, width_um: float,
+                           vgs: float | None = None) -> float:
+        """Saturation drain current in mA for the given width.
+
+        ``vgs`` defaults to the full supply.
+        """
+        if width_um <= 0.0:
+            raise ValueError(f"width must be positive, got {width_um}")
+        if vgs is None:
+            vgs = self.tech.vdd
+        overdrive = vgs - self.vth
+        if overdrive <= 0.0:
+            return 0.0
+        return self._drive_factor() * width_um * overdrive ** self.tech.alpha
+
+    def effective_resistance(self, width_um: float) -> float:
+        """Equivalent switching resistance in kOhm (Vdd / Idsat).
+
+        This is the resistance used by the RC delay model; the 0.69 ln(2)
+        factor is applied by the delay calculator, not here.
+        """
+        current = self.saturation_current(width_um)
+        if current <= 0.0:
+            return math.inf
+        return self.tech.vdd / current
+
+    def on_resistance(self, width_um: float) -> float:
+        """Linear-region (triode) on-resistance in kOhm.
+
+        Used for sleep switches which operate deep in the linear region
+        (Vds is the small virtual-ground bounce).
+        """
+        if width_um <= 0.0:
+            raise ValueError(f"width must be positive, got {width_um}")
+        factor = self.tech.k_lin
+        if self.polarity == "pmos":
+            factor *= self.tech.pmos_factor
+        overdrive = self.tech.overdrive(self.vth)
+        return 1.0 / (factor * width_um * overdrive)
+
+    # --- leakage ------------------------------------------------------------
+
+    def subthreshold_current(self, width_um: float, vgs: float = 0.0,
+                             vds: float | None = None) -> float:
+        """Subthreshold leakage current in mA.
+
+        ``vds`` defaults to the full supply (worst case off device).
+        """
+        if width_um <= 0.0:
+            raise ValueError(f"width must be positive, got {width_um}")
+        if vds is None:
+            vds = self.tech.vdd
+        swing = self.tech.subthreshold_swing()
+        vt = self.tech.thermal_voltage()
+        current = self.tech.i0 * width_um * math.exp((vgs - self.vth) / swing)
+        current *= 1.0 - math.exp(-max(vds, 0.0) / vt)
+        return current
+
+    def leakage_power(self, width_um: float, stack_depth: int = 1) -> float:
+        """Standby leakage power in nW for an off device of this width.
+
+        ``stack_depth`` models the stacking effect: each additional series
+        off transistor multiplies the leakage by ``tech.stack_factor``.
+        """
+        if stack_depth < 1:
+            raise ValueError(f"stack_depth must be >= 1, got {stack_depth}")
+        current_ma = self.subthreshold_current(width_um)
+        current_ma *= self.tech.stack_factor ** (stack_depth - 1)
+        # mA * V = mW; convert to nW.
+        return current_ma * self.tech.vdd * 1e6
+
+    # --- capacitance -----------------------------------------------------------
+
+    def gate_capacitance(self, width_um: float) -> float:
+        """Gate capacitance in pF."""
+        if width_um <= 0.0:
+            raise ValueError(f"width must be positive, got {width_um}")
+        return self.tech.cgate_per_um * width_um
+
+    def drain_capacitance(self, width_um: float) -> float:
+        """Drain junction capacitance in pF."""
+        if width_um <= 0.0:
+            raise ValueError(f"width must be positive, got {width_um}")
+        return self.tech.cdrain_per_um * width_um

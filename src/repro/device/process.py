@@ -1,0 +1,111 @@
+"""Process technology description.
+
+A :class:`Technology` instance carries every process-level constant the
+library needs: supply and threshold voltages, alpha-power-law current
+factors, subthreshold slope, unit capacitances, wire parasitics, and
+layout geometry.  The defaults model a generic 90 nm-class low-power
+process calibrated so that the *relationships* the Selective-MT
+methodology relies on hold:
+
+* high-Vth cells are ~25-30 % slower and ~20x less leaky than low-Vth;
+* an MT-cell (low-Vth logic on a virtual ground) is slightly slower than
+  a pure low-Vth cell but clearly faster than high-Vth;
+* sleep-switch transistors obey Ron ~ 1/W with realistic magnitudes.
+
+Internal units follow :mod:`repro.units` (ns, pF, kOhm, mA, nW, um).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro import units
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """Immutable process description.
+
+    Attributes are grouped as: supplies/thresholds, current model,
+    leakage model, capacitances, wire parasitics, geometry, reliability.
+    """
+
+    name: str = "generic90lp"
+
+    # --- supplies and thresholds (volts) ---------------------------------
+    vdd: float = 1.2
+    vth_low: float = 0.30
+    vth_high: float = 0.46
+    temperature_k: float = units.ROOM_TEMPERATURE_K
+
+    # --- alpha-power-law on-current model ---------------------------------
+    # Id_sat = k_sat * W * (Vgs - Vth)^alpha      [mA, W in um]
+    alpha: float = 1.3
+    k_sat: float = 0.55
+    # Linear-region conductance for switch on-resistance:
+    # Ron = 1 / (k_lin * W * (Vgs - Vth))          [kOhm]
+    k_lin: float = 0.40
+    # PMOS drive is weaker by this mobility ratio.
+    pmos_factor: float = 0.5
+
+    # --- subthreshold leakage model ---------------------------------------
+    # I_leak = i0 * W * exp(-Vth / (n * vT))       [mA, W in um]
+    subthreshold_n: float = 1.5
+    i0: float = 3.0e-3
+    # Series stacks leak less; per extra off device in series multiply by
+    # this factor (classic "stacking effect").
+    stack_factor: float = 0.25
+
+    # --- capacitances ------------------------------------------------------
+    # Gate capacitance per um of transistor width [pF/um].
+    cgate_per_um: float = 1.0e-3
+    # Drain junction capacitance per um of width [pF/um].
+    cdrain_per_um: float = 0.5e-3
+
+    # --- wire parasitics (per um of routed length) -------------------------
+    # Calibrated low relative to a raw 90 nm process because our global
+    # placer produces longer nets than a commercial one; the product
+    # (net length x unit cap) is what matters, and this keeps the wire
+    # share of cell load at the realistic ~20-30 %.
+    wire_res_per_um: float = 0.3e-3   # kOhm/um  (0.3 ohm/um)
+    wire_cap_per_um: float = 0.05e-3  # pF/um    (0.05 fF/um)
+    # VGND rails are wide power straps (several um of top metal), so
+    # per-um resistance is far below signal wiring.
+    vgnd_res_per_um: float = 0.03e-3  # kOhm/um
+    vgnd_cap_per_um: float = 0.3e-3   # pF/um
+
+    # --- layout geometry ----------------------------------------------------
+    row_height: float = 2.4           # um (standard-cell row height)
+    site_width: float = 0.4           # um (placement site)
+    # Converts transistor width to cell area: area ~= area_per_um_width * W.
+    area_per_um_width: float = 1.3    # um^2 per um of total transistor width
+
+    # --- reliability ---------------------------------------------------------
+    # Electromigration: max sustained current per um of switch width [mA/um].
+    em_current_per_um: float = 0.3
+
+    def thermal_voltage(self) -> float:
+        """Thermal voltage kT/q at the analysis temperature (volts)."""
+        return units.thermal_voltage(self.temperature_k)
+
+    def subthreshold_swing(self) -> float:
+        """n * vT, the denominator of the leakage exponential (volts)."""
+        return self.subthreshold_n * self.thermal_voltage()
+
+    def leakage_ratio(self) -> float:
+        """Leakage ratio between low-Vth and high-Vth devices (same width)."""
+        import math
+        delta = self.vth_high - self.vth_low
+        return math.exp(delta / self.subthreshold_swing())
+
+    def overdrive(self, vth: float) -> float:
+        """Gate overdrive Vdd - Vth, clamped to a small positive floor."""
+        return max(self.vdd - vth, 1e-3)
+
+    def with_updates(self, **changes) -> "Technology":
+        """Return a copy of this technology with selected fields changed."""
+        return dataclasses.replace(self, **changes)
+
+
+DEFAULT_TECHNOLOGY = Technology()
+"""Module-level default used when callers do not supply a technology."""

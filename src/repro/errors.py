@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so a
+caller embedding the flow can catch one type.  Sub-hierarchies follow the
+package layout: parsing, netlist consistency, timing, and the Selective-MT
+flow itself each get a dedicated class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A source file (Liberty, .bench, Verilog, SDC, SPEF) failed to parse.
+
+    Carries optional location information for diagnostics.
+    """
+
+    def __init__(self, message: str, filename: str | None = None,
+                 line: int | None = None, column: int | None = None):
+        self.filename = filename
+        self.line = line
+        self.column = column
+        location = ""
+        if filename is not None:
+            location = f"{filename}:"
+        if line is not None:
+            location += f"{line}:"
+            if column is not None:
+                location += f"{column}:"
+        if location:
+            message = f"{location} {message}"
+        super().__init__(message)
+
+
+class LibertyError(ParseError):
+    """Structural problem in a Liberty library (missing cell, pin, table)."""
+
+
+class NetlistError(ReproError):
+    """Netlist construction or consistency violation."""
+
+
+class ValidationError(NetlistError):
+    """A netlist failed validation (floating nets, multiple drivers, ...)."""
+
+
+class TimingError(ReproError):
+    """Timing analysis failure (no constraints, combinational loop, ...)."""
+
+
+class PowerError(ReproError):
+    """Power/leakage analysis failure."""
+
+
+class PlacementError(ReproError):
+    """Placement failure (overflow, unlegalizable, ...)."""
+
+
+class RoutingError(ReproError):
+    """Routing estimation / extraction failure."""
+
+
+class VgndError(ReproError):
+    """Virtual-ground network construction or analysis failure."""
+
+
+class SizingError(VgndError):
+    """No switch size satisfies the voltage-bounce constraint."""
+
+
+class FlowError(ReproError):
+    """Selective-MT flow orchestration failure."""
+
+
+class EquivalenceError(ReproError):
+    """Two netlists expected to be equivalent are not."""

@@ -1,0 +1,52 @@
+"""Liberty library substrate.
+
+The paper relies on a proprietary multi-Vth standard-cell library; this
+package replaces it:
+
+* :mod:`repro.liberty.lexer` / :mod:`repro.liberty.parser` /
+  :mod:`repro.liberty.ast` — a Liberty-subset front end (groups, simple
+  and complex attributes, ``values(...)`` tables).
+* :mod:`repro.liberty.function` — Liberty boolean function expressions
+  with three-valued evaluation.
+* :mod:`repro.liberty.library` — the typed in-memory library model
+  (cells, pins, NLDM lookup tables, state-dependent leakage).
+* :mod:`repro.liberty.writer` — serialize a library back to ``.lib``.
+* :mod:`repro.liberty.synth` — synthesize the complete multi-Vth
+  Selective-MT library (LVT/HVT/MT/MTV/CMT variants, switch cells,
+  output holders) from :class:`~repro.device.process.Technology`.
+"""
+
+from repro.liberty.function import BooleanFunction, parse_function
+from repro.liberty.library import (
+    CellDef,
+    CellKind,
+    LeakageState,
+    Library,
+    Lut,
+    PinDef,
+    PinDirection,
+    TimingArc,
+    VthClass,
+)
+from repro.liberty.parser import parse_liberty, parse_liberty_file
+from repro.liberty.synth import LibraryBuilder, build_default_library
+from repro.liberty.writer import write_liberty
+
+__all__ = [
+    "BooleanFunction",
+    "parse_function",
+    "CellDef",
+    "CellKind",
+    "LeakageState",
+    "Library",
+    "Lut",
+    "PinDef",
+    "PinDirection",
+    "TimingArc",
+    "VthClass",
+    "parse_liberty",
+    "parse_liberty_file",
+    "LibraryBuilder",
+    "build_default_library",
+    "write_liberty",
+]

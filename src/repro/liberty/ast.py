@@ -1,0 +1,102 @@
+"""Liberty abstract syntax tree.
+
+A Liberty file is a tree of *groups*; each group has a type keyword, an
+argument list, simple attributes (``name : value ;``), complex
+attributes (``name (v1, v2, ...) ;``) and nested groups::
+
+    library (my_lib) {
+      time_unit : "1ns";
+      cell (NAND2_X1_LVT) {
+        area : 4.8;
+        pin (A) { direction : input; capacitance : 0.0018; }
+      }
+    }
+
+The AST keeps declaration order so a parse/write round trip is stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Union
+
+AttrValue = Union[str, float, int, bool]
+
+
+@dataclasses.dataclass
+class SimpleAttribute:
+    """``name : value ;``"""
+
+    name: str
+    value: AttrValue
+
+
+@dataclasses.dataclass
+class ComplexAttribute:
+    """``name (v1, v2, ...) ;``"""
+
+    name: str
+    values: list[AttrValue]
+
+
+@dataclasses.dataclass
+class Group:
+    """A Liberty group: ``keyword (args...) { body }``."""
+
+    keyword: str
+    args: list[str] = dataclasses.field(default_factory=list)
+    simple_attrs: list[SimpleAttribute] = dataclasses.field(default_factory=list)
+    complex_attrs: list[ComplexAttribute] = dataclasses.field(default_factory=list)
+    groups: list["Group"] = dataclasses.field(default_factory=list)
+
+    @property
+    def name(self) -> str | None:
+        """First argument, conventionally the group name."""
+        return self.args[0] if self.args else None
+
+    # --- queries ---------------------------------------------------------
+
+    def get(self, attr_name: str, default: AttrValue | None = None) -> AttrValue | None:
+        """Value of the first simple attribute with this name."""
+        for attr in self.simple_attrs:
+            if attr.name == attr_name:
+                return attr.value
+        return default
+
+    def get_complex(self, attr_name: str) -> list[AttrValue] | None:
+        """Values of the first complex attribute with this name."""
+        for attr in self.complex_attrs:
+            if attr.name == attr_name:
+                return attr.values
+        return None
+
+    def find_groups(self, keyword: str) -> Iterator["Group"]:
+        """All immediate child groups of the given keyword."""
+        for group in self.groups:
+            if group.keyword == keyword:
+                yield group
+
+    def find_group(self, keyword: str, name: str | None = None) -> "Group | None":
+        """First child group with the keyword (and name, if given)."""
+        for group in self.find_groups(keyword):
+            if name is None or group.name == name:
+                return group
+        return None
+
+    # --- construction helpers ---------------------------------------------
+
+    def set(self, attr_name: str, value: AttrValue) -> "Group":
+        """Append a simple attribute; returns self for chaining."""
+        self.simple_attrs.append(SimpleAttribute(attr_name, value))
+        return self
+
+    def set_complex(self, attr_name: str, values: list[AttrValue]) -> "Group":
+        """Append a complex attribute; returns self for chaining."""
+        self.complex_attrs.append(ComplexAttribute(attr_name, list(values)))
+        return self
+
+    def add_group(self, keyword: str, *args: str) -> "Group":
+        """Append and return a new child group."""
+        child = Group(keyword, list(args))
+        self.groups.append(child)
+        return child

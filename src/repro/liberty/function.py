@@ -1,0 +1,354 @@
+"""Liberty boolean function expressions.
+
+Liberty cell pins carry a ``function`` attribute written in a small
+boolean language::
+
+    function : "(A * B)'";      # NAND2
+    function : "!(A + B)";      # NOR2
+    function : "A ^ B";         # XOR2
+    function : "(S * B) + (!S * A)";  # MUX2
+
+Supported operators (loosest to tightest binding): ``+``/``|`` (OR),
+``^`` (XOR), ``*``/``&``/juxtaposition (AND), ``!`` prefix NOT and ``'``
+postfix NOT.  Constants ``0`` and ``1`` are accepted.
+
+Evaluation is three-valued (0, 1, X) with Kleene semantics so the logic
+simulator can propagate unknowns.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Union
+
+from repro.errors import ParseError
+
+#: The unknown logic value used across the library.
+X = "x"
+
+LogicValue = Union[int, str]
+
+
+def _coerce(value: LogicValue) -> LogicValue:
+    """Normalize an input value to 0, 1 or X (Z becomes X)."""
+    if value in (0, 1):
+        return value
+    if value in ("0", "1"):
+        return int(value)
+    return X
+
+
+def logic_not(value: LogicValue) -> LogicValue:
+    value = _coerce(value)
+    if value == X:
+        return X
+    return 1 - value
+
+
+def logic_and(a: LogicValue, b: LogicValue) -> LogicValue:
+    a, b = _coerce(a), _coerce(b)
+    if a == 0 or b == 0:
+        return 0
+    if a == 1 and b == 1:
+        return 1
+    return X
+
+
+def logic_or(a: LogicValue, b: LogicValue) -> LogicValue:
+    a, b = _coerce(a), _coerce(b)
+    if a == 1 or b == 1:
+        return 1
+    if a == 0 and b == 0:
+        return 0
+    return X
+
+
+def logic_xor(a: LogicValue, b: LogicValue) -> LogicValue:
+    a, b = _coerce(a), _coerce(b)
+    if a == X or b == X:
+        return X
+    return a ^ b
+
+
+class _Node:
+    """Expression-tree node base."""
+
+    def evaluate(self, env: Mapping[str, LogicValue]) -> LogicValue:
+        raise NotImplementedError
+
+    def inputs(self) -> set[str]:
+        raise NotImplementedError
+
+    def to_liberty(self) -> str:
+        raise NotImplementedError
+
+
+class _Var(_Node):
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, env):
+        if self.name not in env:
+            raise KeyError(f"no value bound for input {self.name!r}")
+        return _coerce(env[self.name])
+
+    def inputs(self):
+        return {self.name}
+
+    def to_liberty(self):
+        return self.name
+
+
+class _Const(_Node):
+    def __init__(self, value: int):
+        self.value = value
+
+    def evaluate(self, env):
+        return self.value
+
+    def inputs(self):
+        return set()
+
+    def to_liberty(self):
+        return str(self.value)
+
+
+class _Not(_Node):
+    def __init__(self, child: _Node):
+        self.child = child
+
+    def evaluate(self, env):
+        return logic_not(self.child.evaluate(env))
+
+    def inputs(self):
+        return self.child.inputs()
+
+    def to_liberty(self):
+        return f"!{self.child.to_liberty()}" \
+            if isinstance(self.child, (_Var, _Const)) \
+            else f"({self.child.to_liberty()})'"
+
+
+class _Binary(_Node):
+    symbol = "?"
+    op = None
+
+    def __init__(self, left: _Node, right: _Node):
+        self.left = left
+        self.right = right
+
+    def evaluate(self, env):
+        return type(self).apply(self.left.evaluate(env),
+                                self.right.evaluate(env))
+
+    @staticmethod
+    def apply(a, b):
+        raise NotImplementedError
+
+    def inputs(self):
+        return self.left.inputs() | self.right.inputs()
+
+    def to_liberty(self):
+        return f"({self.left.to_liberty()} {self.symbol} {self.right.to_liberty()})"
+
+
+class _And(_Binary):
+    symbol = "*"
+
+    @staticmethod
+    def apply(a, b):
+        return logic_and(a, b)
+
+
+class _Or(_Binary):
+    symbol = "+"
+
+    @staticmethod
+    def apply(a, b):
+        return logic_or(a, b)
+
+
+class _Xor(_Binary):
+    symbol = "^"
+
+    @staticmethod
+    def apply(a, b):
+        return logic_xor(a, b)
+
+
+class _FunctionLexer:
+    """Tokenizer for Liberty function expressions."""
+
+    _SINGLE = set("()!'*&+|^")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.tokens: list[str] = []
+        self._run()
+
+    def _run(self):
+        text = self.text
+        n = len(text)
+        i = 0
+        while i < n:
+            ch = text[i]
+            if ch.isspace():
+                i += 1
+                continue
+            if ch in self._SINGLE:
+                self.tokens.append(ch)
+                i += 1
+                continue
+            if ch.isalnum() or ch == "_":
+                j = i
+                while j < n and (text[j].isalnum() or text[j] in "_[]."):
+                    j += 1
+                self.tokens.append(text[i:j])
+                i = j
+                continue
+            raise ParseError(f"unexpected character {ch!r} in function "
+                             f"expression {self.text!r}")
+
+
+class _FunctionParser:
+    """Recursive-descent parser for the Liberty function grammar."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = _FunctionLexer(text).tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return None
+
+    def advance(self) -> str:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def parse(self) -> _Node:
+        if not self.tokens:
+            raise ParseError("empty function expression")
+        node = self.parse_or()
+        if self.pos != len(self.tokens):
+            raise ParseError(f"trailing tokens in function {self.text!r}: "
+                             f"{self.tokens[self.pos:]}")
+        return node
+
+    def parse_or(self) -> _Node:
+        node = self.parse_xor()
+        while self.peek() in ("+", "|"):
+            self.advance()
+            node = _Or(node, self.parse_xor())
+        return node
+
+    def parse_xor(self) -> _Node:
+        node = self.parse_and()
+        while self.peek() == "^":
+            self.advance()
+            node = _Xor(node, self.parse_and())
+        return node
+
+    def parse_and(self) -> _Node:
+        node = self.parse_factor()
+        while True:
+            token = self.peek()
+            if token in ("*", "&"):
+                self.advance()
+                node = _And(node, self.parse_factor())
+            elif token is not None and (token == "(" or token == "!"
+                                        or self._is_atom(token)):
+                # Juxtaposition means AND in Liberty: "A B" == "A * B".
+                node = _And(node, self.parse_factor())
+            else:
+                return node
+
+    @staticmethod
+    def _is_atom(token: str) -> bool:
+        return token[0].isalnum() or token[0] == "_"
+
+    def parse_factor(self) -> _Node:
+        node = self.parse_atom()
+        while self.peek() == "'":
+            self.advance()
+            node = _Not(node)
+        return node
+
+    def parse_atom(self) -> _Node:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"unexpected end of function {self.text!r}")
+        if token == "!":
+            self.advance()
+            return _Not(self.parse_factor())
+        if token == "(":
+            self.advance()
+            node = self.parse_or()
+            if self.peek() != ")":
+                raise ParseError(f"missing ')' in function {self.text!r}")
+            self.advance()
+            return node
+        if token in ("0", "1"):
+            self.advance()
+            return _Const(int(token))
+        if self._is_atom(token):
+            self.advance()
+            return _Var(token)
+        raise ParseError(f"unexpected token {token!r} in function {self.text!r}")
+
+
+class BooleanFunction:
+    """A parsed Liberty boolean function.
+
+    Instances are immutable, hash on their source text, and evaluate
+    under three-valued (0/1/X) Kleene semantics.
+    """
+
+    def __init__(self, text: str):
+        self.text = text
+        self._root = _FunctionParser(text).parse()
+        self._inputs = frozenset(self._root.inputs())
+
+    @property
+    def inputs(self) -> frozenset[str]:
+        """Names of all variables the function reads."""
+        return self._inputs
+
+    def evaluate(self, env: Mapping[str, LogicValue]) -> LogicValue:
+        """Evaluate under an environment mapping pin name -> 0/1/X."""
+        return self._root.evaluate(env)
+
+    def truth_table(self) -> dict[tuple[int, ...], int]:
+        """Exhaustive truth table over sorted inputs (binary only)."""
+        names = sorted(self._inputs)
+        table: dict[tuple[int, ...], int] = {}
+        for index in range(2 ** len(names)):
+            bits = tuple((index >> (len(names) - 1 - k)) & 1
+                         for k in range(len(names)))
+            env = dict(zip(names, bits))
+            table[bits] = self._root.evaluate(env)
+        return table
+
+    def to_liberty(self) -> str:
+        """Render back to Liberty syntax (canonical parenthesized form)."""
+        return self._root.to_liberty()
+
+    def __eq__(self, other):
+        if not isinstance(other, BooleanFunction):
+            return NotImplemented
+        if self._inputs != other._inputs:
+            return False
+        return self.truth_table() == other.truth_table()
+
+    def __hash__(self):
+        return hash(self.text)
+
+    def __repr__(self):
+        return f"BooleanFunction({self.text!r})"
+
+
+def parse_function(text: str) -> BooleanFunction:
+    """Parse a Liberty function expression string."""
+    return BooleanFunction(text)

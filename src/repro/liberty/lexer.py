@@ -1,0 +1,101 @@
+"""Tokenizer for the Liberty subset.
+
+Token kinds: identifiers/numbers (as raw words), quoted strings,
+punctuation (``{ } ( ) : ; ,``).  Comments (``/* */`` and ``//``) and
+line continuations (``\\`` at end of line) are stripped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ParseError
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str          # "word", "string", "punct"
+    value: str
+    line: int
+    column: int
+
+
+_PUNCT = set("{}():;,")
+
+
+def tokenize(text: str, filename: str | None = None) -> list[Token]:
+    """Tokenize Liberty source text."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    column = 1
+    n = len(text)
+
+    def error(message: str) -> ParseError:
+        return ParseError(message, filename=filename, line=line, column=column)
+
+    while i < n:
+        ch = text[i]
+        # Newlines / whitespace.
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        if ch.isspace():
+            i += 1
+            column += 1
+            continue
+        # Line continuation.
+        if ch == "\\" and i + 1 < n and text[i + 1] == "\n":
+            i += 2
+            line += 1
+            column = 1
+            continue
+        # Comments.
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated /* comment")
+            line += text.count("\n", i, end)
+            i = end + 2
+            column = 1
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        # Strings.
+        if ch == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                if text[j] == "\\" and j + 1 < n and text[j + 1] == "\n":
+                    j += 2
+                    continue
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            raw = text[i + 1:j].replace("\\\n", "")
+            tokens.append(Token("string", raw, line, column))
+            line += text.count("\n", i, j)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        # Punctuation.
+        if ch in _PUNCT:
+            tokens.append(Token("punct", ch, line, column))
+            i += 1
+            column += 1
+            continue
+        # Words: identifiers, numbers, units (e.g. 1ns, 0.55, cell_rise).
+        j = i
+        while j < n and not text[j].isspace() and text[j] not in _PUNCT \
+                and text[j] != '"':
+            j += 1
+        if j == i:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token("word", text[i:j], line, column))
+        column += j - i
+        i = j
+
+    return tokens

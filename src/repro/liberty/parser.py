@@ -1,0 +1,179 @@
+"""Recursive-descent parser for the Liberty subset.
+
+Produces the :class:`~repro.liberty.ast.Group` tree.  Handles:
+
+* nested groups with argument lists,
+* simple attributes ``name : value ;`` (``;`` optional at line ends in
+  some dialects; we require it, which our writer always emits),
+* complex attributes ``name (v1, v2, ...);`` including multi-line
+  ``values("...", "...")`` tables,
+* numbers parsed to float/int, booleans, quoted strings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.liberty.ast import AttrValue, Group
+from repro.liberty.lexer import Token, tokenize
+
+
+def _convert(token: Token) -> AttrValue:
+    """Convert a token to a typed attribute value."""
+    if token.kind == "string":
+        return token.value
+    word = token.value
+    if word == "true":
+        return True
+    if word == "false":
+        return False
+    try:
+        value = float(word)
+    except ValueError:
+        return word
+    if value.is_integer() and ("." not in word and "e" not in word.lower()):
+        return int(value)
+    return value
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], filename: str | None):
+        self.tokens = tokens
+        self.pos = 0
+        self.filename = filename
+
+    def error(self, message: str) -> ParseError:
+        if self.pos < len(self.tokens):
+            token = self.tokens[self.pos]
+            return ParseError(message, filename=self.filename,
+                              line=token.line, column=token.column)
+        return ParseError(message + " (at end of file)", filename=self.filename)
+
+    def peek(self, offset: int = 0) -> Token | None:
+        index = self.pos + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return None
+
+    def advance(self) -> Token:
+        if self.pos >= len(self.tokens):
+            raise self.error("unexpected end of file")
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.advance()
+        if token.kind != "punct" or token.value != value:
+            raise ParseError(
+                f"expected {value!r}, found {token.value!r}",
+                filename=self.filename, line=token.line, column=token.column)
+        return token
+
+    def at_punct(self, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "punct" \
+            and token.value == value
+
+    # --- grammar ------------------------------------------------------------
+
+    def parse_file(self) -> Group:
+        group = self.parse_group()
+        if self.pos != len(self.tokens):
+            raise self.error("trailing content after top-level group")
+        return group
+
+    def parse_group(self) -> Group:
+        keyword_token = self.advance()
+        if keyword_token.kind != "word":
+            raise ParseError(
+                f"expected group keyword, found {keyword_token.value!r}",
+                filename=self.filename, line=keyword_token.line,
+                column=keyword_token.column)
+        group = Group(keyword_token.value)
+        self.expect_punct("(")
+        while not self.at_punct(")"):
+            token = self.advance()
+            if token.kind == "punct" and token.value == ",":
+                continue
+            group.args.append(str(token.value))
+        self.expect_punct(")")
+        self.expect_punct("{")
+        while not self.at_punct("}"):
+            self.parse_statement(group)
+        self.expect_punct("}")
+        # Optional trailing semicolon after a group close.
+        if self.at_punct(";"):
+            self.advance()
+        return group
+
+    def parse_statement(self, group: Group):
+        name_token = self.peek()
+        if name_token is None:
+            raise self.error("unexpected end of file inside group")
+        if name_token.kind != "word":
+            raise ParseError(
+                f"expected attribute or group, found {name_token.value!r}",
+                filename=self.filename, line=name_token.line,
+                column=name_token.column)
+        after = self.peek(1)
+        if after is not None and after.kind == "punct" and after.value == ":":
+            # Simple attribute.
+            self.advance()  # name
+            self.advance()  # ':'
+            value_token = self.advance()
+            group.set(name_token.value, _convert(value_token))
+            if self.at_punct(";"):
+                self.advance()
+            return
+        if after is not None and after.kind == "punct" and after.value == "(":
+            # Complex attribute or nested group: look past the ')' for '{'.
+            depth = 0
+            index = self.pos + 1
+            while index < len(self.tokens):
+                token = self.tokens[index]
+                if token.kind == "punct" and token.value == "(":
+                    depth += 1
+                elif token.kind == "punct" and token.value == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                index += 1
+            if index >= len(self.tokens):
+                raise self.error("unbalanced parentheses")
+            next_token = self.tokens[index + 1] if index + 1 < len(self.tokens) else None
+            if next_token is not None and next_token.kind == "punct" \
+                    and next_token.value == "{":
+                group.groups.append(self.parse_group())
+                return
+            # Complex attribute.
+            self.advance()  # name
+            self.expect_punct("(")
+            values: list[AttrValue] = []
+            while not self.at_punct(")"):
+                token = self.advance()
+                if token.kind == "punct" and token.value == ",":
+                    continue
+                values.append(_convert(token))
+            self.expect_punct(")")
+            if self.at_punct(";"):
+                self.advance()
+            group.set_complex(name_token.value, values)
+            return
+        raise ParseError(
+            f"expected ':' or '(' after {name_token.value!r}",
+            filename=self.filename, line=name_token.line,
+            column=name_token.column)
+
+
+def parse_liberty(text: str, filename: str | None = None) -> Group:
+    """Parse Liberty source text into an AST group tree."""
+    tokens = tokenize(text, filename)
+    if not tokens:
+        raise ParseError("empty liberty source", filename=filename)
+    return _Parser(tokens, filename).parse_file()
+
+
+def parse_liberty_file(path: str) -> Group:
+    """Parse a ``.lib`` file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_liberty(handle.read(), filename=path)

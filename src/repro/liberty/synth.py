@@ -1,0 +1,513 @@
+"""Multi-Vth Selective-MT library synthesizer.
+
+The paper's experiments use a proprietary TOSHIBA 90 nm multi-Vth library
+with MT-cells.  This module replaces it: from a
+:class:`~repro.device.process.Technology` it characterizes a complete
+standard-cell library with, for every combinational base cell:
+
+``<BASE>_LVT``
+    Low-Vth cell — fast, leaky.
+``<BASE>_HVT``
+    High-Vth cell — slower, ~20x less leaky.  Same footprint as LVT.
+``<BASE>_MT``
+    MT-cell *without* a VGND port (the Fig. 4 intermediate used during
+    timing optimization; carries MT timing but no VGND connectivity).
+``<BASE>_MTV``
+    MT-cell *with* a VGND port (Fig. 1(b)) — low-Vth logic riding on a
+    virtual ground rail; slightly slower than LVT (rail bounce), faster
+    than HVT; near-zero standby leakage (the external switch cuts it).
+``<BASE>_CMT``
+    Conventional MT-cell (Fig. 1(a)) — embedded per-cell switch
+    transistor and output holder.  Much larger; standby leakage is its
+    embedded high-Vth switch.
+
+plus sequential cells (LVT/HVT only — flip-flops stay on true ground so
+they retain state in standby, as in the paper's figures), the discrete
+``SWITCH_Xn`` sleep-switch family, and the ``HOLDER_X1`` output holder.
+
+Delay tables are NLDM LUTs generated from the alpha-power RC model, so
+LUT interpolation and the analytic model agree by construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Sequence
+
+from repro.device.mosfet import MosfetModel
+from repro.device.process import DEFAULT_TECHNOLOGY, Technology
+from repro.device.switchfet import SwitchFamily, embedded_switch_width
+from repro.liberty.library import (
+    CellDef,
+    CellKind,
+    LeakageState,
+    Library,
+    Lut,
+    PinDef,
+    PinDirection,
+    TimingArc,
+    VARIANT_CMT,
+    VARIANT_HVT,
+    VARIANT_LVT,
+    VARIANT_MT,
+    VARIANT_MTV,
+    VthClass,
+)
+
+#: NLDM characterization axes (input slew ns / output load pF).
+SLEW_AXIS = (0.005, 0.02, 0.08, 0.3)
+LOAD_AXIS = (0.0005, 0.002, 0.008, 0.032)
+
+#: Extra input-slew contribution to delay (dimensionless).
+SLEW_TO_DELAY = 0.2
+#: Output slew is this multiple of the RC time constant (10-90 ramp).
+SLEW_FACTOR = 2.2
+#: ln(2) switching-point factor for RC delay.
+LN2 = 0.69
+
+COMBINATIONAL_VARIANTS = (VARIANT_LVT, VARIANT_HVT, VARIANT_MT,
+                          VARIANT_MTV, VARIANT_CMT)
+SEQUENTIAL_VARIANTS = (VARIANT_LVT, VARIANT_HVT)
+
+
+@dataclasses.dataclass(frozen=True)
+class CellTemplate:
+    """Electrical description of one base cell.
+
+    Widths are per-device in um; ``nstack``/``pstack`` give the series
+    depth of the pull-down / pull-up networks, which sets both drive
+    resistance and the leakage stacking discount.
+    """
+
+    base: str
+    inputs: tuple[str, ...]
+    function: str
+    topology: str           # "inv", "buf", "nand", "nor", "complex"
+    sense: str              # default timing_sense for all arcs
+    wn: float               # per-NMOS-device width (um)
+    wp: float               # per-PMOS-device width (um)
+    nn: int                 # NMOS device count
+    np: int                 # PMOS device count
+    nstack: int = 1
+    pstack: int = 1
+    drive: int = 1
+    output: str = "Z"
+    sequential: bool = False
+    intrinsic_ns: float = 0.0
+
+    def total_width(self) -> float:
+        return (self.wn * self.nn + self.wp * self.np) * self.drive
+
+
+def default_templates() -> list[CellTemplate]:
+    """The base cell set characterized by the library builder."""
+    t = []
+    # Inverters and buffers in several drives (used by CTS / MTE / ECO).
+    for drive in (1, 2, 4):
+        t.append(CellTemplate(f"INV_X{drive}", ("A",), "!A", "inv",
+                              "negative_unate", 0.8, 1.6, 1, 1, drive=drive))
+    for drive in (1, 2, 4, 8):
+        t.append(CellTemplate(f"BUF_X{drive}", ("A",), "A", "buf",
+                              "positive_unate", 0.8, 1.6, 2, 2, drive=drive,
+                              intrinsic_ns=0.008))
+    # NAND / NOR families.
+    t.append(CellTemplate("NAND2_X1", ("A", "B"), "(A * B)'", "nand",
+                          "negative_unate", 1.2, 1.6, 2, 2, nstack=2))
+    t.append(CellTemplate("NAND3_X1", ("A", "B", "C"), "(A * B * C)'", "nand",
+                          "negative_unate", 1.6, 1.6, 3, 3, nstack=3))
+    t.append(CellTemplate("NAND4_X1", ("A", "B", "C", "D"),
+                          "(A * B * C * D)'", "nand",
+                          "negative_unate", 2.0, 1.6, 4, 4, nstack=4))
+    t.append(CellTemplate("NOR2_X1", ("A", "B"), "(A + B)'", "nor",
+                          "negative_unate", 0.8, 2.4, 2, 2, pstack=2))
+    t.append(CellTemplate("NOR3_X1", ("A", "B", "C"), "(A + B + C)'", "nor",
+                          "negative_unate", 0.8, 3.2, 3, 3, pstack=3))
+    # AND / OR (internally NAND/NOR + inverter).
+    t.append(CellTemplate("AND2_X1", ("A", "B"), "A * B", "complex",
+                          "positive_unate", 1.2, 1.6, 3, 3, nstack=2,
+                          intrinsic_ns=0.006))
+    t.append(CellTemplate("OR2_X1", ("A", "B"), "A + B", "complex",
+                          "positive_unate", 0.8, 2.4, 3, 3, pstack=2,
+                          intrinsic_ns=0.006))
+    # XOR / XNOR / MUX (pass-gate style, non-unate).
+    t.append(CellTemplate("XOR2_X1", ("A", "B"), "A ^ B", "complex",
+                          "non_unate", 0.8, 1.6, 5, 5, nstack=2, pstack=2,
+                          intrinsic_ns=0.010))
+    t.append(CellTemplate("XNOR2_X1", ("A", "B"), "!(A ^ B)", "complex",
+                          "non_unate", 0.8, 1.6, 5, 5, nstack=2, pstack=2,
+                          intrinsic_ns=0.010))
+    t.append(CellTemplate("MUX2_X1", ("A", "B", "S"),
+                          "(A * !S) + (B * S)", "complex",
+                          "non_unate", 0.8, 1.6, 6, 6, nstack=2, pstack=2,
+                          intrinsic_ns=0.010))
+    # AOI / OAI complex gates.
+    t.append(CellTemplate("AOI21_X1", ("A", "B", "C"), "!((A * B) + C)",
+                          "complex", "negative_unate", 1.2, 2.4, 3, 3,
+                          nstack=2, pstack=2))
+    t.append(CellTemplate("OAI21_X1", ("A", "B", "C"), "!((A + B) * C)",
+                          "complex", "negative_unate", 1.2, 2.4, 3, 3,
+                          nstack=2, pstack=2))
+    # D flip-flop (master-slave, ~24 devices).
+    t.append(CellTemplate("DFF_X1", ("D", "CK"), "IQ", "complex",
+                          "non_unate", 0.6, 1.2, 12, 12, nstack=2, pstack=2,
+                          output="Q", sequential=True, intrinsic_ns=0.03))
+    return t
+
+
+class LibraryBuilder:
+    """Characterizes the full Selective-MT library from a technology."""
+
+    def __init__(self, tech: Technology | None = None,
+                 name: str = "repro_smt",
+                 templates: Sequence[CellTemplate] | None = None,
+                 assumed_bounce_fraction: float = 0.04,
+                 mt_area_factor: float = 1.12,
+                 switching_duty: float = 0.25,
+                 holder_width_um: float = 1.0):
+        self.tech = tech or DEFAULT_TECHNOLOGY
+        self.name = name
+        self.templates = list(templates or default_templates())
+        self.assumed_bounce_fraction = assumed_bounce_fraction
+        self.mt_area_factor = mt_area_factor
+        self.switching_duty = switching_duty
+        self.holder_width_um = holder_width_um
+        self._nmos_low = MosfetModel(self.tech, self.tech.vth_low, "nmos")
+        self._pmos_low = MosfetModel(self.tech, self.tech.vth_low, "pmos")
+        self._nmos_high = MosfetModel(self.tech, self.tech.vth_high, "nmos")
+        self._pmos_high = MosfetModel(self.tech, self.tech.vth_high, "pmos")
+
+    # --- public API ----------------------------------------------------------
+
+    def build(self) -> Library:
+        """Characterize and return the complete library."""
+        library = Library(self.name, tech=self.tech)
+        # Timing basis: the average droop the MT tables were derated
+        # with (half the worst-case bounce budget; see mt_delay_derate).
+        library.mt_assumed_bounce_v = \
+            0.5 * self.assumed_bounce_fraction * self.tech.vdd
+        for template in self.templates:
+            variants = (SEQUENTIAL_VARIANTS if template.sequential
+                        else COMBINATIONAL_VARIANTS)
+            for variant in variants:
+                library.add_cell(self._build_cell(template, variant))
+        for spec in SwitchFamily(self.tech):
+            library.add_cell(self._build_switch(spec))
+        library.add_cell(self._build_holder())
+        return library
+
+    # --- characterization helpers -----------------------------------------------
+
+    def _models(self, variant: str) -> tuple[MosfetModel, MosfetModel]:
+        """(NMOS, PMOS) models for the logic transistors of a variant."""
+        if variant == VARIANT_HVT:
+            return self._nmos_high, self._pmos_high
+        return self._nmos_low, self._pmos_low
+
+    def mt_delay_derate(self) -> float:
+        """Delay penalty factor of MT logic vs pure low-Vth logic.
+
+        Virtual-ground bounce reduces the effective overdrive; the
+        alpha-power law converts that to a delay multiplier.  Timing
+        uses the *average* droop during a transition (about half the
+        worst-case bounce the sizer guarantees), matching how MT-cells
+        are characterized in practice.
+        """
+        bounce = 0.5 * self.assumed_bounce_fraction * self.tech.vdd
+        overdrive = self.tech.overdrive(self.tech.vth_low)
+        reduced = max(overdrive - bounce, 1e-3)
+        return (overdrive / reduced) ** self.tech.alpha
+
+    def _drive_resistances(self, template: CellTemplate,
+                           variant: str) -> tuple[float, float]:
+        """(pull-up, pull-down) switching resistance in kOhm."""
+        nmos, pmos = self._models(variant)
+        r_fall = nmos.effective_resistance(
+            template.wn * template.drive) * template.nstack
+        r_rise = pmos.effective_resistance(
+            template.wp * template.drive) * template.pstack
+        if variant in (VARIANT_MT, VARIANT_MTV, VARIANT_CMT):
+            derate = self.mt_delay_derate()
+            r_fall *= derate
+            r_rise *= derate
+        return r_rise, r_fall
+
+    def _input_cap(self, template: CellTemplate) -> float:
+        """Gate capacitance presented by one input pin (pF)."""
+        width = (template.wn + template.wp) * template.drive
+        return self.tech.cgate_per_um * width
+
+    def _self_cap(self, template: CellTemplate) -> float:
+        """Output-node junction capacitance (pF)."""
+        width = (template.wn + template.wp) * template.drive
+        return self.tech.cdrain_per_um * width
+
+    def _delay_lut(self, resistance: float, self_cap: float,
+                   intrinsic: float) -> Lut:
+        values = [[intrinsic + LN2 * resistance * (load + self_cap)
+                   + SLEW_TO_DELAY * slew
+                   for load in LOAD_AXIS] for slew in SLEW_AXIS]
+        return Lut(SLEW_AXIS, LOAD_AXIS, values)
+
+    def _slew_lut(self, resistance: float, self_cap: float) -> Lut:
+        values = [[SLEW_FACTOR * resistance * (load + self_cap) + 0.05 * slew
+                   for load in LOAD_AXIS] for slew in SLEW_AXIS]
+        return Lut(SLEW_AXIS, LOAD_AXIS, values)
+
+    def _switching_current(self, template: CellTemplate) -> float:
+        """Average VGND current demand of the cell while switching (mA)."""
+        effective_width = template.wn * template.drive / template.nstack
+        peak = self._nmos_low.saturation_current(effective_width)
+        return peak * self.switching_duty
+
+    # --- leakage ------------------------------------------------------------------
+
+    def _logic_leakage_states(self, template: CellTemplate,
+                              variant: str) -> tuple[list[LeakageState], float]:
+        """State-dependent leakage for LVT/HVT logic.
+
+        Returns (states, state-averaged default).  NAND-like and NOR-like
+        topologies get exact per-state values from the series/parallel
+        network analysis; complex cells get an averaged single value.
+        """
+        nmos, pmos = self._models(variant)
+        n_inputs = len(template.inputs)
+        stack = self.tech.stack_factor
+
+        def n_leak(width, depth=1):
+            return nmos.leakage_power(width, stack_depth=depth)
+
+        def p_leak(width, depth=1):
+            return pmos.leakage_power(width, stack_depth=depth)
+
+        states: list[LeakageState] = []
+        if template.topology in ("inv", "nand") and n_inputs <= 3:
+            for index in range(2 ** n_inputs):
+                bits = {pin: (index >> (n_inputs - 1 - k)) & 1
+                        for k, pin in enumerate(template.inputs)}
+                zeros = sum(1 for v in bits.values() if v == 0)
+                if zeros == 0:
+                    # Output low; all parallel PMOS off at full Vds.
+                    value = template.np * p_leak(template.wp * template.drive)
+                else:
+                    # Output high; series NMOS chain with `zeros` off devices.
+                    value = n_leak(template.wn * template.drive, depth=zeros)
+                when = " * ".join(pin if bit else f"!{pin}"
+                                  for pin, bit in bits.items())
+                states.append(LeakageState(value_nw=value, when=when))
+        elif template.topology == "nor" and n_inputs <= 3:
+            for index in range(2 ** n_inputs):
+                bits = {pin: (index >> (n_inputs - 1 - k)) & 1
+                        for k, pin in enumerate(template.inputs)}
+                ones = sum(1 for v in bits.values() if v == 1)
+                if ones == 0:
+                    # Output high; all parallel NMOS off.
+                    value = template.nn * n_leak(template.wn * template.drive)
+                else:
+                    # Output low; series PMOS chain with `ones` off devices.
+                    value = p_leak(template.wp * template.drive, depth=ones)
+                when = " * ".join(pin if bit else f"!{pin}"
+                                  for pin, bit in bits.items())
+                states.append(LeakageState(value_nw=value, when=when))
+        if states:
+            default = sum(s.value_nw for s in states) / len(states)
+            return states, default
+        # Complex/buffer/sequential: averaged estimate over both networks.
+        avg_n = n_leak(template.wn * template.drive, depth=template.nstack)
+        avg_p = p_leak(template.wp * template.drive, depth=template.pstack)
+        paths = max((template.nn + template.np) / (2.0 * max(
+            template.nstack, template.pstack)), 1.0)
+        default = 0.5 * (avg_n + avg_p) * paths
+        return [], default
+
+    # --- cell assembly ---------------------------------------------------------------
+
+    def _build_cell(self, template: CellTemplate, variant: str) -> CellDef:
+        if template.sequential:
+            return self._build_sequential(template, variant)
+        return self._build_combinational(template, variant)
+
+    def _build_combinational(self, template: CellTemplate,
+                             variant: str) -> CellDef:
+        cell = CellDef(name=f"{template.base}_{variant}",
+                       base_name=template.base, variant=variant)
+        cell.kind = (CellKind.BUFFER if template.topology in ("inv", "buf")
+                     else CellKind.LOGIC)
+        cell.vth_class = (VthClass.HIGH if variant == VARIANT_HVT
+                          else VthClass.LOW)
+        cell.footprint = self._footprint(template, variant)
+        input_cap = self._input_cap(template)
+        self_cap = self._self_cap(template)
+        r_rise, r_fall = self._drive_resistances(template, variant)
+
+        # Pins.
+        for name in template.inputs:
+            cell.pins[name] = PinDef(name, PinDirection.INPUT,
+                                     capacitance=input_cap)
+        out_pin = PinDef(template.output, PinDirection.OUTPUT,
+                         function=template.function,
+                         max_capacitance=LOAD_AXIS[-1])
+        for input_name in template.inputs:
+            out_pin.timing_arcs.append(TimingArc(
+                related_pin=input_name,
+                timing_sense=template.sense,
+                timing_type="combinational",
+                cell_rise=self._delay_lut(r_rise, self_cap,
+                                          template.intrinsic_ns),
+                cell_fall=self._delay_lut(r_fall, self_cap,
+                                          template.intrinsic_ns),
+                rise_transition=self._slew_lut(r_rise, self_cap),
+                fall_transition=self._slew_lut(r_fall, self_cap)))
+        cell.pins[template.output] = out_pin
+
+        # Variant-specific ports, area, leakage, current.
+        base_area = self.tech.area_per_um_width * template.total_width()
+        switching = self._switching_current(template)
+        states, averaged = self._logic_leakage_states(template, variant)
+
+        if variant in (VARIANT_LVT, VARIANT_HVT):
+            cell.area = base_area
+            cell.leakage_states = states
+            cell.default_leakage_nw = averaged
+        elif variant in (VARIANT_MT, VARIANT_MTV):
+            cell.area = base_area * self.mt_area_factor
+            # Standby: the external switch cuts the logic stack; only a
+            # small junction/gate residual remains.
+            residual = 0.02
+            _, hvt_avg = self._logic_leakage_states(template, VARIANT_HVT)
+            cell.default_leakage_nw = residual * hvt_avg
+            if variant == VARIANT_MTV:
+                cell.has_vgnd_port = True
+                cell.pins["VGND"] = PinDef(
+                    "VGND", PinDirection.INOUT,
+                    capacitance=self.tech.cdrain_per_um
+                    * template.wn * template.drive)
+        else:  # conventional MT-cell with embedded switch + holder
+            bounce_budget = self.assumed_bounce_fraction * self.tech.vdd
+            emb_width = embedded_switch_width(self.tech, switching,
+                                              bounce_budget)
+            switch_area = self.tech.area_per_um_width * emb_width
+            holder_area = self.tech.area_per_um_width * self.holder_width_um * 2
+            cell.area = base_area + switch_area + holder_area
+            cell.switch_width_um = emb_width
+            # Standby leakage: embedded high-Vth switch (slightly relaxed
+            # by the series low-Vth stack above it) plus the holder.
+            switch_leak = self._nmos_high.leakage_power(emb_width) * 0.8
+            holder_leak = self._holder_leakage()
+            cell.default_leakage_nw = switch_leak + holder_leak
+            cell.pins["MTE"] = PinDef(
+                "MTE", PinDirection.INPUT,
+                capacitance=self.tech.cgate_per_um * emb_width)
+        # Active-mode VGND current demand, used by the cluster sizer.
+        cell.switching_current_ma = switching
+        return cell
+
+    def _build_sequential(self, template: CellTemplate,
+                          variant: str) -> CellDef:
+        cell = CellDef(name=f"{template.base}_{variant}",
+                       base_name=template.base, variant=variant)
+        cell.kind = CellKind.SEQUENTIAL
+        cell.vth_class = (VthClass.HIGH if variant == VARIANT_HVT
+                          else VthClass.LOW)
+        cell.footprint = self._footprint(template, variant)
+        cell.area = self.tech.area_per_um_width * template.total_width()
+        _, averaged = self._logic_leakage_states(template, variant)
+        cell.default_leakage_nw = averaged
+        cell.ff_next_state = "D"
+        cell.ff_clocked_on = "CK"
+        cell.switching_current_ma = self._switching_current(template)
+
+        input_cap = self._input_cap(template)
+        self_cap = self._self_cap(template)
+        r_rise, r_fall = self._drive_resistances(template, variant)
+        scale = 1.0 if variant == VARIANT_LVT else self._hvt_constraint_scale()
+
+        d_pin = PinDef("D", PinDirection.INPUT, capacitance=input_cap)
+        d_pin.timing_arcs.append(TimingArc(
+            related_pin="CK", timing_sense="non_unate",
+            timing_type="setup_rising",
+            rise_constraint=Lut.constant(0.05 * scale),
+            fall_constraint=Lut.constant(0.05 * scale)))
+        d_pin.timing_arcs.append(TimingArc(
+            related_pin="CK", timing_sense="non_unate",
+            timing_type="hold_rising",
+            rise_constraint=Lut.constant(0.02 * scale),
+            fall_constraint=Lut.constant(0.02 * scale)))
+        ck_pin = PinDef("CK", PinDirection.INPUT,
+                        capacitance=input_cap * 0.6, is_clock=True)
+        q_pin = PinDef("Q", PinDirection.OUTPUT, function="IQ",
+                       max_capacitance=LOAD_AXIS[-1])
+        q_pin.timing_arcs.append(TimingArc(
+            related_pin="CK", timing_sense="non_unate",
+            timing_type="rising_edge",
+            cell_rise=self._delay_lut(r_rise, self_cap, template.intrinsic_ns),
+            cell_fall=self._delay_lut(r_fall, self_cap, template.intrinsic_ns),
+            rise_transition=self._slew_lut(r_rise, self_cap),
+            fall_transition=self._slew_lut(r_fall, self_cap)))
+        cell.pins = {"D": d_pin, "CK": ck_pin, "Q": q_pin}
+        return cell
+
+    def _hvt_constraint_scale(self) -> float:
+        od_low = self.tech.overdrive(self.tech.vth_low)
+        od_high = self.tech.overdrive(self.tech.vth_high)
+        return (od_low / od_high) ** self.tech.alpha
+
+    def _build_switch(self, spec) -> CellDef:
+        cell = CellDef(name=spec.name, base_name=spec.name,
+                       variant=VARIANT_HVT)
+        cell.kind = CellKind.SWITCH
+        cell.vth_class = VthClass.HIGH
+        cell.area = spec.area_um2
+        cell.switch_width_um = spec.width_um
+        cell.default_leakage_nw = spec.leakage_nw
+        cell.footprint = "SWITCH"
+        cell.pins["MTE"] = PinDef(
+            "MTE", PinDirection.INPUT,
+            capacitance=self.tech.cgate_per_um * spec.width_um)
+        cell.pins["VGND"] = PinDef(
+            "VGND", PinDirection.INOUT,
+            capacitance=self.tech.cdrain_per_um * spec.width_um)
+        return cell
+
+    def _holder_leakage(self) -> float:
+        """Leakage of the output-holder keeper (always powered)."""
+        return self._pmos_high.leakage_power(self.holder_width_um)
+
+    def _build_holder(self) -> CellDef:
+        """The output holder: sets the held net to 1 during standby."""
+        cell = CellDef(name="HOLDER_X1", base_name="HOLDER_X1",
+                       variant=VARIANT_HVT)
+        cell.kind = CellKind.HOLDER
+        cell.vth_class = VthClass.HIGH
+        cell.area = self.tech.area_per_um_width * self.holder_width_um * 2
+        cell.default_leakage_nw = self._holder_leakage()
+        cell.footprint = "HOLDER"
+        cell.pins["MTE"] = PinDef(
+            "MTE", PinDirection.INPUT,
+            capacitance=self.tech.cgate_per_um * self.holder_width_um)
+        # Z attaches to the held net; it only drives during standby.
+        cell.pins["Z"] = PinDef(
+            "Z", PinDirection.INOUT,
+            capacitance=self.tech.cdrain_per_um * self.holder_width_um)
+        return cell
+
+    @staticmethod
+    def _footprint(template: CellTemplate, variant: str) -> str:
+        """Placement footprint; LVT/HVT/MT share one so swaps are free."""
+        if variant == VARIANT_MTV:
+            return f"{template.base}_V"
+        if variant == VARIANT_CMT:
+            return f"{template.base}_C"
+        return template.base
+
+
+_DEFAULT_CACHE: dict[str, Library] = {}
+
+
+def build_default_library(tech: Technology | None = None) -> Library:
+    """Build (and memoize) the default Selective-MT library."""
+    tech = tech or DEFAULT_TECHNOLOGY
+    key = repr(tech)
+    if key not in _DEFAULT_CACHE:
+        _DEFAULT_CACHE[key] = LibraryBuilder(tech).build()
+    return _DEFAULT_CACHE[key]

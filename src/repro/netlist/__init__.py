@@ -1,0 +1,46 @@
+"""Gate-level netlist substrate.
+
+* :mod:`repro.netlist.core` — instances, nets, pins, ports and the
+  :class:`Netlist` container with topological traversal.
+* :mod:`repro.netlist.bench_io` — ISCAS-85/89 ``.bench`` reader/writer.
+* :mod:`repro.netlist.verilog_io` — structural-Verilog-subset
+  reader/writer.
+* :mod:`repro.netlist.techmap` — generic gate to library cell binding
+  (with decomposition of wide gates).
+* :mod:`repro.netlist.validate` — consistency checks.
+* :mod:`repro.netlist.transform` — variant swaps, buffer insertion and
+  other local rewrites used by the flow.
+"""
+
+from repro.netlist.core import (
+    Instance,
+    Net,
+    Netlist,
+    Pin,
+    PinDirection,
+    Port,
+    PortDirection,
+)
+from repro.netlist.bench_io import parse_bench, parse_bench_file, write_bench
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.techmap import technology_map
+from repro.netlist.validate import check_netlist
+from repro.netlist.verilog_io import parse_verilog, write_verilog
+
+__all__ = [
+    "Instance",
+    "Net",
+    "Netlist",
+    "Pin",
+    "PinDirection",
+    "Port",
+    "PortDirection",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "NetlistBuilder",
+    "technology_map",
+    "check_netlist",
+    "parse_verilog",
+    "write_verilog",
+]

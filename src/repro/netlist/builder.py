@@ -1,0 +1,55 @@
+"""Fluent netlist construction helper for tests and examples.
+
+Example::
+
+    builder = NetlistBuilder("half_adder")
+    builder.inputs("a", "b")
+    builder.outputs("s", "c")
+    builder.gate("XOR2_X1_LVT", "g1", A="a", B="b", Z="s")
+    builder.gate("AND2_X1_LVT", "g2", A="a", B="b", Z="c")
+    netlist = builder.build()
+"""
+
+from __future__ import annotations
+
+from repro.netlist.core import Netlist, PinDirection
+
+#: Pin names treated as instance outputs by :meth:`NetlistBuilder.gate`.
+_OUTPUT_PINS = {"Z", "Q", "Y"}
+
+
+class NetlistBuilder:
+    """Small fluent wrapper over the :class:`Netlist` mutation API."""
+
+    def __init__(self, name: str):
+        self.netlist = Netlist(name)
+
+    def inputs(self, *names: str) -> "NetlistBuilder":
+        for name in names:
+            self.netlist.add_input(name)
+        return self
+
+    def outputs(self, *names: str) -> "NetlistBuilder":
+        for name in names:
+            self.netlist.add_output(name)
+        return self
+
+    def gate(self, cell_name: str, inst_name: str,
+             **connections: str) -> "NetlistBuilder":
+        """Add an instance; keyword args map pin name to net name."""
+        inst = self.netlist.add_instance(inst_name, cell_name)
+        for pin_name, net_name in connections.items():
+            direction = (PinDirection.OUTPUT if pin_name in _OUTPUT_PINS
+                         else PinDirection.INPUT)
+            self.netlist.connect(inst, pin_name, net_name, direction)
+        return self
+
+    def dff(self, inst_name: str, d: str, q: str,
+            clock: str = "CLK", cell_name: str = "DFF_X1_LVT") -> "NetlistBuilder":
+        """Add a flip-flop, creating the clock input on first use."""
+        if clock not in self.netlist.ports:
+            self.netlist.add_input(clock)
+        return self.gate(cell_name, inst_name, D=d, CK=clock, Q=q)
+
+    def build(self) -> Netlist:
+        return self.netlist

@@ -1,0 +1,90 @@
+"""Design statistics and summary reports.
+
+A production flow logs the design profile at every stage; this module
+computes the numbers (cell histogram by variant/kind, fanout
+distribution, logic depth, area by category) and renders them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.liberty.library import CellKind, Library
+from repro.netlist.core import Netlist
+
+
+@dataclasses.dataclass
+class DesignStats:
+    """Snapshot of one netlist against its library."""
+
+    name: str
+    instance_count: int
+    net_count: int
+    input_count: int
+    output_count: int
+    sequential_count: int
+    depth: int
+    max_fanout: int
+    average_fanout: float
+    by_variant: dict[str, int]
+    by_kind: dict[str, int]
+    area_by_variant: dict[str, float]
+    total_area: float
+
+    def render(self) -> str:
+        lines = [
+            f"Design {self.name}: {self.instance_count} instances, "
+            f"{self.net_count} nets, {self.input_count} in / "
+            f"{self.output_count} out, {self.sequential_count} FFs",
+            f"  logic depth {self.depth}, fanout max {self.max_fanout} "
+            f"avg {self.average_fanout:.2f}",
+            f"  total area {self.total_area:.1f} um^2",
+        ]
+        for variant in sorted(self.by_variant):
+            count = self.by_variant[variant]
+            area = self.area_by_variant.get(variant, 0.0)
+            share = 100.0 * area / self.total_area if self.total_area else 0
+            lines.append(f"  {variant:<8} {count:5d} cells "
+                         f"{area:10.1f} um^2 ({share:5.1f}%)")
+        return "\n".join(lines)
+
+
+def design_stats(netlist: Netlist, library: Library) -> DesignStats:
+    """Compute the full statistics snapshot."""
+    by_variant: dict[str, int] = {}
+    by_kind: dict[str, int] = {}
+    area_by_variant: dict[str, float] = {}
+    total_area = 0.0
+    sequential = 0
+    for inst in netlist.instances.values():
+        if inst.cell_name not in library:
+            by_variant["UNBOUND"] = by_variant.get("UNBOUND", 0) + 1
+            continue
+        cell = library.cell(inst.cell_name)
+        label = cell.variant if cell.kind not in (
+            CellKind.SWITCH, CellKind.HOLDER) else cell.kind.value.upper()
+        by_variant[label] = by_variant.get(label, 0) + 1
+        by_kind[cell.kind.value] = by_kind.get(cell.kind.value, 0) + 1
+        area_by_variant[label] = area_by_variant.get(label, 0.0) + cell.area
+        total_area += cell.area
+        if cell.is_sequential:
+            sequential += 1
+
+    fanouts = [net.fanout() for net in netlist.nets.values()
+               if net.has_driver]
+    is_seq = lambda inst: (inst.cell_name in library
+                           and library.cell(inst.cell_name).is_sequential)
+    return DesignStats(
+        name=netlist.name,
+        instance_count=len(netlist.instances),
+        net_count=len(netlist.nets),
+        input_count=len(netlist.input_ports()),
+        output_count=len(netlist.output_ports()),
+        sequential_count=sequential,
+        depth=netlist.combinational_depth(is_seq),
+        max_fanout=max(fanouts, default=0),
+        average_fanout=(sum(fanouts) / len(fanouts)) if fanouts else 0.0,
+        by_variant=by_variant,
+        by_kind=by_kind,
+        area_by_variant=area_by_variant,
+        total_area=total_area)

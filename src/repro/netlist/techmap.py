@@ -1,0 +1,136 @@
+"""Generic gate to library cell binding ("technology mapping").
+
+The ``.bench`` parser and the synthetic circuit generators emit generic
+gates (``NAND3``, ``XOR2``, ``INV``, ``DFF``...).  The flow's first step
+— "physical synthesis using low-Vth cells" (Fig. 4) — binds every
+generic gate to a concrete library cell of the requested variant,
+decomposing gates wider than the library supports into balanced trees.
+
+Example: a 6-input AND becomes a tree of ``AND2``s; a 6-input NAND
+becomes the same AND tree feeding a final ``NAND2``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import NetlistError
+from repro.liberty.library import Library, VARIANT_LVT
+from repro.netlist.core import Instance, Netlist, PinDirection
+
+_GENERIC_RE = re.compile(r"^(AND|NAND|OR|NOR|XOR|XNOR)(\d+)$")
+
+#: Widest gate of each family available in the default library.
+_MAX_LIBRARY_ARITY = {
+    "AND": 2, "OR": 2, "NAND": 4, "NOR": 3, "XOR": 2, "XNOR": 2,
+}
+
+_PIN_NAMES = tuple("ABCDEFGHIJKLMNOP")
+
+
+def _library_cell(library: Library, base: str, variant: str) -> str:
+    name = f"{base}_{variant}"
+    if name not in library:
+        raise NetlistError(f"library has no cell {name!r}")
+    return name
+
+
+def technology_map(netlist: Netlist, library: Library,
+                   variant: str = VARIANT_LVT,
+                   sequential_variant: str | None = None) -> Netlist:
+    """Bind generic gates to library cells of ``variant`` (in place).
+
+    Returns the same netlist object for chaining.  Gates wider than the
+    library's widest cell of that family are decomposed into balanced
+    binary trees of 2-input cells (preserving logic function).
+
+    Flip-flops bind to ``sequential_variant`` (default: high-Vth).
+    Ultra-low-standby designs keep state in high-Vth retention
+    flip-flops — they must stay powered in standby, so low-Vth storage
+    would defeat the whole technique; the clock period is derived with
+    their slower clk->q/setup included.
+    """
+    from repro.liberty.library import VARIANT_HVT
+
+    if sequential_variant is None:
+        sequential_variant = VARIANT_HVT
+    for inst in list(netlist.instances.values()):
+        cell = inst.cell_name
+        if cell in library:
+            continue  # already bound
+        if cell == "DFF":
+            inst.cell_name = _library_cell(library, "DFF_X1",
+                                           sequential_variant)
+            continue
+        if cell in ("INV", "BUF"):
+            inst.cell_name = _library_cell(library, f"{cell}_X1", variant)
+            continue
+        match = _GENERIC_RE.match(cell)
+        if match is None:
+            raise NetlistError(f"unknown generic cell {cell!r} on instance "
+                               f"{inst.name}")
+        family, arity_text = match.groups()
+        arity = int(arity_text)
+        max_arity = _MAX_LIBRARY_ARITY[family]
+        if arity == 1:
+            # Degenerate single-input gate: AND1/OR1 act as BUF, NAND1 as INV.
+            replacement = "INV_X1" if family in ("NAND", "NOR", "XNOR") \
+                else "BUF_X1"
+            inst.cell_name = _library_cell(library, replacement, variant)
+            continue
+        if arity <= max_arity:
+            inst.cell_name = _library_cell(library, f"{family}{arity}_X1",
+                                           variant)
+            continue
+        _decompose_wide_gate(netlist, library, inst, family, arity, variant)
+    return netlist
+
+
+def _decompose_wide_gate(netlist: Netlist, library: Library, inst: Instance,
+                         family: str, arity: int, variant: str):
+    """Replace a wide generic gate with a balanced tree of 2-input cells."""
+    # The monotone core (AND for NAND/AND, OR for NOR/OR, XOR for XNOR/XOR)
+    # is built as a tree of 2-input gates; an inverting family then needs
+    # its *last* stage replaced by the inverting 2-input gate.
+    core = {"AND": "AND", "NAND": "AND", "OR": "OR", "NOR": "OR",
+            "XOR": "XOR", "XNOR": "XOR"}[family]
+    inverting = family in ("NAND", "NOR", "XNOR")
+    core_cell = _library_cell(library, f"{core}2_X1", variant)
+    final_cell = core_cell
+    if inverting:
+        final_base = {"NAND": "NAND2_X1", "NOR": "NOR2_X1",
+                      "XNOR": "XNOR2_X1"}[family]
+        final_cell = _library_cell(library, final_base, variant)
+
+    input_nets = []
+    for pin_name in _PIN_NAMES[:arity]:
+        pin = inst.pin(pin_name)
+        input_nets.append(pin.net)
+    out_pin = inst.single_output()
+    out_net = out_pin.net
+    base_name = inst.name
+    netlist.remove_instance(inst)
+
+    # Reduce pairwise until two nets remain, then emit the final stage.
+    level = 0
+    current = list(input_nets)
+    while len(current) > 2:
+        next_level = []
+        for i in range(0, len(current) - 1, 2):
+            new_net = netlist.get_or_create_net(
+                netlist.unique_name(f"{base_name}_t{level}"))
+            node = netlist.add_instance(
+                netlist.unique_name(f"{base_name}_m{level}"), core_cell)
+            netlist.connect(node, "A", current[i], PinDirection.INPUT)
+            netlist.connect(node, "B", current[i + 1], PinDirection.INPUT)
+            netlist.connect(node, "Z", new_net, PinDirection.OUTPUT)
+            next_level.append(new_net)
+        if len(current) % 2 == 1:
+            next_level.append(current[-1])
+        current = next_level
+        level += 1
+    final = netlist.add_instance(
+        netlist.unique_name(f"{base_name}_f"), final_cell)
+    netlist.connect(final, "A", current[0], PinDirection.INPUT)
+    netlist.connect(final, "B", current[1], PinDirection.INPUT)
+    netlist.connect(final, "Z", out_net, PinDirection.OUTPUT)

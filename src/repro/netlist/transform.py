@@ -1,0 +1,110 @@
+"""Local netlist rewrites used by the Selective-MT flow.
+
+All transforms preserve netlist invariants (single strong driver,
+connected sinks) and operate in place.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NetlistError
+from repro.liberty.library import Library
+from repro.liberty.library import PinDirection as LibPinDirection
+from repro.netlist.core import Instance, Net, Netlist, Pin, PinDirection
+
+
+def swap_variant(netlist: Netlist, inst: Instance, library: Library,
+                 variant: str) -> Instance:
+    """Re-bind ``inst`` to the sibling cell of the given variant.
+
+    Handles pin-set differences between variants: the MTV variant's
+    VGND pin and the CMT variant's MTE pin are created (unconnected) or
+    removed as needed.  Connected logic pins are preserved.
+    """
+    old_cell = library.cell(inst.cell_name)
+    new_cell = library.variant_of(old_cell, variant)
+    if new_cell.name == inst.cell_name:
+        return inst
+    # Drop pins that the new cell does not have.
+    for pin_name in list(inst.pins):
+        if pin_name not in new_cell.pins:
+            pin = inst.pins[pin_name]
+            netlist.disconnect(pin)
+            del inst.pins[pin_name]
+    inst.cell_name = new_cell.name
+    # Create pins that the new cell adds (left unconnected; the flow
+    # connects VGND/MTE later).
+    for lib_pin in new_cell.pins.values():
+        if lib_pin.name not in inst.pins:
+            direction = PinDirection(lib_pin.direction.value) \
+                if lib_pin.direction != LibPinDirection.INTERNAL \
+                else PinDirection.INPUT
+            inst.pins[lib_pin.name] = Pin(inst, lib_pin.name, direction)
+    return inst
+
+
+def insert_buffer(netlist: Netlist, net: Net, buffer_cell: str,
+                  sinks: list[Pin] | None = None,
+                  name_prefix: str = "buf") -> Instance:
+    """Insert a buffer driving ``sinks`` (default: all sinks of ``net``).
+
+    The selected sinks are moved onto a new net behind the buffer; the
+    buffer's input attaches to the original net.  Returns the new
+    buffer instance.
+    """
+    if sinks is None:
+        sinks = list(net.sinks)
+    for pin in sinks:
+        if pin.net is not net:
+            raise NetlistError(f"pin {pin.full_name} is not a sink of "
+                               f"{net.name}")
+    inst_name = netlist.unique_name(name_prefix)
+    new_net = netlist.get_or_create_net(netlist.unique_name(f"{net.name}_b"))
+    buffer_inst = netlist.add_instance(inst_name, buffer_cell)
+    netlist.connect(buffer_inst, "A", net, PinDirection.INPUT)
+    netlist.connect(buffer_inst, "Z", new_net, PinDirection.OUTPUT)
+    for pin in sinks:
+        netlist.disconnect(pin)
+        netlist.connect(pin.instance, pin.name, new_net, pin.direction)
+    return buffer_inst
+
+
+def remove_buffer(netlist: Netlist, inst: Instance):
+    """Remove a buffer, reconnecting its sinks to its input net."""
+    in_pin = inst.pin("A")
+    out_pin = inst.pin("Z")
+    if in_pin.net is None or out_pin.net is None:
+        raise NetlistError(f"buffer {inst.name} is not fully connected")
+    source_net = in_pin.net
+    moved = list(out_pin.net.sinks) + list(out_pin.net.sink_ports)
+    old_net = out_pin.net
+    for sink in list(old_net.sinks):
+        netlist.disconnect(sink)
+        netlist.connect(sink.instance, sink.name, source_net, sink.direction)
+    for port in list(old_net.sink_ports):
+        old_net.sink_ports.remove(port)
+        port.net = source_net
+        source_net.sink_ports.append(port)
+    netlist.remove_instance(inst)
+    netlist.remove_net_if_dangling(old_net)
+    return moved
+
+
+def connect_control_net(netlist: Netlist, pins: list[Pin],
+                        net_name: str) -> Net:
+    """Attach control pins (MTE) of many instances to one net."""
+    net = netlist.get_or_create_net(net_name)
+    for pin in pins:
+        if pin.net is net:
+            continue
+        if pin.net is not None:
+            netlist.disconnect(pin)
+        netlist.connect(pin.instance, pin.name, net, PinDirection.INPUT)
+    return net
+
+
+def count_by_cell(netlist: Netlist) -> dict[str, int]:
+    """Histogram of instance counts per cell name."""
+    histogram: dict[str, int] = {}
+    for inst in netlist.instances.values():
+        histogram[inst.cell_name] = histogram.get(inst.cell_name, 0) + 1
+    return histogram

@@ -1,0 +1,115 @@
+"""Netlist consistency checks.
+
+:func:`check_netlist` runs the full rule set and either returns a list
+of human-readable violation strings or (with ``raise_on_error=True``)
+raises :class:`~repro.errors.ValidationError`.
+
+Rules:
+
+* every net has exactly one strong driver (instance output or input
+  port); output holders are weak keepers and do not count;
+* every instance input pin is connected to a driven net;
+* every output port's net is driven;
+* when a library is supplied: every cell reference resolves, every
+  connected pin exists on the cell with a compatible direction, and
+  required pins (library input pins) are all connected — except MTE
+  and VGND, which are legitimately dangling mid-flow;
+* the combinational core is acyclic.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+from repro.liberty.library import CellKind, Library
+from repro.liberty.library import PinDirection as LibPinDirection
+from repro.netlist.core import Netlist, PinDirection
+
+#: Pins that may legally be unconnected during intermediate flow stages.
+_OPTIONAL_PINS = {"MTE", "VGND"}
+
+
+def check_netlist(netlist: Netlist, library: Library | None = None,
+                  raise_on_error: bool = False,
+                  allow_dangling_control: bool = True) -> list[str]:
+    """Validate the netlist; returns violation messages (empty = clean)."""
+    problems: list[str] = []
+
+    for net in netlist.nets.values():
+        strong = (1 if net.driver is not None else 0) \
+            + (1 if net.driver_port is not None else 0)
+        if strong > 1:
+            problems.append(f"net {net.name}: multiple drivers")
+        if strong == 0 and (net.sinks or net.sink_ports):
+            problems.append(f"net {net.name}: undriven but has "
+                            f"{net.fanout()} sinks")
+
+    for inst in netlist.instances.values():
+        for pin in inst.input_pins():
+            if pin.net is None:
+                if allow_dangling_control and pin.name in _OPTIONAL_PINS:
+                    continue
+                problems.append(f"pin {pin.full_name}: unconnected input")
+            elif not pin.net.has_driver:
+                problems.append(f"pin {pin.full_name}: net {pin.net.name} "
+                                f"has no driver")
+
+    for port in netlist.output_ports():
+        if port.net is None or not port.net.has_driver:
+            problems.append(f"output port {port.name}: undriven")
+
+    if library is not None:
+        problems.extend(_check_against_library(netlist, library,
+                                               allow_dangling_control))
+
+    try:
+        if library is not None:
+            is_seq = lambda inst: (inst.cell_name in library
+                                   and library.cell(inst.cell_name).is_sequential)
+        else:
+            is_seq = None
+        netlist.topological_order(is_seq)
+    except ValidationError as exc:
+        problems.append(str(exc))
+
+    if problems and raise_on_error:
+        summary = "; ".join(problems[:10])
+        if len(problems) > 10:
+            summary += f" ... ({len(problems)} total)"
+        raise ValidationError(f"netlist {netlist.name} invalid: {summary}")
+    return problems
+
+
+def _check_against_library(netlist: Netlist, library: Library,
+                           allow_dangling_control: bool) -> list[str]:
+    problems: list[str] = []
+    for inst in netlist.instances.values():
+        if inst.cell_name not in library:
+            problems.append(f"instance {inst.name}: unknown cell "
+                            f"{inst.cell_name!r}")
+            continue
+        cell = library.cell(inst.cell_name)
+        for pin in inst.pins.values():
+            if pin.name not in cell.pins:
+                problems.append(f"pin {pin.full_name}: cell "
+                                f"{cell.name} has no such pin")
+                continue
+            lib_dir = cell.pins[pin.name].direction
+            if lib_dir == LibPinDirection.INPUT \
+                    and pin.direction == PinDirection.OUTPUT:
+                problems.append(f"pin {pin.full_name}: direction mismatch "
+                                f"(library says input)")
+            if lib_dir == LibPinDirection.OUTPUT \
+                    and pin.direction == PinDirection.INPUT:
+                problems.append(f"pin {pin.full_name}: direction mismatch "
+                                f"(library says output)")
+        # Required connections.
+        for lib_pin in cell.input_pins():
+            if allow_dangling_control and lib_pin.name in _OPTIONAL_PINS:
+                continue
+            inst_pin = inst.pins.get(lib_pin.name)
+            if inst_pin is None or inst_pin.net is None:
+                if cell.kind in (CellKind.SWITCH, CellKind.HOLDER):
+                    continue  # attached later in the flow
+                problems.append(f"instance {inst.name}: required pin "
+                                f"{lib_pin.name} unconnected")
+    return problems

@@ -1,0 +1,24 @@
+"""Row-based standard-cell placement.
+
+* :mod:`repro.placement.floorplan` — die/row geometry from total cell
+  area and utilization.
+* :mod:`repro.placement.placer` — seeded force-directed global placement
+  followed by row slotting.
+* :mod:`repro.placement.legalize` — site snapping and overlap removal.
+* :mod:`repro.placement.metrics` — HPWL and congestion proxies.
+* :mod:`repro.placement.defio` — DEF-subset writer/reader.
+"""
+
+from repro.placement.floorplan import Floorplan
+from repro.placement.legalize import legalize
+from repro.placement.metrics import net_bbox, total_hpwl
+from repro.placement.placer import GlobalPlacer, Placement
+
+__all__ = [
+    "Floorplan",
+    "legalize",
+    "net_bbox",
+    "total_hpwl",
+    "GlobalPlacer",
+    "Placement",
+]

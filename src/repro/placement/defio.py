@@ -1,0 +1,129 @@
+"""DEF-subset writer and reader for placements.
+
+Enough of the DEF dialect to exchange placements with the outside
+world (and to round-trip our own output)::
+
+    VERSION 5.8 ;
+    DESIGN c880 ;
+    UNITS DISTANCE MICRONS 1000 ;
+    DIEAREA ( 0 0 ) ( 120400 120000 ) ;
+    COMPONENTS 312 ;
+      - g_10 NAND2_X1_LVT + PLACED ( 2400 4800 ) N ;
+    END COMPONENTS
+    PINS 42 ;
+      - N1 + NET N1 + DIRECTION INPUT + PLACED ( 0 1200 ) N ;
+    END PINS
+    END DESIGN
+
+Distances are stored in DEF database units (microns x 1000).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError, PlacementError
+from repro.netlist.core import Netlist, PortDirection
+from repro.placement.floorplan import Floorplan
+from repro.placement.placer import Placement
+
+_DBU = 1000  # database units per micron
+
+
+def write_def(netlist: Netlist, placement: Placement) -> str:
+    """Serialize a placement to DEF text."""
+    floorplan = placement.floorplan
+    lines = [
+        "VERSION 5.8 ;",
+        f"DESIGN {netlist.name} ;",
+        f"UNITS DISTANCE MICRONS {_DBU} ;",
+        f"DIEAREA ( 0 0 ) ( {int(floorplan.width * _DBU)} "
+        f"{int(floorplan.height * _DBU)} ) ;",
+        f"COMPONENTS {len(placement.locations)} ;",
+    ]
+    for name, (x, y) in placement.locations.items():
+        inst = netlist.instances.get(name)
+        cell = inst.cell_name if inst is not None else "UNKNOWN"
+        lines.append(f"  - {name} {cell} + PLACED "
+                     f"( {int(x * _DBU)} {int(y * _DBU)} ) N ;")
+    lines.append("END COMPONENTS")
+    lines.append(f"PINS {len(placement.port_locations)} ;")
+    for name, (x, y) in placement.port_locations.items():
+        port = netlist.ports.get(name)
+        direction = "INPUT"
+        if port is not None and port.direction == PortDirection.OUTPUT:
+            direction = "OUTPUT"
+        lines.append(f"  - {name} + NET {name} + DIRECTION {direction} "
+                     f"+ PLACED ( {int(x * _DBU)} {int(y * _DBU)} ) N ;")
+    lines.append("END PINS")
+    lines.append("END DESIGN")
+    return "\n".join(lines) + "\n"
+
+
+_COMPONENT_RE = re.compile(
+    r"-\s+(\S+)\s+(\S+)\s+\+\s+PLACED\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)")
+_PIN_RE = re.compile(
+    r"-\s+(\S+)\s+\+\s+NET\s+\S+\s+\+\s+DIRECTION\s+(\w+)\s+"
+    r"\+\s+PLACED\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)")
+_DIEAREA_RE = re.compile(
+    r"DIEAREA\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)\s+\(\s*(-?\d+)\s+(-?\d+)\s*\)")
+
+
+def parse_def(text: str, tech) -> tuple[dict[str, tuple[float, float]],
+                                        dict[str, tuple[float, float]],
+                                        tuple[float, float]]:
+    """Parse DEF text.
+
+    Returns (component locations, pin locations, (die width, height)).
+    The caller rebuilds a :class:`Placement` via
+    :func:`placement_from_def` when a netlist is available.
+    """
+    die_match = _DIEAREA_RE.search(text)
+    if die_match is None:
+        raise ParseError("DEF file lacks DIEAREA")
+    x0, y0, x1, y1 = (int(v) for v in die_match.groups())
+    die = ((x1 - x0) / _DBU, (y1 - y0) / _DBU)
+    components: dict[str, tuple[float, float]] = {}
+    pins: dict[str, tuple[float, float]] = {}
+    in_components = False
+    in_pins = False
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("COMPONENTS"):
+            in_components = True
+            continue
+        if stripped.startswith("END COMPONENTS"):
+            in_components = False
+            continue
+        if stripped.startswith("PINS"):
+            in_pins = True
+            continue
+        if stripped.startswith("END PINS"):
+            in_pins = False
+            continue
+        if in_components:
+            match = _COMPONENT_RE.search(stripped)
+            if match:
+                name, _cell, x, y = match.groups()
+                components[name] = (int(x) / _DBU, int(y) / _DBU)
+        elif in_pins:
+            match = _PIN_RE.search(stripped)
+            if match:
+                name, _direction, x, y = match.groups()
+                pins[name] = (int(x) / _DBU, int(y) / _DBU)
+    return components, pins, die
+
+
+def placement_from_def(text: str, netlist: Netlist, tech,
+                       utilization: float = 0.7) -> Placement:
+    """Rebuild a :class:`Placement` from DEF text."""
+    components, pins, (width, height) = parse_def(text, tech)
+    missing = [name for name in netlist.instances if name not in components]
+    if missing:
+        raise PlacementError(
+            f"DEF lacks placements for {len(missing)} instances "
+            f"(e.g. {missing[:3]})")
+    total_area = width * height * utilization
+    floorplan = Floorplan(total_area, tech, utilization=utilization,
+                          aspect_ratio=width / height if height else 1.0)
+    return Placement(dict(components), dict(pins), floorplan)

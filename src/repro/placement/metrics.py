@@ -1,0 +1,52 @@
+"""Placement quality metrics."""
+
+from __future__ import annotations
+
+from repro.netlist.core import Net, Netlist
+from repro.placement.placer import Placement
+
+
+def net_bbox(net: Net, placement: Placement) -> tuple[float, float, float, float] | None:
+    """Bounding box (x0, y0, x1, y1) of all pins on a net, or None."""
+    xs: list[float] = []
+    ys: list[float] = []
+    if net.driver is not None:
+        x, y = placement.location(net.driver.instance.name)
+        xs.append(x)
+        ys.append(y)
+    if net.driver_port is not None:
+        x, y = placement.port_locations[net.driver_port.name]
+        xs.append(x)
+        ys.append(y)
+    for pin in net.sinks:
+        x, y = placement.location(pin.instance.name)
+        xs.append(x)
+        ys.append(y)
+    for port in net.sink_ports:
+        x, y = placement.port_locations[port.name]
+        xs.append(x)
+        ys.append(y)
+    if len(xs) < 2:
+        return None
+    return min(xs), min(ys), max(xs), max(ys)
+
+
+def net_hpwl(net: Net, placement: Placement) -> float:
+    """Half-perimeter wirelength of one net (um)."""
+    bbox = net_bbox(net, placement)
+    if bbox is None:
+        return 0.0
+    x0, y0, x1, y1 = bbox
+    return (x1 - x0) + (y1 - y0)
+
+
+def total_hpwl(netlist: Netlist, placement: Placement) -> float:
+    """Total half-perimeter wirelength over all nets (um)."""
+    return sum(net_hpwl(net, placement) for net in netlist.nets.values())
+
+
+def average_net_span(netlist: Netlist, placement: Placement) -> float:
+    """Mean HPWL over nets with at least two pins."""
+    spans = [net_hpwl(net, placement) for net in netlist.nets.values()]
+    spans = [s for s in spans if s > 0.0]
+    return sum(spans) / len(spans) if spans else 0.0

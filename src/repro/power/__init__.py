@@ -1,0 +1,20 @@
+"""Power analysis substrate.
+
+* :mod:`repro.power.leakage` — standby leakage analyzer with
+  Selective-MT awareness (MT-cells leak through their cluster switch,
+  conventional MT-cells through their embedded switch, holders are
+  always powered) and optional state-dependent evaluation.
+* :mod:`repro.power.dynamic` — activity-based dynamic power estimate.
+* :mod:`repro.power.report` — human-readable breakdowns.
+"""
+
+from repro.power.leakage import LeakageAnalyzer, LeakageBreakdown
+from repro.power.dynamic import DynamicPowerEstimator
+from repro.power.report import render_leakage_table
+
+__all__ = [
+    "LeakageAnalyzer",
+    "LeakageBreakdown",
+    "DynamicPowerEstimator",
+    "render_leakage_table",
+]

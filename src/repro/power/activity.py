@@ -1,0 +1,122 @@
+"""Signal-probability and switching-activity propagation.
+
+The uniform-activity dynamic power model in
+:mod:`repro.power.dynamic` is a first-order estimate; this module does
+the classic better job: propagate *signal probabilities* (P(net = 1))
+through the boolean functions of the mapped netlist, derive per-net
+*transition densities* under the temporal-independence assumption
+(``alpha = 2 p (1 - p)``), and feed those into the power sum.
+
+Reconvergent fanout makes exact probabilities #P-hard; like every
+practical estimator we assume spatial independence at gate inputs and
+document the approximation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Mapping
+
+from repro.liberty.library import CellKind, Library
+from repro.netlist.core import Netlist
+from repro.timing.constraints import Constraints
+from repro.timing.delay import NetModel
+
+
+class ActivityEstimator:
+    """Propagates P(net=1) and per-net switching activity."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 input_probability: float = 0.5,
+                 input_probabilities: Mapping[str, float] | None = None):
+        if not 0.0 <= input_probability <= 1.0:
+            raise ValueError("input probability must be in [0, 1]")
+        self.netlist = netlist
+        self.library = library
+        self.input_probability = input_probability
+        self.input_probabilities = dict(input_probabilities or {})
+        self._is_seq = lambda inst: (
+            inst.cell_name in library
+            and library.cell(inst.cell_name).is_sequential)
+
+    # --- probability propagation -----------------------------------------
+
+    def signal_probabilities(self) -> dict[str, float]:
+        """P(net = 1) for every reachable net."""
+        probabilities: dict[str, float] = {}
+        for port in self.netlist.input_ports():
+            if port.net is not None:
+                probabilities[port.net.name] = \
+                    self.input_probabilities.get(port.name,
+                                                 self.input_probability)
+        # Flip-flop outputs: steady state unknown, use 0.5.
+        for inst in self.netlist.instances.values():
+            if self._is_seq(inst):
+                q_pin = inst.pins.get("Q")
+                if q_pin is not None and q_pin.net is not None:
+                    probabilities[q_pin.net.name] = 0.5
+        for inst in self.netlist.topological_order(self._is_seq):
+            if self._is_seq(inst):
+                continue
+            cell = self.library.cells.get(inst.cell_name)
+            if cell is None or cell.kind in (CellKind.SWITCH,
+                                             CellKind.HOLDER):
+                continue
+            for pin in inst.output_pins():
+                if pin.net is None:
+                    continue
+                lib_pin = cell.pins.get(pin.name)
+                fn = lib_pin.logic_function if lib_pin else None
+                if fn is None:
+                    probabilities[pin.net.name] = 0.5
+                    continue
+                probabilities[pin.net.name] = self._output_probability(
+                    inst, fn, probabilities)
+        return probabilities
+
+    def _output_probability(self, inst, fn, probabilities) -> float:
+        """P(out=1) under input independence: sum over minterms."""
+        names = sorted(fn.inputs)
+        pin_probs = []
+        for name in names:
+            pin = inst.pins.get(name)
+            if pin is None or pin.net is None:
+                pin_probs.append(0.5)
+            else:
+                pin_probs.append(probabilities.get(pin.net.name, 0.5))
+        total = 0.0
+        for bits in itertools.product((0, 1), repeat=len(names)):
+            if fn.evaluate(dict(zip(names, bits))) != 1:
+                continue
+            weight = 1.0
+            for bit, p in zip(bits, pin_probs):
+                weight *= p if bit else (1.0 - p)
+            total += weight
+        return total
+
+    # --- activity ----------------------------------------------------------
+
+    def activities(self) -> dict[str, float]:
+        """Per-net toggle probability per cycle: 2 p (1 - p)."""
+        return {name: 2.0 * p * (1.0 - p)
+                for name, p in self.signal_probabilities().items()}
+
+    def dynamic_power_nw(self, constraints: Constraints,
+                         parasitics=None,
+                         vdd: float | None = None) -> float:
+        """Activity-weighted dynamic power (nW)."""
+        if vdd is None:
+            tech = self.library.tech
+            vdd = tech.vdd if tech is not None else 1.2
+        model = NetModel(self.netlist, self.library, constraints,
+                         parasitics)
+        frequency_ghz = 1.0 / constraints.clock_period
+        activities = self.activities()
+        total = 0.0
+        for name, net in self.netlist.nets.items():
+            if not net.has_driver:
+                continue
+            alpha = activities.get(name, 0.0)
+            cap = model.total_load(net)
+            total += 0.5 * alpha * cap * vdd * vdd * frequency_ghz * 1e6
+        return total

@@ -1,0 +1,58 @@
+"""Activity-based dynamic power estimation.
+
+Not required for Table 1 (which reports standby leakage) but part of a
+complete power story: ``P = 0.5 * alpha * C * Vdd^2 * f`` summed over
+nets, where C combines wire and pin capacitance.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist
+from repro.timing.constraints import Constraints
+from repro.timing.delay import NetModel
+
+
+class DynamicPowerEstimator:
+    """Uniform-activity dynamic power model."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 constraints: Constraints,
+                 parasitics: Mapping[str, object] | None = None,
+                 activity: float = 0.1):
+        if not 0.0 <= activity <= 1.0:
+            raise ValueError(f"activity must be in [0,1], got {activity}")
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.activity = activity
+        self._net_model = NetModel(netlist, library, constraints, parasitics)
+
+    def total_power_nw(self, vdd: float | None = None) -> float:
+        """Total dynamic power in nW at the constraint clock frequency."""
+        if vdd is None:
+            tech = self.library.tech
+            vdd = tech.vdd if tech is not None else 1.2
+        frequency_ghz = 1.0 / self.constraints.clock_period
+        total = 0.0
+        for net in self.netlist.nets.values():
+            if not net.has_driver:
+                continue
+            cap = self._net_model.total_load(net)
+            # pF * V^2 * GHz = mW; convert to nW.
+            total += 0.5 * self.activity * cap * vdd * vdd \
+                * frequency_ghz * 1e6
+        return total
+
+    def per_net_energy_fj(self, net_name: str,
+                          vdd: float | None = None) -> float:
+        """Switching energy of one net per transition (fJ)."""
+        if vdd is None:
+            tech = self.library.tech
+            vdd = tech.vdd if tech is not None else 1.2
+        net = self.netlist.net(net_name)
+        cap = self._net_model.total_load(net)
+        # pF * V^2 = uJ per F... 0.5*C*V^2 with C in pF gives pJ; to fJ.
+        return 0.5 * cap * vdd * vdd * 1e3

@@ -1,0 +1,157 @@
+"""Standby leakage analysis.
+
+The quantity Table 1 reports is **standby** leakage: the sleep signal
+MTE is low, clocks are gated, and the design holds state.  In that mode:
+
+* LVT / HVT cells (including flip-flops) leak through their own logic
+  stacks — state-dependent when an input state is known;
+* improved MT-cells (``MT``/``MTV``) are cut off by their cluster's
+  switch; the cell itself contributes only a small residual, and the
+  *switch* contributes its subthreshold leakage once per cluster;
+* conventional MT-cells leak through their embedded per-cell switch
+  (plus embedded holder), which is the conventional technique's floor;
+* output holders and MTE buffers are always powered and leak normally.
+
+:class:`LeakageAnalyzer` also reports *active* leakage (everything
+powered, MT logic leaking like LVT) for completeness.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.liberty.library import CellKind, Library, VARIANT_LVT
+from repro.netlist.core import Netlist
+from repro.sim.logic import FLOATING, Simulator
+
+
+@dataclasses.dataclass
+class LeakageBreakdown:
+    """Standby leakage totals, by contribution class (nW)."""
+
+    total_nw: float = 0.0
+    lvt_logic_nw: float = 0.0
+    hvt_logic_nw: float = 0.0
+    sequential_nw: float = 0.0
+    mt_residual_nw: float = 0.0
+    conventional_mt_nw: float = 0.0
+    switch_nw: float = 0.0
+    holder_nw: float = 0.0
+    instance_count: int = 0
+    per_instance: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def add(self, category: str, instance: str, value: float):
+        setattr(self, category, getattr(self, category) + value)
+        self.total_nw += value
+        self.instance_count += 1
+        self.per_instance[instance] = value
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "total_nw": self.total_nw,
+            "lvt_logic_nw": self.lvt_logic_nw,
+            "hvt_logic_nw": self.hvt_logic_nw,
+            "sequential_nw": self.sequential_nw,
+            "mt_residual_nw": self.mt_residual_nw,
+            "conventional_mt_nw": self.conventional_mt_nw,
+            "switch_nw": self.switch_nw,
+            "holder_nw": self.holder_nw,
+        }
+
+
+class LeakageAnalyzer:
+    """Computes standby / active leakage for one netlist."""
+
+    def __init__(self, netlist: Netlist, library: Library):
+        self.netlist = netlist
+        self.library = library
+
+    # --- standby ------------------------------------------------------------
+
+    def standby_leakage(
+            self,
+            input_vector: Mapping[str, int] | None = None,
+            state: Mapping[str, int] | None = None) -> LeakageBreakdown:
+        """Standby leakage breakdown.
+
+        With an ``input_vector`` the design is simulated in standby mode
+        and powered cells use state-dependent leakage; otherwise every
+        cell contributes its state-averaged default.
+        """
+        net_values = None
+        if input_vector is not None:
+            sim = Simulator(self.netlist, self.library)
+            result = sim.evaluate(input_vector, state, standby=True)
+            net_values = result.net_values
+
+        breakdown = LeakageBreakdown()
+        for inst in self.netlist.instances.values():
+            cell = self.library.cell(inst.cell_name)
+            if cell.kind == CellKind.SWITCH:
+                breakdown.add("switch_nw", inst.name, cell.default_leakage_nw)
+            elif cell.kind == CellKind.HOLDER:
+                breakdown.add("holder_nw", inst.name, cell.default_leakage_nw)
+            elif cell.is_conventional_mt:
+                breakdown.add("conventional_mt_nw", inst.name,
+                              cell.default_leakage_nw)
+            elif cell.is_improved_mt:
+                breakdown.add("mt_residual_nw", inst.name,
+                              cell.default_leakage_nw)
+            elif cell.is_sequential:
+                breakdown.add("sequential_nw", inst.name,
+                              self._powered_leakage(inst, cell, net_values))
+            elif cell.vth_class.value == "high":
+                breakdown.add("hvt_logic_nw", inst.name,
+                              self._powered_leakage(inst, cell, net_values))
+            else:
+                breakdown.add("lvt_logic_nw", inst.name,
+                              self._powered_leakage(inst, cell, net_values))
+        return breakdown
+
+    def _powered_leakage(self, inst, cell, net_values) -> float:
+        """Leakage of a powered cell, state-dependent if values known."""
+        if net_values is None or not cell.leakage_states:
+            return cell.default_leakage_nw
+        env = {}
+        for pin in inst.input_pins():
+            if pin.net is None:
+                return cell.default_leakage_nw
+            value = net_values.get(pin.net.name)
+            if value in (0, 1):
+                env[pin.name] = value
+            elif value == FLOATING:
+                # Floating input on a powered gate: worst-case leakage
+                # (this is the hazard output holders prevent).
+                return cell.worst_leakage_nw()
+            else:
+                return cell.default_leakage_nw
+        return cell.leakage_nw(env)
+
+    # --- active --------------------------------------------------------------
+
+    def active_leakage(self) -> float:
+        """Total leakage with the design awake (MTE high), in nW.
+
+        MT variants leak like their LVT siblings because the switch
+        connects their virtual ground; switches themselves are on
+        (negligible subthreshold); holders are inert but still powered.
+        """
+        total = 0.0
+        for inst in self.netlist.instances.values():
+            cell = self.library.cell(inst.cell_name)
+            if cell.kind == CellKind.SWITCH:
+                continue  # conducting, no subthreshold contribution
+            if cell.is_mt:
+                lvt = self.library.variant_of(cell, VARIANT_LVT)
+                total += lvt.default_leakage_nw
+            else:
+                total += cell.default_leakage_nw
+        return total
+
+    # --- convenience -----------------------------------------------------------
+
+    def total_area(self) -> float:
+        """Total placed cell area in um^2."""
+        return sum(self.library.cell(inst.cell_name).area
+                   for inst in self.netlist.instances.values())

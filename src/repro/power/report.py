@@ -1,0 +1,41 @@
+"""Rendering helpers for power results."""
+
+from __future__ import annotations
+
+from repro import units
+from repro.power.leakage import LeakageBreakdown
+
+_CATEGORY_LABELS = (
+    ("lvt_logic_nw", "Low-Vth logic"),
+    ("hvt_logic_nw", "High-Vth logic"),
+    ("sequential_nw", "Flip-flops"),
+    ("mt_residual_nw", "MT-cell residual"),
+    ("conventional_mt_nw", "Conventional MT (embedded switch)"),
+    ("switch_nw", "Shared switch transistors"),
+    ("holder_nw", "Output holders"),
+)
+
+
+def render_leakage_table(breakdown: LeakageBreakdown,
+                         title: str = "Standby leakage") -> str:
+    """Format a leakage breakdown as an aligned text table."""
+    lines = [title, "-" * len(title)]
+    for key, label in _CATEGORY_LABELS:
+        value = getattr(breakdown, key)
+        if value == 0.0:
+            continue
+        share = 100.0 * value / breakdown.total_nw if breakdown.total_nw else 0.0
+        lines.append(f"{label:<36} {units.pretty_power(value):>14} "
+                     f"({share:5.1f}%)")
+    lines.append(f"{'Total':<36} "
+                 f"{units.pretty_power(breakdown.total_nw):>14}")
+    return "\n".join(lines)
+
+
+def render_comparison_row(name: str, area: float, leakage: float,
+                          area_base: float, leakage_base: float) -> str:
+    """One Table-1-style row: normalized area and leakage."""
+    area_pct = 100.0 * area / area_base if area_base else 0.0
+    leak_pct = 100.0 * leakage / leakage_base if leakage_base else 0.0
+    return (f"{name:<12} area={area_pct:7.2f}%  leakage={leak_pct:7.2f}%  "
+            f"({units.pretty_area(area)}, {units.pretty_power(leakage)})")

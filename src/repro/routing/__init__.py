@@ -1,0 +1,34 @@
+"""Routing estimation and parasitic extraction.
+
+* :mod:`repro.routing.steiner` — rectilinear spanning trees over pin
+  locations (post-route topology).
+* :mod:`repro.routing.elmore` — Elmore delay on RC trees.
+* :mod:`repro.routing.extract` — pre-route (bounding-box estimate with
+  deliberate, deterministic error) and post-route (tree-accurate)
+  extraction producing :class:`NetParasitics`.
+* :mod:`repro.routing.spef` — SPEF-subset writer/reader.
+
+The pre/post split mirrors the paper's flow: the switch transistor
+structure is first built from *estimated* RC, then re-optimized after
+routing "based on post-route information (SPEF)".
+"""
+
+from repro.routing.elmore import RcTree
+from repro.routing.extract import (
+    NetParasitics,
+    PostRouteExtractor,
+    PreRouteEstimator,
+)
+from repro.routing.spef import parse_spef, write_spef
+from repro.routing.steiner import SteinerTree, build_mst
+
+__all__ = [
+    "RcTree",
+    "NetParasitics",
+    "PostRouteExtractor",
+    "PreRouteEstimator",
+    "parse_spef",
+    "write_spef",
+    "SteinerTree",
+    "build_mst",
+]

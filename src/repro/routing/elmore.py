@@ -1,0 +1,66 @@
+"""Elmore delay on RC trees.
+
+The Elmore delay to node *n* is ``sum over edges e on the root->n path
+of R_e * C_downstream(e)``.  :class:`RcTree` computes every node's
+delay in two linear passes (post-order downstream capacitance,
+pre-order delay accumulation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RoutingError
+
+
+class RcTree:
+    """A rooted RC tree: node capacitances, edge resistances."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.caps: dict[str, float] = {root: 0.0}
+        self.parent: dict[str, tuple[str, float]] = {}
+        self.children: dict[str, list[str]] = {root: []}
+
+    def add_node(self, name: str, cap_pf: float, parent: str,
+                 res_kohm: float):
+        """Attach a node below ``parent`` through ``res_kohm``."""
+        if name in self.caps:
+            raise RoutingError(f"duplicate RC node {name!r}")
+        if parent not in self.caps:
+            raise RoutingError(f"unknown parent node {parent!r}")
+        self.caps[name] = cap_pf
+        self.parent[name] = (parent, res_kohm)
+        self.children.setdefault(parent, []).append(name)
+        self.children.setdefault(name, [])
+
+    def add_cap(self, name: str, cap_pf: float):
+        """Add extra capacitance (pin load) onto an existing node."""
+        if name not in self.caps:
+            raise RoutingError(f"unknown RC node {name!r}")
+        self.caps[name] += cap_pf
+
+    def total_cap(self) -> float:
+        return sum(self.caps.values())
+
+    def elmore_delays(self) -> dict[str, float]:
+        """Elmore delay (ns) from the root to every node."""
+        # Post-order: downstream capacitance per node.
+        order: list[str] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            stack.extend(self.children.get(node, ()))
+        downstream = dict(self.caps)
+        for node in reversed(order):
+            if node == self.root:
+                continue
+            parent, _res = self.parent[node]
+            downstream[parent] += downstream[node]
+        # Pre-order: accumulate delay along root->node paths.
+        delays = {self.root: 0.0}
+        for node in order:
+            if node == self.root:
+                continue
+            parent, res = self.parent[node]
+            delays[node] = delays[parent] + res * downstream[node]
+        return delays

@@ -1,0 +1,29 @@
+"""Logic simulation and equivalence checking.
+
+* :mod:`repro.sim.logic` — four-valued (0/1/X/Z) levelized simulator
+  with Selective-MT standby semantics: when the sleep signal MTE is
+  low, MT-cell outputs float (Z) unless an output holder forces them to
+  logic one, exactly as §2 of the paper describes.
+* :mod:`repro.sim.equivalence` — exhaustive/randomized equivalence
+  checking between two netlists (used to verify that the conventional
+  (Fig. 2) and improved (Fig. 3) constructions implement the same
+  function).
+* :mod:`repro.sim.vectors` — seeded stimulus generation.
+"""
+
+from repro.sim.logic import SimResult, Simulator, ZERO, ONE, UNKNOWN, FLOATING
+from repro.sim.equivalence import check_equivalence, EquivalenceReport
+from repro.sim.vectors import random_vectors, exhaustive_vectors
+
+__all__ = [
+    "SimResult",
+    "Simulator",
+    "ZERO",
+    "ONE",
+    "UNKNOWN",
+    "FLOATING",
+    "check_equivalence",
+    "EquivalenceReport",
+    "random_vectors",
+    "exhaustive_vectors",
+]

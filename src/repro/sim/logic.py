@@ -1,0 +1,214 @@
+"""Four-valued levelized logic simulator with standby semantics.
+
+Values: ``0``, ``1``, ``UNKNOWN`` ('x') and ``FLOATING`` ('z').
+
+Active mode (MTE = 1): every cell evaluates its Liberty function; MT
+variants behave identically to their LVT siblings (the virtual ground
+is connected through the switch).
+
+Standby mode (MTE = 0), following §2 of the paper:
+
+* improved MT-cells (``MT``/``MTV`` variants) lose their ground — their
+  outputs float (Z);
+* a conventional MT-cell's *embedded* output holder forces its output
+  to logic one;
+* an external ``HOLDER_X1`` on a net forces that net to logic one
+  (overriding a floating driver);
+* LVT/HVT cells keep evaluating, with floating inputs treated as X —
+  this is exactly the "unexpected power dissipation" hazard the output
+  holder exists to prevent, and the holder-insertion rule is validated
+  by checking no powered cell sees a floating input in standby.
+
+Flip-flops hold externally supplied state; the simulator returns the
+next state captured from each FF's D input so sequential behaviour can
+be stepped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.errors import ReproError
+from repro.liberty.library import CellKind, Library
+from repro.liberty.function import X as UNKNOWN
+from repro.netlist.core import Instance, Netlist
+
+ZERO = 0
+ONE = 1
+FLOATING = "z"
+
+LogicValue = object  # 0 | 1 | "x" | "z"
+
+
+@dataclasses.dataclass
+class SimResult:
+    """Outcome of one combinational evaluation."""
+
+    net_values: dict[str, LogicValue]
+    output_values: dict[str, LogicValue]
+    next_state: dict[str, LogicValue]
+    floating_input_pins: list[str]
+
+    def value(self, net_name: str) -> LogicValue:
+        return self.net_values[net_name]
+
+
+class Simulator:
+    """Levelized simulator bound to one netlist + library."""
+
+    def __init__(self, netlist: Netlist, library: Library):
+        self.netlist = netlist
+        self.library = library
+        self._is_seq = lambda inst: (
+            inst.cell_name in library
+            and library.cell(inst.cell_name).is_sequential)
+        self._order = netlist.topological_order(self._is_seq)
+
+    def flip_flops(self) -> list[Instance]:
+        """All sequential instances in the design."""
+        return [inst for inst in self.netlist.instances.values()
+                if self._is_seq(inst)]
+
+    def evaluate(self, inputs: Mapping[str, LogicValue],
+                 state: Mapping[str, LogicValue] | None = None,
+                 standby: bool = False) -> SimResult:
+        """One combinational evaluation pass.
+
+        Parameters
+        ----------
+        inputs:
+            Values per primary input port name.  Missing ports default
+            to X.  The MTE port, if present, is overridden by
+            ``standby``.
+        state:
+            Values per flip-flop instance name (the Q output value).
+        standby:
+            When True the sleep signal is low (MTE = 0).
+        """
+        state = state or {}
+        net_values: dict[str, LogicValue] = {}
+        floating_pins: list[str] = []
+
+        # Primary inputs.
+        for port in self.netlist.input_ports():
+            value = inputs.get(port.name, UNKNOWN)
+            if port.name == "MTE":
+                value = ZERO if standby else ONE
+            net_values[port.net.name] = _coerce(value)
+
+        # Flip-flop outputs come from supplied state.
+        for inst in self.flip_flops():
+            q_pin = inst.pins.get("Q")
+            if q_pin is not None and q_pin.net is not None:
+                net_values[q_pin.net.name] = _coerce(
+                    state.get(inst.name, UNKNOWN))
+
+        # Combinational evaluation in topological order.
+        for inst in self._order:
+            if self._is_seq(inst):
+                continue
+            cell = self.library.cell(inst.cell_name)
+            if cell.kind in (CellKind.SWITCH, CellKind.HOLDER):
+                continue  # handled structurally below / no logic output
+            env = {}
+            has_floating_input = False
+            for pin in inst.input_pins():
+                if pin.name == "MTE":
+                    continue
+                value = net_values.get(pin.net.name, UNKNOWN) \
+                    if pin.net is not None else UNKNOWN
+                if value == FLOATING:
+                    has_floating_input = True
+                    floating_pins.append(pin.full_name)
+                    value = UNKNOWN
+                env[pin.name] = value
+            outputs = cell.evaluate(env)
+            for pin in inst.output_pins():
+                if pin.net is None:
+                    continue
+                value = outputs.get(pin.name, UNKNOWN)
+                if standby and cell.is_improved_mt:
+                    # Ground is cut: the output floats.
+                    value = FLOATING
+                elif standby and cell.is_conventional_mt:
+                    # Embedded output holder forces logic one.
+                    value = ONE
+                net_values[pin.net.name] = value
+            del has_floating_input  # recorded above; evaluation continues
+
+        # External output holders force held nets to one in standby.
+        if standby:
+            for inst in self.netlist.instances.values():
+                cell = self.library.cell(inst.cell_name) \
+                    if inst.cell_name in self.library else None
+                if cell is None or cell.kind != CellKind.HOLDER:
+                    continue
+                z_pin = inst.pins.get("Z")
+                if z_pin is not None and z_pin.net is not None:
+                    net_values[z_pin.net.name] = ONE
+            # Re-run powered logic so held values propagate through
+            # HVT fanout (one extra pass suffices for holder nets that
+            # feed powered logic; holders only source constant 1).
+            floating_pins = []
+            for inst in self._order:
+                if self._is_seq(inst):
+                    continue
+                cell = self.library.cell(inst.cell_name)
+                if cell.kind in (CellKind.SWITCH, CellKind.HOLDER):
+                    continue
+                if cell.is_improved_mt or cell.is_conventional_mt:
+                    continue  # outputs already forced above
+                env = {}
+                for pin in inst.input_pins():
+                    if pin.name == "MTE":
+                        continue
+                    value = net_values.get(pin.net.name, UNKNOWN) \
+                        if pin.net is not None else UNKNOWN
+                    if value == FLOATING:
+                        floating_pins.append(pin.full_name)
+                        value = UNKNOWN
+                    env[pin.name] = value
+                outputs = cell.evaluate(env)
+                for pin in inst.output_pins():
+                    if pin.net is not None:
+                        net_values[pin.net.name] = outputs.get(
+                            pin.name, UNKNOWN)
+
+        # Collect primary outputs and FF next-state.
+        output_values = {}
+        for port in self.netlist.output_ports():
+            output_values[port.name] = net_values.get(
+                port.net.name, UNKNOWN) if port.net is not None else UNKNOWN
+        next_state = {}
+        for inst in self.flip_flops():
+            d_pin = inst.pins.get("D")
+            if d_pin is not None and d_pin.net is not None:
+                next_state[inst.name] = net_values.get(
+                    d_pin.net.name, UNKNOWN)
+            else:
+                next_state[inst.name] = UNKNOWN
+        return SimResult(net_values, output_values, next_state,
+                         floating_pins)
+
+    def step(self, inputs: Mapping[str, LogicValue],
+             state: Mapping[str, LogicValue],
+             standby: bool = False) -> tuple[SimResult, dict[str, LogicValue]]:
+        """Evaluate and clock once; returns (result, new_state)."""
+        result = self.evaluate(inputs, state, standby=standby)
+        if standby:
+            # Clock is gated in standby: state is retained.
+            return result, dict(state)
+        return result, dict(result.next_state)
+
+
+def _coerce(value) -> LogicValue:
+    if value in (0, 1):
+        return value
+    if value in ("0", "1"):
+        return int(value)
+    if value == FLOATING:
+        return FLOATING
+    if value in (UNKNOWN, "X"):
+        return UNKNOWN
+    raise ReproError(f"invalid logic value {value!r}")

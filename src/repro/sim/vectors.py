@@ -1,0 +1,32 @@
+"""Stimulus generation for simulation and equivalence checking."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterator, Sequence
+
+
+def exhaustive_vectors(port_names: Sequence[str]) -> Iterator[dict[str, int]]:
+    """All 2^n input vectors over the given ports (sorted for stability)."""
+    names = list(port_names)
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        yield dict(zip(names, bits))
+
+
+def random_vectors(port_names: Sequence[str], count: int,
+                   seed: int = 0) -> Iterator[dict[str, int]]:
+    """``count`` seeded random vectors over the given ports."""
+    rng = random.Random(seed)
+    names = list(port_names)
+    for _ in range(count):
+        yield {name: rng.randint(0, 1) for name in names}
+
+
+def walking_ones(port_names: Sequence[str]) -> Iterator[dict[str, int]]:
+    """All-zero background with a single one walking across the ports."""
+    names = list(port_names)
+    yield {name: 0 for name in names}
+    for hot in names:
+        yield {name: int(name == hot) for name in names}
+    yield {name: 1 for name in names}

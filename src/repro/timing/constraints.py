@@ -1,0 +1,49 @@
+"""Timing constraints (the SDC subset the flow uses).
+
+One ideal clock, per-port input/output delays relative to it, default
+input slew and output loads.  :class:`Constraints` instances are plain
+data; the SDC reader/writer in :mod:`repro.timing.sdc` round-trips
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import TimingError
+
+
+@dataclasses.dataclass
+class Constraints:
+    """Timing constraints for one design."""
+
+    clock_period: float
+    clock_port: str = "CLK"
+    input_delay: float = 0.0
+    # Earliest possible input arrival, used by hold analysis: external
+    # logic cannot change an input the instant the clock fires.
+    input_delay_min: float = 0.05
+    output_delay: float = 0.0
+    input_slew: float = 0.02
+    output_load: float = 0.002
+    input_delays: dict[str, float] = dataclasses.field(default_factory=dict)
+    output_delays: dict[str, float] = dataclasses.field(default_factory=dict)
+    output_loads: dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.clock_period <= 0:
+            raise TimingError(
+                f"clock period must be positive, got {self.clock_period}")
+
+    def input_delay_for(self, port_name: str) -> float:
+        return self.input_delays.get(port_name, self.input_delay)
+
+    def output_delay_for(self, port_name: str) -> float:
+        return self.output_delays.get(port_name, self.output_delay)
+
+    def output_load_for(self, port_name: str) -> float:
+        return self.output_loads.get(port_name, self.output_load)
+
+    def scaled(self, factor: float) -> "Constraints":
+        """A copy with the clock period multiplied by ``factor``."""
+        return dataclasses.replace(self, clock_period=self.clock_period * factor)

@@ -1,0 +1,76 @@
+"""Net load and wire delay models for STA.
+
+:class:`NetModel` answers two questions per net:
+
+* **total load** seen by the driver (sink pin caps + wire cap + output
+  port loads), and
+* **wire delay** from the driver to a specific sink pin.
+
+Without parasitics (zero-wireload mode) wire cap/delay are zero.  With
+a parasitics map (pre-route estimates or post-route extraction from
+:mod:`repro.routing.extract`) both come from the stored data.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.liberty.library import Library
+from repro.netlist.core import Net, Netlist, Pin
+from repro.timing.constraints import Constraints
+
+
+class NetModel:
+    """Caches per-net loads; resolves per-sink wire delays."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 constraints: Constraints,
+                 parasitics: Mapping[str, "object"] | None = None):
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.parasitics = parasitics or {}
+        self._load_cache: dict[str, float] = {}
+
+    def invalidate(self, net: Net | None = None):
+        """Drop cached loads (all, or one net's)."""
+        if net is None:
+            self._load_cache.clear()
+        else:
+            self._load_cache.pop(net.name, None)
+
+    def pin_capacitance(self, pin: Pin) -> float:
+        cell = self.library.cell(pin.instance.cell_name)
+        lib_pin = cell.pins.get(pin.name)
+        return lib_pin.capacitance if lib_pin is not None else 0.0
+
+    def total_load(self, net: Net) -> float:
+        """Capacitive load seen by the driver of ``net`` (pF)."""
+        cached = self._load_cache.get(net.name)
+        if cached is not None:
+            return cached
+        load = 0.0
+        for pin in net.sinks:
+            load += self.pin_capacitance(pin)
+        for pin in net.keepers:
+            load += self.pin_capacitance(pin)
+        for port in net.sink_ports:
+            load += self.constraints.output_load_for(port.name)
+        parasitic = self.parasitics.get(net.name)
+        if parasitic is not None:
+            load += parasitic.total_cap_pf
+        self._load_cache[net.name] = load
+        return load
+
+    def wire_delay(self, net: Net, sink: Pin) -> float:
+        """Wire delay from the net's driver to ``sink`` (ns)."""
+        parasitic = self.parasitics.get(net.name)
+        if parasitic is None:
+            return 0.0
+        return parasitic.sink_delay(sink.full_name)
+
+    def wire_delay_to_port(self, net: Net, port_name: str) -> float:
+        parasitic = self.parasitics.get(net.name)
+        if parasitic is None:
+            return 0.0
+        return parasitic.sink_delay(f"__port__/{port_name}")

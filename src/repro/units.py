@@ -1,0 +1,113 @@
+"""Unit conventions and physical constants.
+
+The library uses a single consistent internal unit system; every quantity
+stored on a model object is in these units:
+
+===========  ==============  =======================================
+Quantity     Internal unit   Notes
+===========  ==============  =======================================
+time         nanoseconds     STA delays, slews, clock periods
+capacitance  picofarads      pin caps, wire caps
+resistance   kiloohms        kΩ·pF = ns, so Elmore needs no scaling
+voltage      volts
+current      milliamps       mA·kΩ = V, so IR drop needs no scaling
+power        nanowatts       leakage numbers are standby nW
+energy       femtojoules
+distance     micrometres     placement/routing geometry
+area         square microns
+width        micrometres     transistor widths
+===========  ==============  =======================================
+
+Helper constants convert to/from SI.
+"""
+
+from __future__ import annotations
+
+import math
+
+# --- physical constants -------------------------------------------------
+
+BOLTZMANN_EV = 8.617333262e-5
+"""Boltzmann constant in eV/K."""
+
+ROOM_TEMPERATURE_K = 300.0
+"""Default analysis temperature in kelvin."""
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE_K) -> float:
+    """Thermal voltage kT/q in volts (~25.9 mV at 300 K)."""
+    return BOLTZMANN_EV * temperature_k
+
+
+# --- unit multipliers (internal unit -> SI) ------------------------------
+
+NS = 1e-9          # seconds per internal time unit
+PF = 1e-12         # farads per internal capacitance unit
+KOHM = 1e3         # ohms per internal resistance unit
+MA = 1e-3          # amperes per internal current unit
+NW = 1e-9          # watts per internal power unit
+UM = 1e-6          # metres per internal distance unit
+
+
+def watts_to_nw(value_w: float) -> float:
+    """Convert watts to internal nanowatts."""
+    return value_w / NW
+
+
+def nw_to_watts(value_nw: float) -> float:
+    """Convert internal nanowatts to watts."""
+    return value_nw * NW
+
+
+def amps_to_ma(value_a: float) -> float:
+    """Convert amperes to internal milliamps."""
+    return value_a / MA
+
+
+def ma_to_amps(value_ma: float) -> float:
+    """Convert internal milliamps to amperes."""
+    return value_ma * MA
+
+
+def seconds_to_ns(value_s: float) -> float:
+    """Convert seconds to internal nanoseconds."""
+    return value_s / NS
+
+
+def ns_to_seconds(value_ns: float) -> float:
+    """Convert internal nanoseconds to seconds."""
+    return value_ns * NS
+
+
+def pretty_power(value_nw: float) -> str:
+    """Render an internal power value with an auto-selected SI prefix."""
+    if value_nw == 0.0:
+        return "0 nW"
+    magnitude = abs(value_nw)
+    if magnitude >= 1e6:
+        return f"{value_nw / 1e6:.3f} mW"
+    if magnitude >= 1e3:
+        return f"{value_nw / 1e3:.3f} uW"
+    if magnitude >= 1.0:
+        return f"{value_nw:.3f} nW"
+    return f"{value_nw * 1e3:.3f} pW"
+
+
+def pretty_time(value_ns: float) -> str:
+    """Render an internal time value with an auto-selected SI prefix."""
+    magnitude = abs(value_ns)
+    if magnitude >= 1.0 or value_ns == 0.0:
+        return f"{value_ns:.3f} ns"
+    return f"{value_ns * 1e3:.3f} ps"
+
+
+def pretty_area(value_um2: float) -> str:
+    """Render an area in square microns."""
+    return f"{value_um2:.2f} um^2"
+
+
+def db10(ratio: float) -> float:
+    """Power ratio in decibels (10*log10); guards against zero."""
+    if ratio <= 0.0:
+        return -math.inf
+    return 10.0 * math.log10(ratio)

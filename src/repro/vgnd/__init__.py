@@ -1,0 +1,33 @@
+"""Virtual-ground network optimizer (the CoolPower(TM) substitute).
+
+The improved Selective-MT flow delegates switch-transistor structure
+construction to a back-end optimizer; §3 of the paper specifies its
+constraints, all implemented here:
+
+* clusters of MT-cells share one switch transistor
+  (:mod:`repro.vgnd.cluster`);
+* each switch is sized so the VGND voltage bounce stays below the
+  designer's limit (:mod:`repro.vgnd.bounce`,
+  :mod:`repro.vgnd.sizing`);
+* VGND wire length per cluster is capped (crosstalk);
+* cells per switch are capped (electromigration,
+  :mod:`repro.vgnd.em`);
+* after routing, switch sizes are re-optimized against extracted RC.
+"""
+
+from repro.vgnd.bounce import cluster_bounce, cluster_current
+from repro.vgnd.cluster import ClusterConfig, MtClusterer
+from repro.vgnd.em import check_em
+from repro.vgnd.network import VgndCluster, VgndNetwork
+from repro.vgnd.sizing import SwitchSizer
+
+__all__ = [
+    "cluster_bounce",
+    "cluster_current",
+    "ClusterConfig",
+    "MtClusterer",
+    "check_em",
+    "VgndCluster",
+    "VgndNetwork",
+    "SwitchSizer",
+]

@@ -1,0 +1,73 @@
+"""Virtual-ground voltage bounce analysis.
+
+The bounce on a cluster's VGND line is the worst-case voltage developed
+across the switch transistor's on-resistance plus the rail resistance
+to the farthest member::
+
+    V_bounce = I_cluster * (Ron_switch + R_rail_far)
+
+``I_cluster`` is the simultaneity-discounted sum of member switching
+currents: cells in a cluster do not all draw their peak current in the
+same instant, which is precisely the averaging the shared-switch
+approach exploits (and the per-cell embedded switch of the conventional
+MT-cell cannot).
+"""
+
+from __future__ import annotations
+
+from repro.device.mosfet import MosfetModel
+from repro.device.process import Technology
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist
+
+#: Simultaneity model: factor = max(n^-EXPONENT, FLOOR).
+SIMULTANEITY_EXPONENT = 0.5
+SIMULTANEITY_FLOOR = 0.25
+
+
+def simultaneity_factor(member_count: int,
+                        exponent: float = SIMULTANEITY_EXPONENT,
+                        floor: float = SIMULTANEITY_FLOOR) -> float:
+    """Fraction of summed peak current that flows simultaneously."""
+    if member_count <= 0:
+        return 0.0
+    if member_count == 1:
+        return 1.0
+    return max(member_count ** (-exponent), floor)
+
+
+def cluster_current(member_names: list[str], netlist: Netlist,
+                    library: Library,
+                    exponent: float = SIMULTANEITY_EXPONENT,
+                    floor: float = SIMULTANEITY_FLOOR) -> float:
+    """Worst-case simultaneous VGND current of a cluster (mA)."""
+    total = 0.0
+    for name in member_names:
+        inst = netlist.instances.get(name)
+        if inst is None or inst.cell_name not in library:
+            continue
+        total += library.cell(inst.cell_name).switching_current_ma
+    return total * simultaneity_factor(len(member_names), exponent, floor)
+
+
+def rail_resistance_far(rail_length_um: float, tech: Technology) -> float:
+    """Resistance from the switch tap to the farthest member (kOhm).
+
+    The switch sits near the rail midpoint, so the farthest member is
+    roughly half the rail away.
+    """
+    return 0.5 * rail_length_um * tech.vgnd_res_per_um
+
+
+def switch_on_resistance(library: Library, switch_cell_name: str) -> float:
+    """Linear-region Ron of a library switch cell (kOhm)."""
+    cell = library.cell(switch_cell_name)
+    tech = library.tech
+    model = MosfetModel(tech, tech.vth_high, "nmos")
+    return model.on_resistance(cell.switch_width_um)
+
+
+def cluster_bounce(current_ma: float, ron_kohm: float,
+                   rail_res_far_kohm: float) -> float:
+    """VGND voltage bounce in volts (mA x kOhm = V)."""
+    return current_ma * (ron_kohm + rail_res_far_kohm)

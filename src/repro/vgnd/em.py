@@ -1,0 +1,52 @@
+"""Electromigration checks on the VGND network.
+
+Two rules (both named in §3 of the paper):
+
+* the sustained current through a switch must not exceed its width-
+  proportional EM rating;
+* the number of MT-cells sharing one switch must not exceed the
+  configured cap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.liberty.library import Library
+from repro.vgnd.network import VgndNetwork
+
+
+@dataclasses.dataclass
+class EmViolation:
+    """One electromigration rule violation."""
+
+    cluster_index: int
+    rule: str           # "current" or "cell_count"
+    value: float
+    limit: float
+
+    def render(self) -> str:
+        return (f"cluster {self.cluster_index}: {self.rule} = "
+                f"{self.value:.3f} exceeds limit {self.limit:.3f}")
+
+
+def check_em(network: VgndNetwork, library: Library,
+             max_cells_per_switch: int) -> list[EmViolation]:
+    """All EM violations in the network (empty list = clean)."""
+    tech = library.tech
+    violations: list[EmViolation] = []
+    for cluster in network.clusters:
+        if cluster.size > max_cells_per_switch:
+            violations.append(EmViolation(
+                cluster_index=cluster.index, rule="cell_count",
+                value=float(cluster.size),
+                limit=float(max_cells_per_switch)))
+        if cluster.switch_cell is None:
+            continue
+        width = library.cell(cluster.switch_cell).switch_width_um
+        em_limit = tech.em_current_per_um * width
+        if cluster.current_ma > em_limit:
+            violations.append(EmViolation(
+                cluster_index=cluster.index, rule="current",
+                value=cluster.current_ma, limit=em_limit))
+    return violations

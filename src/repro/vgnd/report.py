@@ -1,0 +1,38 @@
+"""Virtual-ground network reports."""
+
+from __future__ import annotations
+
+from repro.liberty.library import Library
+from repro.vgnd.network import VgndNetwork
+
+
+def render_network_table(network: VgndNetwork, library: Library) -> str:
+    """Per-cluster table plus roll-up (the CoolPower-style log)."""
+    lines = [
+        "VGND switch structure",
+        f"{'cluster':>7} {'cells':>6} {'rail(um)':>9} {'I(mA)':>7} "
+        f"{'switch':<12} {'Ron(kOhm)':>10} {'bounce(mV)':>11}",
+    ]
+    from repro.device.mosfet import MosfetModel
+
+    tech = library.tech
+    model = MosfetModel(tech, tech.vth_high, "nmos")
+    for cluster in network.clusters:
+        ron = 0.0
+        if cluster.switch_cell:
+            width = library.cell(cluster.switch_cell).switch_width_um
+            ron = model.on_resistance(width)
+        lines.append(
+            f"{cluster.index:>7} {cluster.size:>6} "
+            f"{cluster.rail_length_um:9.1f} {cluster.current_ma:7.3f} "
+            f"{cluster.switch_cell or '-':<12} {ron:10.4f} "
+            f"{cluster.bounce_v * 1e3:11.2f}")
+    summary = network.summary()
+    lines.append(
+        f"total: {summary['clusters']:.0f} clusters, "
+        f"{summary['mt_cells']:.0f} MT-cells, "
+        f"switch width {network.total_switch_width(library):.1f} um, "
+        f"switch leakage {network.total_switch_leakage_nw(library):.3f} nW, "
+        f"worst bounce {summary['worst_bounce_v'] * 1e3:.2f} mV "
+        f"(limit {summary['bounce_limit_v'] * 1e3:.2f} mV)")
+    return "\n".join(lines)

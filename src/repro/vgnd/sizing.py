@@ -1,0 +1,120 @@
+"""Discrete switch transistor sizing.
+
+Given a cluster's simultaneous current and rail resistance, the sizer
+selects the smallest library switch cell whose on-resistance keeps the
+VGND bounce below the limit *and* whose electromigration rating covers
+the current.  Re-optimization after routing repeats the selection with
+extracted rail lengths — the step Fig. 4 performs on SPEF data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.device.mosfet import MosfetModel
+from repro.errors import SizingError
+from repro.liberty.library import CellDef, Library
+from repro.vgnd.bounce import cluster_bounce, rail_resistance_far
+from repro.vgnd.network import VgndCluster, VgndNetwork
+
+
+@dataclasses.dataclass
+class SizingOutcome:
+    """Summary of one sizing pass."""
+
+    resized_clusters: int
+    total_switch_width_um: float
+    worst_bounce_v: float
+    unsizeable_clusters: list[int] = dataclasses.field(default_factory=list)
+
+
+class SwitchSizer:
+    """Selects discrete switch cells for VGND clusters."""
+
+    def __init__(self, library: Library, bounce_limit_v: float,
+                 safety_factor: float = 1.0):
+        if bounce_limit_v <= 0:
+            raise SizingError("bounce limit must be positive")
+        self.library = library
+        self.tech = library.tech
+        self.bounce_limit_v = bounce_limit_v
+        self.safety_factor = safety_factor
+        self._switches = library.switch_cells()
+        if not self._switches:
+            raise SizingError("library has no switch cells")
+        self._model = MosfetModel(self.tech, self.tech.vth_high, "nmos")
+
+    def ron(self, switch: CellDef) -> float:
+        return self._model.on_resistance(switch.switch_width_um)
+
+    def em_limit_ma(self, switch: CellDef) -> float:
+        return self.tech.em_current_per_um * switch.switch_width_um
+
+    def select(self, current_ma: float, rail_length_um: float) -> CellDef:
+        """Smallest switch meeting bounce and EM for this cluster."""
+        rail_res = rail_resistance_far(rail_length_um, self.tech)
+        demand = current_ma * self.safety_factor
+        for switch in self._switches:
+            if self.em_limit_ma(switch) < demand:
+                continue
+            bounce = cluster_bounce(demand, self.ron(switch), rail_res)
+            if bounce <= self.bounce_limit_v:
+                return switch
+        largest = self._switches[-1]
+        bounce = cluster_bounce(demand, self.ron(largest), rail_res)
+        raise SizingError(
+            f"no switch meets bounce {self.bounce_limit_v:.3f} V for "
+            f"current {current_ma:.3f} mA over rail {rail_length_um:.0f} um "
+            f"(largest gives {bounce:.3f} V)")
+
+    def size_cluster(self, cluster: VgndCluster) -> CellDef:
+        """Select and record the switch for one cluster."""
+        switch = self.select(cluster.current_ma, cluster.rail_length_um)
+        cluster.switch_cell = switch.name
+        rail_res = rail_resistance_far(cluster.rail_length_um, self.tech)
+        cluster.bounce_v = cluster_bounce(
+            cluster.current_ma * self.safety_factor,
+            self.ron(switch), rail_res)
+        return switch
+
+    def size_network(self, network: VgndNetwork,
+                     strict: bool = True) -> SizingOutcome:
+        """Size every cluster; returns the pass summary.
+
+        With ``strict=False`` unsizeable clusters are recorded in the
+        outcome instead of raising (the flow then splits them — the
+        structural half of the post-route re-optimization).
+        """
+        resized = 0
+        unsizeable: list[int] = []
+        for cluster in network.clusters:
+            before = cluster.switch_cell
+            try:
+                self.size_cluster(cluster)
+            except SizingError:
+                if strict:
+                    raise
+                unsizeable.append(cluster.index)
+                continue
+            if cluster.switch_cell != before:
+                resized += 1
+        return SizingOutcome(
+            resized_clusters=resized,
+            total_switch_width_um=network.total_switch_width(self.library),
+            worst_bounce_v=network.worst_bounce_v(),
+            unsizeable_clusters=unsizeable)
+
+    def reoptimize(self, network: VgndNetwork,
+                   measured_rail_lengths: dict[int, float],
+                   strict: bool = False) -> SizingOutcome:
+        """Re-size with post-route rail lengths (the SPEF step).
+
+        ``measured_rail_lengths`` maps cluster index to the extracted
+        VGND rail length.  Clusters whose estimate was pessimistic may
+        shrink their switch; optimistic ones grow it; clusters that no
+        switch can serve are reported for splitting.
+        """
+        for cluster in network.clusters:
+            if cluster.index in measured_rail_lengths:
+                cluster.rail_length_um = measured_rail_lengths[cluster.index]
+        return self.size_network(network, strict=strict)

@@ -1,0 +1,135 @@
+"""Benchmark circuit generators and the registry."""
+
+import pytest
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.benchcircuits.iscas85 import ISCAS85_SPECS, load_iscas85
+from repro.benchcircuits.iscas89 import ISCAS89_SPECS, load_iscas89
+from repro.benchcircuits.suite import available_circuits, load_circuit
+from repro.errors import ReproError
+from repro.netlist.techmap import technology_map
+from repro.netlist.validate import check_netlist
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        config = GeneratorConfig(n_gates=50, n_inputs=6, n_outputs=4,
+                                 seed=11)
+        a = generate_circuit("x", config)
+        b = generate_circuit("x", config)
+        assert a.stats() == b.stats()
+        assert {i.cell_name for i in a.instances.values()} \
+            == {i.cell_name for i in b.instances.values()}
+
+    def test_seed_changes_structure(self):
+        base = GeneratorConfig(n_gates=50, n_inputs=6, n_outputs=4, seed=1,
+                               style="tapered")
+        other = GeneratorConfig(n_gates=50, n_inputs=6, n_outputs=4, seed=2,
+                                style="tapered")
+        a = generate_circuit("x", base)
+        b = generate_circuit("x", other)
+        a_conns = {(i.name, p.name, p.net.name)
+                   for i in a.instances.values() for p in i.pins.values()
+                   if p.net}
+        b_conns = {(i.name, p.name, p.net.name)
+                   for i in b.instances.values() for p in i.pins.values()
+                   if p.net}
+        assert a_conns != b_conns
+
+    @pytest.mark.parametrize("style", ["layered", "tapered", "grid"])
+    def test_styles_map_and_validate(self, library, style):
+        config = GeneratorConfig(n_gates=80, n_inputs=8, n_outputs=6,
+                                 n_ffs=8, depth=8, style=style, seed=3)
+        nl = generate_circuit(f"gen_{style}", config)
+        technology_map(nl, library)
+        assert check_netlist(nl, library) == []
+
+    def test_gate_count_honoured(self):
+        config = GeneratorConfig(n_gates=64, n_inputs=8, n_outputs=4,
+                                 seed=3, style="tapered")
+        nl = generate_circuit("x", config)
+        assert len(nl.instances) == 64
+
+    def test_ff_count_honoured(self):
+        config = GeneratorConfig(n_gates=40, n_inputs=6, n_outputs=4,
+                                 n_ffs=10, seed=3, style="tapered")
+        nl = generate_circuit("x", config)
+        dffs = [i for i in nl.instances.values() if i.cell_name == "DFF"]
+        assert len(dffs) == 10
+        assert "CLK" in nl.ports
+
+    def test_grid_depth_uniformity(self):
+        """Grid circuits have near-uniform combinational depth."""
+        config = GeneratorConfig(n_gates=200, n_inputs=16, n_outputs=8,
+                                 depth=10, style="grid", seed=3)
+        nl = generate_circuit("grid", config)
+        assert nl.combinational_depth() == 10
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            GeneratorConfig(n_gates=0, n_inputs=2, n_outputs=1)
+        with pytest.raises(ReproError):
+            GeneratorConfig(n_gates=10, n_inputs=2, n_outputs=1,
+                            style="spaghetti")
+
+
+class TestIscas:
+    def test_c17_is_real(self):
+        nl = load_iscas85("c17")
+        assert len(nl.instances) == 6
+
+    def test_s27_is_real(self):
+        nl = load_iscas89("s27")
+        assert len(nl.instances) == 13  # 10 gates + 3 DFFs
+
+    @pytest.mark.parametrize("name", ["c432", "c880", "c1908"])
+    def test_synthetic_85_matches_published_size(self, name):
+        nl = load_iscas85(name)
+        spec = ISCAS85_SPECS[name]
+        assert len(nl.instances) == spec.gates
+        assert len(nl.input_ports()) == spec.inputs
+
+    @pytest.mark.parametrize("name", ["s298", "s344", "s1196"])
+    def test_synthetic_89_matches_published_size(self, name):
+        nl = load_iscas89(name)
+        spec = ISCAS89_SPECS[name]
+        dffs = [i for i in nl.instances.values() if i.cell_name == "DFF"]
+        assert len(dffs) == spec.ffs
+        assert len(nl.instances) == spec.gates + spec.ffs
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(KeyError):
+            load_iscas85("c99999")
+        with pytest.raises(KeyError):
+            load_iscas89("s99999")
+
+
+class TestSuite:
+    def test_registry_contents(self):
+        names = available_circuits()
+        for expected in ("c17", "c432", "c6288", "s27", "s1423",
+                         "circuitA", "circuitB"):
+            assert expected in names
+
+    def test_load_circuit(self):
+        assert load_circuit("c17").name == "c17"
+        with pytest.raises(KeyError):
+            load_circuit("bogus")
+
+    def test_circuit_a_profile(self):
+        nl = load_circuit("circuitA")
+        assert len(nl.instances) == 1400 + 96
+        # Uniform-depth grid: the circuit A signature.
+        assert nl.combinational_depth() == 40
+
+    def test_circuit_b_smaller_and_shallower(self):
+        a = load_circuit("circuitA")
+        b = load_circuit("circuitB")
+        assert len(b.instances) < len(a.instances)
+        assert b.combinational_depth() < a.combinational_depth()
+
+    def test_all_registry_circuits_map(self, library):
+        for name in ("c17", "c432", "s27", "s298"):
+            nl = load_circuit(name)
+            technology_map(nl, library)
+            assert check_netlist(nl, library) == []

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchcircuits.suite import load_circuit
+from repro.device.process import Technology
+from repro.liberty.library import VARIANT_LVT
+from repro.liberty.synth import build_default_library
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.techmap import technology_map
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return Technology()
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The default synthesized multi-Vth library (built once)."""
+    return build_default_library()
+
+
+@pytest.fixture()
+def c17(library):
+    """c17 mapped to low-Vth library cells."""
+    netlist = load_circuit("c17")
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+@pytest.fixture()
+def c17_generic():
+    """c17 as generic gates (unmapped)."""
+    return load_circuit("c17")
+
+
+@pytest.fixture()
+def s27(library):
+    """s27 (sequential) mapped to library cells."""
+    netlist = load_circuit("s27")
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+@pytest.fixture()
+def half_adder(library):
+    """A tiny two-output combinational design."""
+    builder = NetlistBuilder("half_adder")
+    builder.inputs("a", "b")
+    builder.outputs("s", "c")
+    builder.gate("XOR2_X1_LVT", "g1", A="a", B="b", Z="s")
+    builder.gate("AND2_X1_LVT", "g2", A="a", B="b", Z="c")
+    return builder.build()
+
+
+@pytest.fixture()
+def nand_chain(library):
+    """A 12-stage NAND2 chain (easy to reason about timing)."""
+    builder = NetlistBuilder("nand_chain")
+    builder.inputs("a")
+    previous = "a"
+    for i in range(12):
+        builder.gate("NAND2_X1_LVT", f"g{i}", A=previous, B=previous,
+                     Z=f"n{i}")
+        previous = f"n{i}"
+    builder.outputs(previous)
+    return builder.build()

@@ -1,0 +1,72 @@
+"""Design-database export and verification."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import FlowConfig, Technique
+from repro.core.artifacts import export_design, verify_export
+from repro.core.flow import SelectiveMtFlow
+
+
+@pytest.fixture(scope="module")
+def exported(library, tmp_path_factory):
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("c432")
+    result = SelectiveMtFlow(netlist, library, Technique.IMPROVED_SMT,
+                             FlowConfig(timing_margin=0.10)).run()
+    directory = tmp_path_factory.mktemp("export")
+    manifest = export_design(result, library, str(directory))
+    return result, manifest
+
+
+def test_all_artifacts_written(exported):
+    _result, manifest = exported
+    for kind in ("verilog", "def", "spef", "sdc", "liberty", "report"):
+        assert os.path.exists(manifest.path(kind)), kind
+        assert os.path.getsize(manifest.path(kind)) > 0
+
+
+def test_manifest_json(exported):
+    _result, manifest = exported
+    with open(os.path.join(manifest.directory, "manifest.json")) as handle:
+        data = json.load(handle)
+    assert data["design"] == "c432"
+    assert data["technique"] == "improved_smt"
+    assert set(data["files"]) == {"verilog", "def", "spef", "sdc",
+                                  "liberty", "report"}
+
+
+def test_export_verifies_clean(library, exported):
+    _result, manifest = exported
+    assert verify_export(manifest, library) == []
+
+
+def test_report_contents(exported):
+    result, manifest = exported
+    text = open(manifest.path("report")).read()
+    assert "improved_smt" in text
+    assert "Standby leakage" in text
+    assert "VGND network" in text
+
+
+def test_verilog_artifact_reparses_to_same_design(library, exported):
+    from repro.netlist.verilog_io import parse_verilog
+    from repro.sim.equivalence import check_equivalence
+
+    result, manifest = exported
+    again = parse_verilog(open(manifest.path("verilog")).read(),
+                          library=library)
+    assert again.stats() == result.netlist.stats()
+    assert check_equivalence(result.netlist, again, library).equivalent
+
+
+def test_verify_detects_corruption(library, exported):
+    _result, manifest = exported
+    # Corrupt the SPEF file.
+    with open(manifest.path("spef"), "a") as handle:
+        handle.write("\n*D_NET broken\n")
+    problems = verify_export(manifest, library)
+    assert any("spef" in p for p in problems)

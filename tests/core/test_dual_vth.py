@@ -1,0 +1,117 @@
+"""Slack-driven Vth assignment."""
+
+import pytest
+
+from repro.core.dual_vth import DualVthAssigner
+from repro.errors import FlowError
+from repro.liberty.library import VARIANT_HVT, VARIANT_LVT, VARIANT_MT
+from repro.netlist.techmap import technology_map
+from repro.sim.equivalence import check_equivalence
+from repro.timing.constraints import Constraints
+from repro.timing.sta import TimingAnalyzer
+
+
+def min_period(netlist, library):
+    probe = Constraints(clock_period=1000.0)
+    report = TimingAnalyzer(netlist, library, probe).run()
+    return 1000.0 - report.wns
+
+
+@pytest.fixture()
+def c880(library):
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("c880")
+    technology_map(netlist, library)
+    return netlist
+
+
+def test_loose_period_converts_everything(library, c17):
+    cons = Constraints(clock_period=min_period(c17, library) * 3.0)
+    result = DualVthAssigner(c17, library, cons).run()
+    assert result.fast_count == 0
+    assert result.slow_count == 6
+    assert result.final_report.setup_met
+
+
+def test_tight_period_keeps_everything_fast(library, c17):
+    cons = Constraints(clock_period=min_period(c17, library) * 1.0001)
+    result = DualVthAssigner(c17, library, cons).run()
+    assert result.final_report.setup_met
+    # Nearly no conversion budget: most cells stay fast.
+    assert result.fast_count >= 4
+
+
+def test_infeasible_period_raises(library, c17):
+    cons = Constraints(clock_period=min_period(c17, library) * 0.5)
+    with pytest.raises(FlowError):
+        DualVthAssigner(c17, library, cons).run()
+
+
+def test_intermediate_period_partial_conversion(library, c880):
+    cons = Constraints(clock_period=min_period(c880, library) * 1.10)
+    result = DualVthAssigner(c880, library, cons).run()
+    assert result.final_report.setup_met
+    assert 0 < result.fast_count < len(c880.instances)
+    assert 0.0 < result.fast_fraction < 1.0
+
+
+def test_more_margin_means_fewer_fast_cells(library, c880):
+    base = min_period(c880, library)
+    tight = DualVthAssigner(
+        c880.clone(), library, Constraints(clock_period=base * 1.05)).run()
+    loose = DualVthAssigner(
+        c880.clone(), library, Constraints(clock_period=base * 1.5)).run()
+    assert loose.fast_count <= tight.fast_count
+
+
+def test_function_preserved(library, c880):
+    golden = c880.clone("golden")
+    cons = Constraints(clock_period=min_period(c880, library) * 1.15)
+    DualVthAssigner(c880, library, cons).run()
+    assert check_equivalence(golden, c880, library).equivalent
+
+
+def test_mt_as_fast_class(library, c880):
+    cons = Constraints(clock_period=min_period(c880, library) * 1.15)
+    result = DualVthAssigner(c880, library, cons,
+                             fast_variant=VARIANT_MT,
+                             slow_variant=VARIANT_HVT).run()
+    assert result.final_report.setup_met
+    for name in result.fast_instances:
+        cell = library.cell(c880.instances[name].cell_name)
+        assert cell.variant == VARIANT_MT
+
+
+def test_sequential_cells_untouched_by_default(library, s27):
+    from repro.netlist.transform import swap_variant
+
+    # FFs mapped HVT by techmap stay HVT even though LVT DFFs exist.
+    cons = Constraints(clock_period=min_period(s27, library) * 1.2)
+    DualVthAssigner(s27, library, cons).run()
+    for inst in s27.instances.values():
+        if inst.cell_name.startswith("DFF"):
+            assert inst.cell_name.endswith("_HVT")
+
+
+def test_sta_run_budget(library, c880):
+    cons = Constraints(clock_period=min_period(c880, library) * 1.2)
+    result = DualVthAssigner(c880, library, cons, rounds=4).run()
+    # Bisection keeps the STA count logarithmic-ish, not linear.
+    assert result.sta_runs < 80
+
+
+def test_prepare_forces_fast(library, c880):
+    from repro.netlist.transform import swap_variant
+
+    for inst in c880.instances.values():
+        cell = library.cell(inst.cell_name)
+        if library.has_variant(cell, VARIANT_HVT) and not cell.is_sequential:
+            swap_variant(c880, inst, library, VARIANT_HVT)
+    cons = Constraints(clock_period=min_period(c880, library) * 5)
+    assigner = DualVthAssigner(c880, library, cons)
+    assigner.prepare()
+    variants = {library.cell(i.cell_name).variant
+                for i in c880.instances.values()
+                if not library.cell(i.cell_name).is_sequential}
+    assert variants == {VARIANT_LVT}

@@ -1,0 +1,89 @@
+"""Clock tree synthesis."""
+
+import pytest
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.cts.tree import ClockTreeSynthesizer
+from repro.errors import FlowError
+from repro.liberty.library import VARIANT_LVT
+from repro.netlist.techmap import technology_map
+from repro.netlist.validate import check_netlist
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+
+
+@pytest.fixture()
+def sequential_design(library):
+    netlist = generate_circuit("seq", GeneratorConfig(
+        n_gates=120, n_inputs=8, n_outputs=6, n_ffs=24, depth=8,
+        style="tapered", seed=5))
+    technology_map(netlist, library, VARIANT_LVT)
+    placement = GlobalPlacer(netlist, library).run()
+    legalize(placement, netlist, library)
+    return netlist, placement
+
+
+def test_combinational_design_no_tree(library, c17):
+    placement = GlobalPlacer(c17, library).run()
+    cts = ClockTreeSynthesizer(c17, library, placement)
+    result = cts.run()
+    assert result.buffer_count == 0
+    assert result.clock_arrivals == {}
+
+
+def test_buffers_inserted_and_fanout_respected(library, sequential_design):
+    netlist, placement = sequential_design
+    cts = ClockTreeSynthesizer(netlist, library, placement, fanout_limit=8)
+    result = cts.run()
+    assert result.buffer_count > 0
+    # Every clock-tree net stays within the fanout limit.
+    for name in result.buffer_instances:
+        inst = netlist.instance(name)
+        out_net = inst.pin("Z").net
+        assert out_net.fanout() <= 8
+
+
+def test_every_ff_reached(library, sequential_design):
+    netlist, placement = sequential_design
+    result = ClockTreeSynthesizer(netlist, library, placement).run()
+    ffs = [i.name for i in netlist.instances.values()
+           if i.cell_name.startswith("DFF")]
+    assert set(result.clock_arrivals) == set(ffs)
+    for arrival in result.clock_arrivals.values():
+        assert arrival >= 0
+
+
+def test_netlist_remains_valid(library, sequential_design):
+    netlist, placement = sequential_design
+    ClockTreeSynthesizer(netlist, library, placement).run()
+    assert check_netlist(netlist, library) == []
+
+
+def test_skew_reported(library, sequential_design):
+    netlist, placement = sequential_design
+    result = ClockTreeSynthesizer(netlist, library, placement).run()
+    assert result.skew >= 0
+    arrivals = list(result.clock_arrivals.values())
+    assert result.skew == pytest.approx(max(arrivals) - min(arrivals))
+
+
+def test_buffers_are_high_vth(library, sequential_design):
+    netlist, placement = sequential_design
+    result = ClockTreeSynthesizer(netlist, library, placement).run()
+    for name in result.buffer_instances:
+        cell = library.cell(netlist.instance(name).cell_name)
+        assert cell.vth_class.value == "high"
+
+
+def test_fanout_limit_validation(library, sequential_design):
+    netlist, placement = sequential_design
+    with pytest.raises(FlowError):
+        ClockTreeSynthesizer(netlist, library, placement, fanout_limit=1)
+
+
+def test_unknown_buffer_cell_rejected(library, sequential_design):
+    netlist, placement = sequential_design
+    cts = ClockTreeSynthesizer(netlist, library, placement,
+                               buffer_cell="GHOST_BUF")
+    with pytest.raises(FlowError):
+        cts.run()

@@ -1,0 +1,149 @@
+"""Alpha-power / subthreshold device model."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.device.mosfet import MosfetModel
+from repro.device.process import Technology
+
+
+@pytest.fixture(scope="module")
+def tech():
+    return Technology()
+
+
+@pytest.fixture(scope="module")
+def nmos_low(tech):
+    return MosfetModel(tech, tech.vth_low, "nmos")
+
+
+@pytest.fixture(scope="module")
+def nmos_high(tech):
+    return MosfetModel(tech, tech.vth_high, "nmos")
+
+
+def test_invalid_polarity_rejected(tech):
+    with pytest.raises(ValueError):
+        MosfetModel(tech, tech.vth_low, "finfet")
+
+
+def test_invalid_vth_rejected(tech):
+    with pytest.raises(ValueError):
+        MosfetModel(tech, tech.vdd + 0.1, "nmos")
+    with pytest.raises(ValueError):
+        MosfetModel(tech, -0.1, "nmos")
+
+
+def test_saturation_current_scales_linearly_with_width(nmos_low):
+    i1 = nmos_low.saturation_current(1.0)
+    i2 = nmos_low.saturation_current(2.0)
+    assert i2 == pytest.approx(2.0 * i1)
+
+
+def test_saturation_current_zero_below_threshold(nmos_low, tech):
+    assert nmos_low.saturation_current(1.0, vgs=tech.vth_low) == 0.0
+
+
+def test_high_vth_drives_less(nmos_low, nmos_high):
+    assert nmos_high.saturation_current(1.0) < nmos_low.saturation_current(1.0)
+
+
+def test_pmos_weaker_than_nmos(tech, nmos_low):
+    pmos = MosfetModel(tech, tech.vth_low, "pmos")
+    ratio = pmos.saturation_current(1.0) / nmos_low.saturation_current(1.0)
+    assert ratio == pytest.approx(tech.pmos_factor)
+
+
+def test_effective_resistance_inverse_width(nmos_low):
+    r1 = nmos_low.effective_resistance(1.0)
+    r2 = nmos_low.effective_resistance(2.0)
+    assert r1 == pytest.approx(2.0 * r2)
+
+
+def test_on_resistance_positive_and_inverse_width(nmos_high):
+    assert nmos_high.on_resistance(1.0) > 0
+    assert nmos_high.on_resistance(4.0) == pytest.approx(
+        nmos_high.on_resistance(1.0) / 4.0)
+
+
+def test_leakage_ratio_matches_technology(tech, nmos_low, nmos_high):
+    ratio = nmos_low.subthreshold_current(1.0) \
+        / nmos_high.subthreshold_current(1.0)
+    assert ratio == pytest.approx(tech.leakage_ratio(), rel=1e-6)
+
+
+def test_leakage_ratio_is_significant(tech):
+    # The Dual-Vth premise: high-Vth must leak far less.
+    assert tech.leakage_ratio() > 10.0
+
+
+def test_stacking_effect_reduces_leakage(nmos_low, tech):
+    single = nmos_low.leakage_power(1.0, stack_depth=1)
+    double = nmos_low.leakage_power(1.0, stack_depth=2)
+    assert double == pytest.approx(single * tech.stack_factor)
+
+
+def test_stack_depth_validation(nmos_low):
+    with pytest.raises(ValueError):
+        nmos_low.leakage_power(1.0, stack_depth=0)
+
+
+def test_subthreshold_vgs_dependence(nmos_low):
+    off = nmos_low.subthreshold_current(1.0, vgs=0.0)
+    slightly_on = nmos_low.subthreshold_current(1.0, vgs=0.05)
+    assert slightly_on > off
+
+
+def test_capacitances_scale_with_width(nmos_low):
+    assert nmos_low.gate_capacitance(2.0) == pytest.approx(
+        2.0 * nmos_low.gate_capacitance(1.0))
+    assert nmos_low.drain_capacitance(2.0) == pytest.approx(
+        2.0 * nmos_low.drain_capacitance(1.0))
+
+
+def test_width_validation(nmos_low):
+    for method in (nmos_low.saturation_current, nmos_low.on_resistance,
+                   nmos_low.subthreshold_current,
+                   nmos_low.gate_capacitance, nmos_low.drain_capacitance):
+        with pytest.raises(ValueError):
+            method(0.0)
+
+
+@given(width=st.floats(min_value=0.1, max_value=100.0))
+def test_property_leakage_monotone_in_width(width):
+    tech = Technology()
+    model = MosfetModel(tech, tech.vth_low, "nmos")
+    assert model.subthreshold_current(width + 0.1) \
+        > model.subthreshold_current(width)
+
+
+@given(vth=st.floats(min_value=0.1, max_value=0.8))
+def test_property_higher_vth_never_leaks_more(vth):
+    tech = Technology()
+    lower = MosfetModel(tech, vth, "nmos")
+    higher = MosfetModel(tech, min(vth + 0.05, 1.1), "nmos")
+    assert higher.subthreshold_current(1.0) \
+        <= lower.subthreshold_current(1.0)
+
+
+@given(vgs=st.floats(min_value=0.5, max_value=1.2),
+       width=st.floats(min_value=0.2, max_value=10.0))
+def test_property_current_nonnegative(vgs, width):
+    tech = Technology()
+    model = MosfetModel(tech, tech.vth_low, "nmos")
+    assert model.saturation_current(width, vgs=vgs) >= 0.0
+
+
+def test_delay_ratio_in_dual_vth_band(tech, nmos_low, nmos_high):
+    """High-Vth cells should be 20-40% slower (paper's regime)."""
+    ratio = nmos_high.effective_resistance(1.0) \
+        / nmos_low.effective_resistance(1.0)
+    assert 1.15 < ratio < 1.45
+
+
+def test_leakage_power_uses_vdd(tech, nmos_low):
+    current = nmos_low.subthreshold_current(1.0)
+    power = nmos_low.leakage_power(1.0)
+    assert power == pytest.approx(current * tech.vdd * 1e6)

@@ -1,0 +1,55 @@
+"""Technology description."""
+
+import math
+
+import pytest
+
+from repro.device.process import DEFAULT_TECHNOLOGY, Technology
+
+
+def test_default_is_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_TECHNOLOGY.vdd = 1.0
+
+
+def test_with_updates_creates_new_instance():
+    tech = Technology()
+    hot = tech.with_updates(temperature_k=398.0)
+    assert hot.temperature_k == 398.0
+    assert tech.temperature_k == 300.0
+
+
+def test_subthreshold_swing():
+    tech = Technology()
+    assert tech.subthreshold_swing() == pytest.approx(
+        tech.subthreshold_n * tech.thermal_voltage())
+
+
+def test_leakage_ratio_formula():
+    tech = Technology()
+    expected = math.exp((tech.vth_high - tech.vth_low)
+                        / tech.subthreshold_swing())
+    assert tech.leakage_ratio() == pytest.approx(expected)
+
+
+def test_leakage_ratio_grows_with_temperature_drop():
+    cold = Technology(temperature_k=250.0)
+    hot = Technology(temperature_k=350.0)
+    assert cold.leakage_ratio() > hot.leakage_ratio()
+
+
+def test_overdrive_clamped():
+    tech = Technology()
+    assert tech.overdrive(tech.vdd + 1.0) == pytest.approx(1e-3)
+    assert tech.overdrive(tech.vth_low) == pytest.approx(
+        tech.vdd - tech.vth_low)
+
+
+def test_vth_ordering():
+    tech = Technology()
+    assert tech.vth_low < tech.vth_high < tech.vdd
+
+
+def test_vgnd_rail_less_resistive_than_signal():
+    tech = Technology()
+    assert tech.vgnd_res_per_um < tech.wire_res_per_um

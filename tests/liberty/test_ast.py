@@ -1,0 +1,36 @@
+"""Liberty AST construction helpers."""
+
+from repro.liberty.ast import Group
+
+
+def test_builder_chaining():
+    root = Group("library", ["demo"])
+    cell = root.add_group("cell", "INV")
+    cell.set("area", 1.5).set("cell_leakage_power", 0.2)
+    cell.set_complex("index_1", [0.1, 0.2])
+    assert root.name == "demo"
+    assert cell.get("area") == 1.5
+    assert cell.get_complex("index_1") == [0.1, 0.2]
+
+
+def test_find_groups():
+    root = Group("library", ["demo"])
+    root.add_group("cell", "A")
+    root.add_group("cell", "B")
+    root.add_group("operating_conditions", "typ")
+    assert [g.name for g in root.find_groups("cell")] == ["A", "B"]
+    assert root.find_group("cell", "B").name == "B"
+    assert root.find_group("cell", "C") is None
+    assert root.find_group("wire_load") is None
+
+
+def test_defaults():
+    group = Group("pin", ["A"])
+    assert group.get("capacitance") is None
+    assert group.get("capacitance", 0.0) == 0.0
+    assert group.get_complex("values") is None
+
+
+def test_anonymous_group():
+    timing = Group("timing")
+    assert timing.name is None

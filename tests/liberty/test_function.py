@@ -1,0 +1,150 @@
+"""Liberty boolean function parser and three-valued evaluation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.liberty.function import (
+    BooleanFunction,
+    X,
+    logic_and,
+    logic_not,
+    logic_or,
+    logic_xor,
+    parse_function,
+)
+
+
+class TestPrimitives:
+    def test_not(self):
+        assert logic_not(0) == 1
+        assert logic_not(1) == 0
+        assert logic_not(X) == X
+
+    def test_and(self):
+        assert logic_and(1, 1) == 1
+        assert logic_and(0, X) == 0  # dominant zero
+        assert logic_and(1, X) == X
+
+    def test_or(self):
+        assert logic_or(0, 0) == 0
+        assert logic_or(1, X) == 1  # dominant one
+        assert logic_or(0, X) == X
+
+    def test_xor(self):
+        assert logic_xor(1, 0) == 1
+        assert logic_xor(1, 1) == 0
+        assert logic_xor(1, X) == X
+
+
+class TestParsing:
+    def test_simple_and(self):
+        fn = parse_function("A * B")
+        assert fn.inputs == {"A", "B"}
+        assert fn.evaluate({"A": 1, "B": 1}) == 1
+        assert fn.evaluate({"A": 1, "B": 0}) == 0
+
+    def test_nand_with_postfix_quote(self):
+        fn = parse_function("(A * B)'")
+        assert fn.evaluate({"A": 1, "B": 1}) == 0
+        assert fn.evaluate({"A": 0, "B": 1}) == 1
+
+    def test_prefix_not(self):
+        fn = parse_function("!(A + B)")
+        assert fn.evaluate({"A": 0, "B": 0}) == 1
+        assert fn.evaluate({"A": 1, "B": 0}) == 0
+
+    def test_juxtaposition_is_and(self):
+        assert parse_function("A B") == parse_function("A * B")
+
+    def test_ampersand_and_pipe(self):
+        assert parse_function("A & B") == parse_function("A * B")
+        assert parse_function("A | B") == parse_function("A + B")
+
+    def test_xor_precedence_between_or_and_and(self):
+        # A + B ^ C * D  parses as  A + (B ^ (C * D))
+        fn = parse_function("A + B ^ C * D")
+        assert fn.evaluate({"A": 0, "B": 1, "C": 1, "D": 1}) == 0
+        assert fn.evaluate({"A": 0, "B": 1, "C": 0, "D": 1}) == 1
+
+    def test_double_negation(self):
+        fn = parse_function("A''")
+        assert fn.evaluate({"A": 1}) == 1
+
+    def test_constants(self):
+        assert parse_function("1").evaluate({}) == 1
+        assert parse_function("0 + A").evaluate({"A": 1}) == 1
+
+    def test_mux_function(self):
+        fn = parse_function("(A * !S) + (B * S)")
+        assert fn.evaluate({"A": 1, "B": 0, "S": 0}) == 1
+        assert fn.evaluate({"A": 1, "B": 0, "S": 1}) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("")
+
+    def test_unbalanced_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("(A * B")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_function("A % B")
+
+    def test_missing_input_raises_keyerror(self):
+        fn = parse_function("A * B")
+        with pytest.raises(KeyError):
+            fn.evaluate({"A": 1})
+
+
+class TestSemantics:
+    def test_truth_table_nand(self):
+        table = parse_function("(A B)'").truth_table()
+        assert table == {(0, 0): 1, (0, 1): 1, (1, 0): 1, (1, 1): 0}
+
+    def test_x_propagation_through_nand(self):
+        fn = parse_function("(A B)'")
+        assert fn.evaluate({"A": 0, "B": X}) == 1   # controlled
+        assert fn.evaluate({"A": 1, "B": X}) == X   # uncontrolled
+
+    def test_equality_is_semantic(self):
+        assert parse_function("!(A + B)") == parse_function("!A * !B")
+        assert parse_function("A ^ B") == parse_function("(A !B) + (!A B)")
+        assert parse_function("A * B") != parse_function("A + B")
+
+    def test_to_liberty_round_trip(self):
+        for text in ("(A * B)'", "!(A + B)", "A ^ B", "(A * !S) + (B * S)"):
+            fn = parse_function(text)
+            again = parse_function(fn.to_liberty())
+            assert fn == again
+
+
+@st.composite
+def expressions(draw, depth=0):
+    """Random boolean expressions over three variables."""
+    variables = ("A", "B", "C")
+    if depth > 3 or draw(st.booleans()):
+        return draw(st.sampled_from(variables))
+    op = draw(st.sampled_from(["*", "+", "^", "!"]))
+    if op == "!":
+        return f"!({draw(expressions(depth + 1))})"
+    left = draw(expressions(depth + 1))
+    right = draw(expressions(depth + 1))
+    return f"({left} {op} {right})"
+
+
+@given(expressions())
+def test_property_round_trip_preserves_semantics(text):
+    fn = parse_function(text)
+    assert parse_function(fn.to_liberty()) == fn
+
+
+@given(expressions(),
+       st.dictionaries(st.sampled_from(["A", "B", "C"]),
+                       st.sampled_from([0, 1]),
+                       min_size=3, max_size=3))
+def test_property_demorgan(text, env):
+    inverted = parse_function(f"!({text})")
+    original = parse_function(text)
+    assert inverted.evaluate(env) == 1 - original.evaluate(env)

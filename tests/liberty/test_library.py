@@ -1,0 +1,229 @@
+"""Typed library model: LUTs, cells, variants, leakage states."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LibertyError
+from repro.liberty.library import (
+    CellDef,
+    CellKind,
+    LeakageState,
+    Library,
+    Lut,
+    PinDef,
+    PinDirection,
+    VARIANT_CMT,
+    VARIANT_HVT,
+    VARIANT_LVT,
+    VARIANT_MT,
+    VARIANT_MTV,
+)
+
+
+class TestLut:
+    def test_constant(self):
+        lut = Lut.constant(0.42)
+        assert lut.lookup(0.0, 0.0) == pytest.approx(0.42)
+        assert lut.lookup(5.0, 5.0) == pytest.approx(0.42)
+
+    def test_exact_grid_points(self):
+        lut = Lut((0.0, 1.0), (0.0, 1.0),
+                  ((0.0, 1.0), (2.0, 3.0)))
+        assert lut.lookup(0.0, 0.0) == pytest.approx(0.0)
+        assert lut.lookup(0.0, 1.0) == pytest.approx(1.0)
+        assert lut.lookup(1.0, 0.0) == pytest.approx(2.0)
+        assert lut.lookup(1.0, 1.0) == pytest.approx(3.0)
+
+    def test_bilinear_interior(self):
+        lut = Lut((0.0, 1.0), (0.0, 1.0),
+                  ((0.0, 1.0), (2.0, 3.0)))
+        assert lut.lookup(0.5, 0.5) == pytest.approx(1.5)
+
+    def test_linear_extrapolation(self):
+        lut = Lut((0.0, 1.0), (0.0, 1.0),
+                  ((0.0, 1.0), (1.0, 2.0)))
+        # Planar table: extrapolation continues the plane.
+        assert lut.lookup(2.0, 0.0) == pytest.approx(2.0)
+        assert lut.lookup(0.0, 2.0) == pytest.approx(2.0)
+        assert lut.lookup(-1.0, 0.0) == pytest.approx(-1.0)
+
+    def test_1d_tables(self):
+        row = Lut((0.0,), (0.0, 1.0), ((1.0, 3.0),))
+        assert row.lookup(99.0, 0.5) == pytest.approx(2.0)
+        col = Lut((0.0, 1.0), (0.0,), ((1.0,), (3.0,)))
+        assert col.lookup(0.5, 99.0) == pytest.approx(2.0)
+
+    def test_scaled(self):
+        lut = Lut.constant(2.0).scaled(1.5)
+        assert lut.lookup(0, 0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(LibertyError):
+            Lut((1.0, 0.0), (0.0,), ((1.0,), (2.0,)))  # descending axis
+        with pytest.raises(LibertyError):
+            Lut((0.0,), (0.0,), ((1.0,), (2.0,)))      # row mismatch
+        with pytest.raises(LibertyError):
+            Lut((0.0,), (0.0, 1.0), ((1.0,),))         # width mismatch
+
+    @given(slew=st.floats(min_value=0.0, max_value=0.5),
+           load=st.floats(min_value=0.0, max_value=0.05))
+    def test_property_monotone_table_monotone_lookup(self, slew, load):
+        lut = Lut((0.0, 0.1, 0.3), (0.0, 0.01, 0.03),
+                  ((0.0, 1.0, 2.0), (1.0, 2.0, 3.0), (2.0, 3.0, 4.0)))
+        base = lut.lookup(slew, load)
+        assert lut.lookup(slew + 0.01, load) >= base - 1e-12
+        assert lut.lookup(slew, load + 0.001) >= base - 1e-12
+
+
+class TestLeakageState:
+    def test_unconditional_matches_everything(self):
+        state = LeakageState(value_nw=1.0)
+        assert state.matches({"A": 0})
+
+    def test_when_guard(self):
+        state = LeakageState(value_nw=1.0, when="A * !B")
+        assert state.matches({"A": 1, "B": 0})
+        assert not state.matches({"A": 1, "B": 1})
+
+    def test_missing_pin_does_not_match(self):
+        state = LeakageState(value_nw=1.0, when="A * B")
+        assert not state.matches({"A": 1})
+
+
+def _make_cell(name="NAND2_X1_LVT", base="NAND2_X1", variant=VARIANT_LVT):
+    cell = CellDef(name=name, base_name=base, variant=variant, area=5.0)
+    cell.pins["A"] = PinDef("A", PinDirection.INPUT, capacitance=0.002)
+    cell.pins["B"] = PinDef("B", PinDirection.INPUT, capacitance=0.002)
+    cell.pins["Z"] = PinDef("Z", PinDirection.OUTPUT, function="(A * B)'")
+    return cell
+
+
+class TestCellDef:
+    def test_pin_queries(self):
+        cell = _make_cell()
+        assert [p.name for p in cell.input_pins()] == ["A", "B"]
+        assert cell.single_output().name == "Z"
+        with pytest.raises(LibertyError):
+            cell.pin("missing")
+
+    def test_evaluate(self):
+        cell = _make_cell()
+        assert cell.evaluate({"A": 1, "B": 1}) == {"Z": 0}
+        assert cell.evaluate({"A": 0, "B": 1}) == {"Z": 1}
+
+    def test_state_dependent_leakage(self):
+        cell = _make_cell()
+        cell.default_leakage_nw = 1.0
+        cell.leakage_states = [
+            LeakageState(value_nw=5.0, when="A * B"),
+            LeakageState(value_nw=0.5, when="!A * !B"),
+        ]
+        assert cell.leakage_nw({"A": 1, "B": 1}) == pytest.approx(5.0)
+        assert cell.leakage_nw({"A": 0, "B": 0}) == pytest.approx(0.5)
+        assert cell.leakage_nw({"A": 1, "B": 0}) == pytest.approx(1.0)
+        assert cell.leakage_nw() == pytest.approx(1.0)
+        assert cell.worst_leakage_nw() == pytest.approx(5.0)
+
+    def test_variant_flags(self):
+        assert _make_cell(variant=VARIANT_MT).is_improved_mt
+        assert _make_cell(variant=VARIANT_MTV).is_improved_mt
+        assert _make_cell(variant=VARIANT_CMT).is_conventional_mt
+        assert _make_cell(variant=VARIANT_CMT).is_mt
+        assert not _make_cell(variant=VARIANT_HVT).is_mt
+
+
+class TestLibrary:
+    def test_add_and_lookup(self):
+        library = Library("test")
+        cell = library.add_cell(_make_cell())
+        assert library.cell(cell.name) is cell
+        assert cell.name in library
+        assert len(library) == 1
+
+    def test_duplicate_rejected(self):
+        library = Library("test")
+        library.add_cell(_make_cell())
+        with pytest.raises(LibertyError):
+            library.add_cell(_make_cell())
+
+    def test_missing_cell(self):
+        with pytest.raises(LibertyError):
+            Library("test").cell("nope")
+
+    def test_variant_navigation(self):
+        library = Library("test")
+        lvt = library.add_cell(_make_cell("NAND2_X1_LVT", variant=VARIANT_LVT))
+        hvt = library.add_cell(_make_cell("NAND2_X1_HVT", variant=VARIANT_HVT))
+        assert library.variant_of(lvt, VARIANT_HVT) is hvt
+        assert library.variant_of("NAND2_X1_HVT", VARIANT_LVT) is lvt
+        assert library.has_variant(lvt, VARIANT_HVT)
+        assert not library.has_variant(lvt, VARIANT_CMT)
+        with pytest.raises(LibertyError):
+            library.variant_of(lvt, VARIANT_MTV)
+
+
+class TestDefaultLibrary:
+    def test_all_variants_present_for_combinational(self, library):
+        for base in ("NAND2_X1", "NOR2_X1", "INV_X1", "XOR2_X1"):
+            for variant in (VARIANT_LVT, VARIANT_HVT, VARIANT_MT,
+                            VARIANT_MTV, VARIANT_CMT):
+                assert f"{base}_{variant}" in library
+
+    def test_sequential_has_no_mt_variant(self, library):
+        assert "DFF_X1_LVT" in library
+        assert "DFF_X1_HVT" in library
+        assert "DFF_X1_MT" not in library
+
+    def test_switch_cells_sorted(self, library):
+        switches = library.switch_cells()
+        assert len(switches) >= 6
+        widths = [s.switch_width_um for s in switches]
+        assert widths == sorted(widths)
+
+    def test_holder_present(self, library):
+        holder = library.cell("HOLDER_X1")
+        assert holder.kind == CellKind.HOLDER
+        assert holder.default_leakage_nw > 0
+
+    def test_mtv_has_vgnd_pin(self, library):
+        mtv = library.cell("NAND2_X1_MTV")
+        assert mtv.has_vgnd_port
+        assert "VGND" in mtv.pins
+        mt = library.cell("NAND2_X1_MT")
+        assert "VGND" not in mt.pins
+
+    def test_cmt_has_mte_pin_and_bigger_area(self, library):
+        cmt = library.cell("NAND2_X1_CMT")
+        lvt = library.cell("NAND2_X1_LVT")
+        assert "MTE" in cmt.pins
+        assert cmt.area > 1.5 * lvt.area
+        assert cmt.switch_width_um > 0
+
+    def test_delay_ordering_lvt_mt_hvt(self, library):
+        """The paper's premise: LVT < MT < HVT delay."""
+        def worst_delay(cell_name):
+            cell = library.cell(cell_name)
+            arc = cell.single_output().arc_from("A")
+            rise, fall = arc.delay(0.02, 0.004)
+            return max(rise, fall)
+
+        lvt = worst_delay("NAND2_X1_LVT")
+        mtv = worst_delay("NAND2_X1_MTV")
+        hvt = worst_delay("NAND2_X1_HVT")
+        assert lvt < mtv < hvt
+
+    def test_leakage_ordering(self, library):
+        """Standby: MTV residual << HVT << LVT; CMT near HVT scale."""
+        lvt = library.cell("NAND2_X1_LVT").default_leakage_nw
+        hvt = library.cell("NAND2_X1_HVT").default_leakage_nw
+        mtv = library.cell("NAND2_X1_MTV").default_leakage_nw
+        assert lvt > 10 * hvt
+        assert mtv < hvt
+
+    def test_state_dependent_leakage_on_nand(self, library):
+        cell = library.cell("NAND2_X1_LVT")
+        assert len(cell.leakage_states) == 4
+        # All-ones state leaks through parallel PMOS (worst for NAND).
+        worst = cell.leakage_nw({"A": 1, "B": 1})
+        best = cell.leakage_nw({"A": 0, "B": 0})
+        assert worst > best

@@ -1,0 +1,125 @@
+"""Liberty lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.liberty.lexer import tokenize
+from repro.liberty.parser import parse_liberty
+
+SAMPLE = """
+/* sample library */
+library (demo) {
+  time_unit : "1ns";
+  capacitive_load_unit_value : 1;
+  cell (NAND2_X1) {
+    area : 4.8;  // trailing comment
+    cell_leakage_power : 0.25;
+    pin (A) {
+      direction : input;
+      capacitance : 0.0018;
+    }
+    pin (Z) {
+      direction : output;
+      function : "(A * B)'";
+      timing () {
+        related_pin : "A";
+        cell_rise (tmpl) {
+          index_1 ("0.01 0.1");
+          index_2 ("0.001 0.01");
+          values ("0.02, 0.05", "0.03, 0.06");
+        }
+      }
+    }
+  }
+}
+"""
+
+
+class TestLexer:
+    def test_tokenizes_words_and_punct(self):
+        tokens = tokenize("cell (X) { area : 1.5; }")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["word", "punct", "word", "punct", "punct",
+                         "word", "punct", "word", "punct", "punct"]
+
+    def test_strings(self):
+        tokens = tokenize('unit : "1ns";')
+        assert tokens[2].kind == "string"
+        assert tokens[2].value == "1ns"
+
+    def test_comments_stripped(self):
+        tokens = tokenize("a /* hidden */ b // eol\nc")
+        assert [t.value for t in tokens] == ["a", "b", "c"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(ParseError):
+            tokenize("a /* oops")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            tokenize('x : "open')
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+
+
+class TestParser:
+    def test_parses_sample(self):
+        root = parse_liberty(SAMPLE)
+        assert root.keyword == "library"
+        assert root.name == "demo"
+        assert root.get("time_unit") == "1ns"
+
+    def test_cell_structure(self):
+        root = parse_liberty(SAMPLE)
+        cell = root.find_group("cell", "NAND2_X1")
+        assert cell is not None
+        assert cell.get("area") == pytest.approx(4.8)
+        pins = list(cell.find_groups("pin"))
+        assert [p.name for p in pins] == ["A", "Z"]
+
+    def test_nested_timing_tables(self):
+        root = parse_liberty(SAMPLE)
+        cell = root.find_group("cell", "NAND2_X1")
+        z_pin = cell.find_group("pin", "Z")
+        timing = z_pin.find_group("timing")
+        rise = timing.find_group("cell_rise")
+        assert rise.get_complex("values") == ["0.02, 0.05", "0.03, 0.06"]
+
+    def test_function_attribute_preserved(self):
+        root = parse_liberty(SAMPLE)
+        cell = root.find_group("cell", "NAND2_X1")
+        assert cell.find_group("pin", "Z").get("function") == "(A * B)'"
+
+    def test_numbers_typed(self):
+        root = parse_liberty("library (x) { cell (c) { area : 4; } }")
+        assert root.find_group("cell").get("area") == 4
+        assert isinstance(root.find_group("cell").get("area"), int)
+
+    def test_booleans(self):
+        root = parse_liberty(
+            "library (x) { cell (c) { flag : true; other : false; } }")
+        cell = root.find_group("cell")
+        assert cell.get("flag") is True
+        assert cell.get("other") is False
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ParseError):
+            parse_liberty("")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_liberty("library (x) { } extra")
+
+    def test_missing_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse_liberty("library (x) { cell (c) { ")
+
+    def test_group_builder_helpers(self):
+        root = parse_liberty(SAMPLE)
+        assert root.find_group("cell", "MISSING") is None
+        assert root.get("nonexistent", 42) == 42
+        assert root.get_complex("nonexistent") is None

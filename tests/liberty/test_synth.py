@@ -1,0 +1,115 @@
+"""Library synthesizer calibration checks."""
+
+import pytest
+
+from repro.device.process import Technology
+from repro.liberty.library import VARIANT_CMT, VARIANT_LVT, VARIANT_MTV
+from repro.liberty.synth import LibraryBuilder, build_default_library
+
+
+def test_default_library_cached():
+    assert build_default_library() is build_default_library()
+
+
+def test_custom_technology_not_cached_together():
+    custom = Technology(vdd=1.0)
+    assert build_default_library(custom) is not build_default_library()
+
+
+def test_mt_delay_derate_band(library):
+    builder = LibraryBuilder()
+    derate = builder.mt_delay_derate()
+    # MT-cells are a few percent slower than LVT, far less than HVT.
+    assert 1.01 < derate < 1.10
+
+
+def test_footprint_compatibility(library):
+    """LVT/HVT/MT share footprint (free swaps); MTV/CMT differ."""
+    lvt = library.cell("NAND2_X1_LVT")
+    hvt = library.cell("NAND2_X1_HVT")
+    mt = library.cell("NAND2_X1_MT")
+    mtv = library.cell("NAND2_X1_MTV")
+    cmt = library.cell("NAND2_X1_CMT")
+    assert lvt.footprint == hvt.footprint == mt.footprint
+    assert mtv.footprint != lvt.footprint
+    assert cmt.footprint != lvt.footprint
+
+
+def test_hvt_area_equals_lvt(library):
+    assert library.cell("NAND2_X1_HVT").area == pytest.approx(
+        library.cell("NAND2_X1_LVT").area)
+
+
+def test_mtv_area_overhead_small(library):
+    lvt = library.cell("NOR2_X1_LVT").area
+    mtv = library.cell("NOR2_X1_MTV").area
+    assert 1.05 < mtv / lvt < 1.25
+
+
+def test_cmt_area_overhead_large(library):
+    """Conventional MT-cells carry embedded switch + holder: ~2x."""
+    for base in ("NAND2_X1", "NOR2_X1", "INV_X1"):
+        lvt = library.cell(f"{base}_LVT").area
+        cmt = library.cell(f"{base}_CMT").area
+        assert cmt / lvt > 1.6
+
+
+def test_cmt_standby_leak_far_below_lvt(library):
+    lvt = library.cell("NAND2_X1_LVT").default_leakage_nw
+    cmt = library.cell("NAND2_X1_CMT").default_leakage_nw
+    assert cmt < lvt / 5.0
+
+
+def test_switching_current_positive_for_logic(library):
+    for name in ("NAND2_X1_MTV", "NOR2_X1_MTV", "INV_X1_MTV"):
+        assert library.cell(name).switching_current_ma > 0
+
+
+def test_buffer_drive_strengths_ordered(library):
+    def drive_delay(name):
+        cell = library.cell(name)
+        arc = cell.single_output().arc_from("A")
+        return max(arc.delay(0.02, 0.02))
+
+    assert drive_delay("BUF_X8_HVT") < drive_delay("BUF_X1_HVT")
+
+
+def test_max_capacitance_set(library):
+    pin = library.cell("NAND2_X1_LVT").single_output()
+    assert pin.max_capacitance is not None and pin.max_capacitance > 0
+
+
+def test_dff_has_setup_and_hold(library):
+    cell = library.cell("DFF_X1_LVT")
+    types = {arc.timing_type for arc in cell.pins["D"].timing_arcs}
+    assert "setup_rising" in types
+    assert "hold_rising" in types
+    q_arc = cell.pins["Q"].arc_from("CK")
+    assert q_arc is not None
+    assert q_arc.timing_type == "rising_edge"
+
+
+def test_library_assumed_bounce_recorded(library):
+    assert library.mt_assumed_bounce_v is not None
+    assert 0.0 < library.mt_assumed_bounce_v < 0.2
+
+
+def test_nonunate_cells_marked(library):
+    xor_arc = library.cell("XOR2_X1_LVT").single_output().arc_from("A")
+    assert xor_arc.timing_sense == "non_unate"
+    nand_arc = library.cell("NAND2_X1_LVT").single_output().arc_from("A")
+    assert nand_arc.timing_sense == "negative_unate"
+
+
+def test_conventional_and_improved_obey_same_bounce_budget(library):
+    """The embedded switch holds the cell's current at the budget."""
+    from repro.device.mosfet import MosfetModel
+
+    tech = library.tech
+    model = MosfetModel(tech, tech.vth_high, "nmos")
+    budget = 2.0 * library.mt_assumed_bounce_v  # worst-case basis
+    for base in ("NAND2_X1", "NOR2_X1"):
+        cmt = library.cell(f"{base}_CMT")
+        bounce = cmt.switching_current_ma \
+            * model.on_resistance(cmt.switch_width_um)
+        assert bounce <= budget * 1.05

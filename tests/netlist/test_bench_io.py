@@ -1,0 +1,98 @@
+"""ISCAS .bench reader/writer."""
+
+import pytest
+
+from repro.benchcircuits.iscas85 import C17_BENCH
+from repro.benchcircuits.iscas89 import S27_BENCH
+from repro.errors import ParseError
+from repro.netlist.bench_io import parse_bench, write_bench
+
+
+class TestC17:
+    def test_structure(self):
+        nl = parse_bench(C17_BENCH, name="c17")
+        assert len(nl.instances) == 6
+        assert len(nl.input_ports()) == 5
+        assert len(nl.output_ports()) == 2
+
+    def test_all_gates_are_nand2(self):
+        nl = parse_bench(C17_BENCH)
+        assert nl.cell_names() == {"NAND2"}
+
+    def test_connectivity(self):
+        nl = parse_bench(C17_BENCH)
+        g22 = nl.instance("g_N22")
+        fanin_nets = {p.net.name for p in g22.input_pins()}
+        assert fanin_nets == {"N10", "N16"}
+
+
+class TestS27:
+    def test_structure(self):
+        nl = parse_bench(S27_BENCH, name="s27")
+        dffs = [i for i in nl.instances.values() if i.cell_name == "DFF"]
+        assert len(dffs) == 3
+
+    def test_clock_created(self):
+        nl = parse_bench(S27_BENCH)
+        assert "CLK" in nl.ports
+        clk_net = nl.net("CLK")
+        assert len(clk_net.sinks) == 3  # one CK pin per DFF
+
+
+class TestParsing:
+    def test_gate_arity_in_name(self):
+        nl = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+                         "y = NAND(a, b, c)\n")
+        assert nl.instance("g_y").cell_name == "NAND3"
+
+    def test_not_and_buf(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(y)\nOUTPUT(z)\n"
+                         "y = NOT(a)\nz = BUFF(a)\n")
+        assert nl.instance("g_y").cell_name == "INV"
+        assert nl.instance("g_z").cell_name == "BUF"
+
+    def test_comments_and_blank_lines(self):
+        nl = parse_bench("# header\n\nINPUT(a)  # trailing\nOUTPUT(y)\n"
+                         "y = NOT(a)\n")
+        assert len(nl.instances) == 1
+
+    def test_names_sanitized(self):
+        nl = parse_bench("INPUT(a[0])\nOUTPUT(y.z)\ny.z = NOT(a[0])\n")
+        assert "a_0_" in nl.ports
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = MAJ3(a, a, a)\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nthis is not bench\n")
+
+    def test_not_with_two_operands_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NOT(a, b)\n")
+
+    def test_dff_single_operand(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = DFF(a, b)\n")
+
+    def test_output_that_is_also_input(self):
+        nl = parse_bench("INPUT(a)\nOUTPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+        assert "a_out" in nl.ports
+
+
+class TestRoundTrip:
+    def test_c17_round_trip(self):
+        nl = parse_bench(C17_BENCH, name="c17")
+        text = write_bench(nl)
+        again = parse_bench(text, name="c17b")
+        assert again.stats() == nl.stats()
+        assert again.cell_names() == nl.cell_names()
+
+    def test_s27_round_trip(self):
+        nl = parse_bench(S27_BENCH, name="s27")
+        again = parse_bench(write_bench(nl), name="s27b")
+        assert len(again.instances) == len(nl.instances)
+        dffs = [i for i in again.instances.values()
+                if i.cell_name == "DFF"]
+        assert len(dffs) == 3

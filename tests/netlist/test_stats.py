@@ -1,0 +1,56 @@
+"""Design statistics."""
+
+import pytest
+
+from repro.netlist.stats import design_stats
+
+
+def test_c17_stats(library, c17):
+    stats = design_stats(c17, library)
+    assert stats.instance_count == 6
+    assert stats.input_count == 5
+    assert stats.output_count == 2
+    assert stats.sequential_count == 0
+    assert stats.depth == 3
+    assert stats.by_variant == {"LVT": 6}
+    assert stats.total_area == pytest.approx(
+        6 * library.cell("NAND2_X1_LVT").area)
+
+
+def test_sequential_counted(library, s27):
+    stats = design_stats(s27, library)
+    assert stats.sequential_count == 3
+    assert stats.by_kind["sequential"] == 3
+
+
+def test_variants_and_special_cells(library, c17):
+    from repro.liberty.library import VARIANT_MTV
+    from repro.netlist.core import PinDirection
+    from repro.netlist.transform import swap_variant
+
+    inst = next(iter(c17.instances.values()))
+    swap_variant(c17, inst, library, VARIANT_MTV)
+    holder = c17.add_instance("h1", "HOLDER_X1")
+    c17.connect(holder, "Z", "N22", PinDirection.INOUT, keeper=True)
+    stats = design_stats(c17, library)
+    assert stats.by_variant["MTV"] == 1
+    assert stats.by_variant["HOLDER"] == 1
+    assert stats.by_variant["LVT"] == 5
+
+
+def test_render(library, s27):
+    text = design_stats(s27, library).render()
+    assert "s27" in text
+    assert "FFs" in text
+    assert "um^2" in text
+
+
+def test_fanout_metrics(library, c17):
+    stats = design_stats(c17, library)
+    assert stats.max_fanout >= 2   # N16 feeds two gates
+    assert stats.average_fanout > 0
+
+
+def test_unbound_cells_labelled(library, c17_generic):
+    stats = design_stats(c17_generic, library)
+    assert stats.by_variant.get("UNBOUND") == 6

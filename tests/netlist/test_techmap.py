@@ -1,0 +1,93 @@
+"""Technology mapping: binding and wide-gate decomposition."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.liberty.library import VARIANT_HVT, VARIANT_LVT
+from repro.netlist.bench_io import parse_bench
+from repro.netlist.techmap import technology_map
+from repro.netlist.validate import check_netlist
+from repro.sim.equivalence import check_equivalence
+
+
+def test_simple_binding(library, c17_generic):
+    technology_map(c17_generic, library, VARIANT_LVT)
+    assert c17_generic.cell_names() == {"NAND2_X1_LVT"}
+
+
+def test_flipflops_bind_to_hvt_by_default(library):
+    nl = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+    technology_map(nl, library, VARIANT_LVT)
+    assert nl.instance("ff_q").cell_name == "DFF_X1_HVT"
+
+
+def test_flipflop_variant_override(library):
+    nl = parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\n")
+    technology_map(nl, library, VARIANT_LVT, sequential_variant=VARIANT_LVT)
+    assert nl.instance("ff_q").cell_name == "DFF_X1_LVT"
+
+
+def test_already_bound_left_alone(library, c17):
+    before = dict((i.name, i.cell_name) for i in c17.instances.values())
+    technology_map(c17, library, VARIANT_HVT)
+    after = dict((i.name, i.cell_name) for i in c17.instances.values())
+    assert before == after  # bound cells are not re-bound
+
+
+def test_wide_gate_decomposition_preserves_function(library):
+    text = ("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n"
+            "OUTPUT(y)\ny = NAND(a, b, c, d, e, f)\n")
+    golden = parse_bench(text, name="wide")
+    technology_map(golden, library)
+    # Reference: direct AND-tree + INV built by hand.
+    reference = parse_bench(
+        "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\nINPUT(f)\n"
+        "OUTPUT(y)\n"
+        "t1 = AND(a, b)\nt2 = AND(c, d)\nt3 = AND(e, f)\n"
+        "t4 = AND(t1, t2)\nt5 = AND(t4, t3)\ny = NOT(t5)\n",
+        name="ref")
+    technology_map(reference, library)
+    report = check_equivalence(golden, reference, library)
+    assert report.equivalent, report.mismatches[:3]
+
+
+def test_wide_or_and_xor_decompose(library):
+    for gate, width in (("OR", 5), ("XOR", 4), ("NOR", 6), ("XNOR", 5),
+                        ("AND", 7)):
+        inputs = "\n".join(f"INPUT(i{k})" for k in range(width))
+        operand_list = ", ".join(f"i{k}" for k in range(width))
+        nl = parse_bench(f"{inputs}\nOUTPUT(y)\ny = {gate}({operand_list})\n",
+                         name=f"wide_{gate}")
+        technology_map(nl, library)
+        assert not check_netlist(nl, library)
+        # Every instance resolves in the library.
+        for inst in nl.instances.values():
+            assert inst.cell_name in library
+
+
+def test_wide_gate_maps_to_widest_library_cell(library):
+    nl = parse_bench("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+                     "y = NAND(a, b, c, d)\n")
+    technology_map(nl, library)
+    assert nl.instance("g_y").cell_name == "NAND4_X1_LVT"
+
+
+def test_unknown_generic_rejected(library):
+    from repro.netlist.core import Netlist, PinDirection
+
+    nl = Netlist("bad")
+    nl.add_input("a")
+    nl.add_output("y")
+    g = nl.add_instance("g", "FROB3")
+    nl.connect(g, "A", "a", PinDirection.INPUT)
+    nl.connect(g, "Z", "y", PinDirection.OUTPUT)
+    with pytest.raises(NetlistError):
+        technology_map(nl, library)
+
+
+def test_decomposed_netlist_validates(library):
+    text = ("INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nINPUT(e)\n"
+            "OUTPUT(y)\ny = NOR(a, b, c, d, e)\n")
+    nl = parse_bench(text)
+    technology_map(nl, library)
+    assert check_netlist(nl, library) == []

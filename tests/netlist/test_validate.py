@@ -1,0 +1,100 @@
+"""Netlist validation rules."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.netlist.core import Netlist, PinDirection
+from repro.netlist.validate import check_netlist
+
+
+def test_clean_netlist(c17, library):
+    assert check_netlist(c17, library) == []
+
+
+def test_floating_input_flagged(library):
+    nl = Netlist("float")
+    nl.add_input("a")
+    nl.add_output("y")
+    g = nl.add_instance("g", "NAND2_X1_LVT")
+    nl.connect(g, "A", "a", PinDirection.INPUT)
+    nl.connect(g, "Z", "y", PinDirection.OUTPUT)
+    problems = check_netlist(nl, library)
+    assert any("required pin B" in p for p in problems)
+
+
+def test_undriven_net_flagged():
+    nl = Netlist("undriven")
+    nl.add_output("y")
+    g = nl.add_instance("g", "INV_X1_LVT")
+    nl.connect(g, "A", "ghost", PinDirection.INPUT)
+    nl.connect(g, "Z", "y", PinDirection.OUTPUT)
+    problems = check_netlist(nl)
+    assert any("ghost" in p for p in problems)
+
+
+def test_unknown_cell_flagged(library):
+    nl = Netlist("unknown")
+    nl.add_input("a")
+    nl.add_output("y")
+    g = nl.add_instance("g", "NO_SUCH_CELL")
+    nl.connect(g, "A", "a", PinDirection.INPUT)
+    nl.connect(g, "Z", "y", PinDirection.OUTPUT)
+    problems = check_netlist(nl, library)
+    assert any("unknown cell" in p for p in problems)
+
+
+def test_wrong_pin_name_flagged(library):
+    nl = Netlist("badpin")
+    nl.add_input("a")
+    nl.add_output("y")
+    g = nl.add_instance("g", "INV_X1_LVT")
+    nl.connect(g, "A", "a", PinDirection.INPUT)
+    nl.connect(g, "ZZ", "y", PinDirection.OUTPUT)
+    problems = check_netlist(nl, library)
+    assert any("no such pin" in p for p in problems)
+
+
+def test_direction_mismatch_flagged(library):
+    nl = Netlist("baddir")
+    nl.add_input("a")
+    g = nl.add_instance("g", "INV_X1_LVT")
+    # Treat the library output Z as an input sink.
+    nl.connect(g, "Z", "a", PinDirection.INPUT)
+    nl.connect(g, "A", "n1", PinDirection.OUTPUT)
+    problems = check_netlist(nl, library)
+    assert any("direction mismatch" in p for p in problems)
+
+
+def test_dangling_mte_vgnd_allowed_midflow(library):
+    nl = Netlist("midflow")
+    nl.add_input("a")
+    nl.add_input("b")
+    nl.add_output("y")
+    g = nl.add_instance("g", "NAND2_X1_MTV")
+    nl.connect(g, "A", "a", PinDirection.INPUT)
+    nl.connect(g, "B", "b", PinDirection.INPUT)
+    nl.connect(g, "Z", "y", PinDirection.OUTPUT)
+    # VGND left dangling: fine mid-flow, flagged in strict mode.
+    assert check_netlist(nl, library) == []
+
+
+def test_raise_on_error(library):
+    nl = Netlist("boom")
+    nl.add_output("y")
+    g = nl.add_instance("g", "INV_X1_LVT")
+    nl.connect(g, "A", "ghost", PinDirection.INPUT)
+    nl.connect(g, "Z", "y", PinDirection.OUTPUT)
+    with pytest.raises(ValidationError):
+        check_netlist(nl, library, raise_on_error=True)
+
+
+def test_combinational_loop_reported(library):
+    nl = Netlist("loop")
+    g1 = nl.add_instance("g1", "INV_X1_LVT")
+    g2 = nl.add_instance("g2", "INV_X1_LVT")
+    nl.connect(g1, "A", "n2", PinDirection.INPUT)
+    nl.connect(g1, "Z", "n1", PinDirection.OUTPUT)
+    nl.connect(g2, "A", "n1", PinDirection.INPUT)
+    nl.connect(g2, "Z", "n2", PinDirection.OUTPUT)
+    problems = check_netlist(nl, library)
+    assert any("loop" in p for p in problems)

@@ -1,0 +1,107 @@
+"""Structural Verilog reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.netlist.verilog_io import parse_verilog, write_verilog
+
+SAMPLE = """
+// half adder
+module half_adder (a, b, s, c);
+  input a, b;
+  output s, c;
+  XOR2_X1_LVT g1 (.A(a), .B(b), .Z(s));
+  AND2_X1_LVT g2 (.A(a), .B(b), .Z(c));
+endmodule
+"""
+
+
+def test_parse_sample(library):
+    nl = parse_verilog(SAMPLE, library=library)
+    assert nl.name == "half_adder"
+    assert len(nl.instances) == 2
+    assert len(nl.input_ports()) == 2
+    assert len(nl.output_ports()) == 2
+
+
+def test_directions_from_library(library):
+    nl = parse_verilog(SAMPLE, library=library)
+    g1 = nl.instance("g1")
+    assert g1.pin("Z").net.name == "s"
+    assert nl.net("s").driver is g1.pin("Z")
+
+
+def test_directions_heuristic_without_library():
+    nl = parse_verilog(SAMPLE)
+    assert nl.net("s").driver.instance.name == "g1"
+
+
+def test_wire_declarations():
+    text = """
+    module m (a, y);
+      input a;
+      output y;
+      wire n1;
+      INV_X1_LVT g1 (.A(a), .Z(n1));
+      INV_X1_LVT g2 (.A(n1), .Z(y));
+    endmodule
+    """
+    nl = parse_verilog(text)
+    assert "n1" in nl.nets
+    assert len(nl.instances) == 2
+
+
+def test_block_comments_stripped():
+    text = "/* c */ module m (a, y); input a; output y;\n" \
+           "INV_X1_LVT g (.A(a), .Z(y)); endmodule"
+    nl = parse_verilog(text)
+    assert len(nl.instances) == 1
+
+
+def test_positional_connections_rejected():
+    text = "module m (a, y); input a; output y;\n" \
+           "INV_X1_LVT g (a, y); endmodule"
+    with pytest.raises(ParseError):
+        parse_verilog(text)
+
+
+def test_missing_endmodule_rejected():
+    with pytest.raises(ParseError):
+        parse_verilog("module m (a); input a;")
+
+
+def test_undeclared_header_port_rejected():
+    with pytest.raises(ParseError):
+        parse_verilog("module m (a, ghost); input a; endmodule")
+
+
+def test_empty_source_rejected():
+    with pytest.raises(ParseError):
+        parse_verilog("   ")
+
+
+def test_round_trip(library, c17):
+    text = write_verilog(c17)
+    again = parse_verilog(text, library=library)
+    assert again.stats() == c17.stats()
+    assert again.cell_names() == c17.cell_names()
+    # Connectivity spot check: same driver for a primary output.
+    port = c17.output_ports()[0]
+    original_driver = port.net.driver.instance.name
+    assert again.ports[port.name].net.driver.instance.name \
+        == original_driver
+
+
+def test_round_trip_with_holders(library, c17):
+    """Keeper (holder) connections survive the round trip."""
+    from repro.netlist.core import PinDirection
+
+    net = c17.output_ports()[0].net
+    holder = c17.add_instance("h1", "HOLDER_X1")
+    c17.connect(holder, "Z", net, PinDirection.INOUT, keeper=True)
+    c17.connect(holder, "MTE", "MTE", PinDirection.INPUT)
+    text = write_verilog(c17)
+    again = parse_verilog(text, library=library)
+    again_net = again.ports[c17.output_ports()[0].name].net
+    assert len(again_net.keepers) == 1
+    assert again_net.driver is not None

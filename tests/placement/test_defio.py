@@ -1,0 +1,60 @@
+"""DEF writer/reader."""
+
+import pytest
+
+from repro.errors import ParseError, PlacementError
+from repro.placement.defio import parse_def, placement_from_def, write_def
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+
+
+@pytest.fixture()
+def placed_s27(library, s27):
+    placement = GlobalPlacer(s27, library).run()
+    legalize(placement, s27, library)
+    return s27, placement
+
+
+def test_write_contains_components_and_pins(placed_s27):
+    netlist, placement = placed_s27
+    text = write_def(netlist, placement)
+    assert "COMPONENTS" in text
+    assert "END COMPONENTS" in text
+    assert "PINS" in text
+    assert f"DESIGN {netlist.name}" in text
+
+
+def test_round_trip_locations(placed_s27, library):
+    netlist, placement = placed_s27
+    text = write_def(netlist, placement)
+    components, pins, (width, height) = parse_def(text, library.tech)
+    assert set(components) == set(placement.locations)
+    for name, (x, y) in placement.locations.items():
+        rx, ry = components[name]
+        assert rx == pytest.approx(x, abs=1e-3)
+        assert ry == pytest.approx(y, abs=1e-3)
+    assert width == pytest.approx(placement.floorplan.width, abs=1e-3)
+
+
+def test_placement_from_def(placed_s27, library):
+    netlist, placement = placed_s27
+    text = write_def(netlist, placement)
+    rebuilt = placement_from_def(text, netlist, library.tech)
+    for name in placement.locations:
+        assert rebuilt.locations[name] == pytest.approx(
+            placement.locations[name], abs=1e-3)
+
+
+def test_missing_diearea_rejected(library):
+    with pytest.raises(ParseError):
+        parse_def("VERSION 5.8 ;\n", library.tech)
+
+
+def test_incomplete_def_rejected(placed_s27, library):
+    netlist, placement = placed_s27
+    text = write_def(netlist, placement)
+    # Drop one component line.
+    lines = [l for l in text.splitlines()
+             if not l.strip().startswith("- ff_G5")]
+    with pytest.raises(PlacementError):
+        placement_from_def("\n".join(lines), netlist, library.tech)

@@ -1,0 +1,96 @@
+"""Signal-probability / activity propagation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.builder import NetlistBuilder
+from repro.power.activity import ActivityEstimator
+from repro.timing.constraints import Constraints
+
+
+def test_inverter_probability(library):
+    nl = NetlistBuilder("inv").inputs("a").outputs("y") \
+        .gate("INV_X1_LVT", "g1", A="a", Z="y").build()
+    probs = ActivityEstimator(nl, library,
+                              input_probability=0.8).signal_probabilities()
+    assert probs["y"] == pytest.approx(0.2)
+
+
+def test_nand_probability(library):
+    nl = NetlistBuilder("nand").inputs("a", "b").outputs("y") \
+        .gate("NAND2_X1_LVT", "g1", A="a", B="b", Z="y").build()
+    probs = ActivityEstimator(nl, library,
+                              input_probability=0.5).signal_probabilities()
+    assert probs["y"] == pytest.approx(0.75)  # 1 - 0.25
+
+
+def test_xor_probability(library):
+    nl = NetlistBuilder("xor").inputs("a", "b").outputs("y") \
+        .gate("XOR2_X1_LVT", "g1", A="a", B="b", Z="y").build()
+    probs = ActivityEstimator(nl, library,
+                              input_probability=0.5).signal_probabilities()
+    assert probs["y"] == pytest.approx(0.5)
+
+
+def test_per_input_probabilities(library):
+    nl = NetlistBuilder("and").inputs("a", "b").outputs("y") \
+        .gate("AND2_X1_LVT", "g1", A="a", B="b", Z="y").build()
+    probs = ActivityEstimator(
+        nl, library,
+        input_probabilities={"a": 1.0, "b": 0.25}).signal_probabilities()
+    assert probs["y"] == pytest.approx(0.25)
+
+
+def test_activity_peaks_at_half(library):
+    nl = NetlistBuilder("buf").inputs("a").outputs("y") \
+        .gate("BUF_X1_LVT", "g1", A="a", Z="y").build()
+    mid = ActivityEstimator(nl, library, 0.5).activities()["y"]
+    skewed = ActivityEstimator(nl, library, 0.9).activities()["y"]
+    assert mid == pytest.approx(0.5)
+    assert skewed < mid
+
+
+def test_constant_input_means_zero_activity(library, c17):
+    estimator = ActivityEstimator(c17, library, input_probability=1.0)
+    activities = estimator.activities()
+    for name, value in activities.items():
+        assert value == pytest.approx(0.0, abs=1e-12), name
+
+
+def test_ff_outputs_assumed_half(library, s27):
+    probs = ActivityEstimator(s27, library).signal_probabilities()
+    for inst in s27.instances.values():
+        if inst.cell_name.startswith("DFF"):
+            q_net = inst.pins["Q"].net.name
+            assert probs[q_net] == pytest.approx(0.5)
+
+
+def test_dynamic_power_positive_and_below_uniform_worstcase(library, c17):
+    from repro.power.dynamic import DynamicPowerEstimator
+
+    cons = Constraints(clock_period=2.0)
+    activity_power = ActivityEstimator(c17, library).dynamic_power_nw(cons)
+    worst_case = DynamicPowerEstimator(c17, library, cons,
+                                       activity=0.5).total_power_nw()
+    assert 0 < activity_power <= worst_case * 1.0001
+
+
+def test_input_probability_validation(library, c17):
+    with pytest.raises(ValueError):
+        ActivityEstimator(c17, library, input_probability=1.5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(p=st.floats(min_value=0.0, max_value=1.0))
+def test_property_probabilities_in_unit_interval(p):
+    from repro.liberty.synth import build_default_library
+    from repro.benchcircuits.suite import load_circuit
+    from repro.netlist.techmap import technology_map
+
+    library = build_default_library()
+    nl = load_circuit("c17")
+    technology_map(nl, library)
+    probs = ActivityEstimator(nl, library,
+                              input_probability=p).signal_probabilities()
+    for value in probs.values():
+        assert -1e-9 <= value <= 1.0 + 1e-9

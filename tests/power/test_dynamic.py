@@ -1,0 +1,51 @@
+"""Dynamic power estimation."""
+
+import pytest
+
+from repro.power.dynamic import DynamicPowerEstimator
+from repro.timing.constraints import Constraints
+
+
+def test_power_positive(library, c17):
+    estimator = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=2.0))
+    assert estimator.total_power_nw() > 0
+
+
+def test_power_scales_with_frequency(library, c17):
+    slow = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=4.0)).total_power_nw()
+    fast = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=2.0)).total_power_nw()
+    assert fast == pytest.approx(2.0 * slow, rel=1e-6)
+
+
+def test_power_scales_with_activity(library, c17):
+    low = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=2.0),
+        activity=0.05).total_power_nw()
+    high = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=2.0),
+        activity=0.2).total_power_nw()
+    assert high == pytest.approx(4.0 * low, rel=1e-6)
+
+
+def test_activity_validation(library, c17):
+    with pytest.raises(ValueError):
+        DynamicPowerEstimator(c17, library, Constraints(clock_period=2.0),
+                              activity=1.5)
+
+
+def test_vdd_quadratic(library, c17):
+    estimator = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=2.0))
+    p1 = estimator.total_power_nw(vdd=1.0)
+    p2 = estimator.total_power_nw(vdd=2.0)
+    assert p2 == pytest.approx(4.0 * p1, rel=1e-6)
+
+
+def test_per_net_energy(library, c17):
+    estimator = DynamicPowerEstimator(
+        c17, library, Constraints(clock_period=2.0))
+    energy = estimator.per_net_energy_fj("N10")
+    assert energy > 0

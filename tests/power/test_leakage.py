@@ -1,0 +1,107 @@
+"""Standby leakage analysis."""
+
+import pytest
+
+from repro.liberty.library import (
+    VARIANT_CMT,
+    VARIANT_HVT,
+    VARIANT_MTV,
+)
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import PinDirection
+from repro.netlist.transform import swap_variant
+from repro.power.leakage import LeakageAnalyzer
+from repro.power.report import render_leakage_table
+
+
+def test_all_lvt_dominated_by_lvt_category(library, c17):
+    breakdown = LeakageAnalyzer(c17, library).standby_leakage()
+    assert breakdown.lvt_logic_nw == pytest.approx(breakdown.total_nw)
+    assert breakdown.instance_count == 6
+
+
+def test_hvt_swap_reduces_leakage(library, c17):
+    before = LeakageAnalyzer(c17, library).standby_leakage().total_nw
+    for inst in c17.instances.values():
+        swap_variant(c17, inst, library, VARIANT_HVT)
+    after = LeakageAnalyzer(c17, library).standby_leakage().total_nw
+    assert after < before / 10.0
+
+
+def test_mtv_cells_nearly_leakless(library, c17):
+    for inst in c17.instances.values():
+        swap_variant(c17, inst, library, VARIANT_MTV)
+    breakdown = LeakageAnalyzer(c17, library).standby_leakage()
+    assert breakdown.mt_residual_nw == pytest.approx(breakdown.total_nw)
+    # Residual is tiny compared to even an all-HVT netlist.
+    assert breakdown.total_nw < 0.1
+
+
+def test_cmt_leaks_through_embedded_switch(library, c17):
+    for inst in c17.instances.values():
+        swap_variant(c17, inst, library, VARIANT_CMT)
+    breakdown = LeakageAnalyzer(c17, library).standby_leakage()
+    assert breakdown.conventional_mt_nw == pytest.approx(breakdown.total_nw)
+
+
+def test_switches_and_holders_categorized(library):
+    builder = NetlistBuilder("mixed")
+    builder.inputs("a", "MTE")
+    builder.outputs("y")
+    builder.gate("INV_X1_MTV", "g1", A="a", Z="y")
+    nl = builder.build()
+    switch = nl.add_instance("sw1", "SWITCH_X4")
+    nl.connect(switch, "MTE", "MTE", PinDirection.INPUT)
+    nl.connect(switch, "VGND", "vgnd_0", PinDirection.INOUT, keeper=True)
+    holder = nl.add_instance("h1", "HOLDER_X1")
+    nl.connect(holder, "Z", "y", PinDirection.INOUT, keeper=True)
+    nl.connect(holder, "MTE", "MTE", PinDirection.INPUT)
+    breakdown = LeakageAnalyzer(nl, library).standby_leakage()
+    assert breakdown.switch_nw > 0
+    assert breakdown.holder_nw > 0
+    assert breakdown.total_nw == pytest.approx(
+        breakdown.switch_nw + breakdown.holder_nw
+        + breakdown.mt_residual_nw)
+
+
+def test_state_dependent_analysis(library, c17):
+    analyzer = LeakageAnalyzer(c17, library)
+    averaged = analyzer.standby_leakage().total_nw
+    vectors = [
+        {"N1": 0, "N2": 0, "N3": 0, "N6": 0, "N7": 0},
+        {"N1": 1, "N2": 1, "N3": 1, "N6": 1, "N7": 1},
+        {"N1": 1, "N2": 0, "N3": 1, "N6": 0, "N7": 1},
+    ]
+    values = [analyzer.standby_leakage(v).total_nw for v in vectors]
+    assert all(v > 0 for v in values)
+    assert len({round(v, 6) for v in values}) > 1  # states differ
+    # Every state-specific total stays within the physical envelope.
+    assert min(values) < 3.0 * averaged
+    assert max(values) > averaged / 3.0
+
+
+def test_active_leakage_restores_mt_to_lvt_level(library, c17):
+    analyzer = LeakageAnalyzer(c17, library)
+    lvt_total = analyzer.active_leakage()
+    for inst in c17.instances.values():
+        swap_variant(c17, inst, library, VARIANT_MTV)
+    mt_active = LeakageAnalyzer(c17, library).active_leakage()
+    assert mt_active == pytest.approx(lvt_total, rel=1e-6)
+
+
+def test_total_area(library, c17):
+    area = LeakageAnalyzer(c17, library).total_area()
+    expected = 6 * library.cell("NAND2_X1_LVT").area
+    assert area == pytest.approx(expected)
+
+
+def test_render_table(library, c17):
+    breakdown = LeakageAnalyzer(c17, library).standby_leakage()
+    text = render_leakage_table(breakdown)
+    assert "Low-Vth logic" in text
+    assert "Total" in text
+
+
+def test_sequential_category(library, s27):
+    breakdown = LeakageAnalyzer(s27, library).standby_leakage()
+    assert breakdown.sequential_nw > 0

@@ -1,0 +1,90 @@
+"""Elmore delay on RC trees."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import RoutingError
+from repro.routing.elmore import RcTree
+
+
+def test_single_segment():
+    tree = RcTree("drv")
+    tree.add_node("sink", cap_pf=0.01, parent="drv", res_kohm=0.5)
+    delays = tree.elmore_delays()
+    assert delays["drv"] == 0.0
+    assert delays["sink"] == pytest.approx(0.5 * 0.01)
+
+
+def test_two_segment_chain():
+    tree = RcTree("drv")
+    tree.add_node("mid", 0.01, "drv", 0.5)
+    tree.add_node("end", 0.02, "mid", 0.3)
+    delays = tree.elmore_delays()
+    # mid: R1 * (C_mid + C_end); end: mid + R2 * C_end
+    assert delays["mid"] == pytest.approx(0.5 * 0.03)
+    assert delays["end"] == pytest.approx(0.5 * 0.03 + 0.3 * 0.02)
+
+
+def test_branching():
+    tree = RcTree("drv")
+    tree.add_node("stem", 0.0, "drv", 1.0)
+    tree.add_node("a", 0.01, "stem", 0.5)
+    tree.add_node("b", 0.02, "stem", 0.5)
+    delays = tree.elmore_delays()
+    # Stem resistance sees both branch caps.
+    assert delays["a"] == pytest.approx(1.0 * 0.03 + 0.5 * 0.01)
+    assert delays["b"] == pytest.approx(1.0 * 0.03 + 0.5 * 0.02)
+    assert delays["b"] > delays["a"]
+
+
+def test_add_cap():
+    tree = RcTree("drv")
+    tree.add_node("sink", 0.01, "drv", 1.0)
+    tree.add_cap("sink", 0.01)
+    assert tree.elmore_delays()["sink"] == pytest.approx(0.02)
+    assert tree.total_cap() == pytest.approx(0.02)
+
+
+def test_validation():
+    tree = RcTree("drv")
+    tree.add_node("a", 0.01, "drv", 1.0)
+    with pytest.raises(RoutingError):
+        tree.add_node("a", 0.01, "drv", 1.0)    # duplicate
+    with pytest.raises(RoutingError):
+        tree.add_node("b", 0.01, "ghost", 1.0)  # unknown parent
+    with pytest.raises(RoutingError):
+        tree.add_cap("ghost", 0.01)
+
+
+@given(res=st.lists(st.floats(min_value=0.01, max_value=1.0),
+                    min_size=1, max_size=8),
+       cap=st.floats(min_value=0.001, max_value=0.05))
+def test_property_chain_delay_equals_closed_form(res, cap):
+    """Uniform-cap chain matches the analytic Elmore sum."""
+    tree = RcTree("n0")
+    for i, r in enumerate(res):
+        tree.add_node(f"n{i + 1}", cap, f"n{i}", r)
+    delays = tree.elmore_delays()
+    # delay(k) = sum_{i<=k} R_i * (n - i) * cap  where segments below i
+    # carry (len(res) - i) caps.
+    expected = 0.0
+    for k in range(len(res)):
+        expected += res[k] * (len(res) - k) * cap
+    assert delays[f"n{len(res)}"] == pytest.approx(expected, rel=1e-9)
+
+
+@given(st.floats(min_value=0.001, max_value=1.0))
+def test_property_downstream_monotone(extra_cap):
+    """Adding cap anywhere never reduces any delay."""
+    def build(with_extra):
+        tree = RcTree("drv")
+        tree.add_node("mid", 0.01, "drv", 0.4)
+        tree.add_node("end", 0.01, "mid", 0.4)
+        if with_extra:
+            tree.add_cap("end", extra_cap)
+        return tree.elmore_delays()
+
+    base = build(False)
+    heavier = build(True)
+    for node in base:
+        assert heavier[node] >= base[node]

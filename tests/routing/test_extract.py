@@ -1,0 +1,151 @@
+"""Pre/post-route extraction and the SPEF exchange."""
+
+import pytest
+
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.routing.extract import PostRouteExtractor, PreRouteEstimator
+from repro.routing.spef import parse_spef, write_spef
+from repro.timing.constraints import Constraints
+from repro.timing.delay import NetModel
+from repro.timing.sta import TimingAnalyzer
+
+
+@pytest.fixture()
+def placed(library, s27):
+    placement = GlobalPlacer(s27, library).run()
+    legalize(placement, s27, library)
+    return s27, placement
+
+
+class TestPreRoute:
+    def test_extracts_connected_nets(self, library, placed):
+        netlist, placement = placed
+        parasitics = PreRouteEstimator(netlist, placement, library).extract()
+        for name, net in netlist.nets.items():
+            if net.has_driver and net.fanout() > 0:
+                assert name in parasitics
+
+    def test_values_positive(self, library, placed):
+        netlist, placement = placed
+        for p in PreRouteEstimator(netlist, placement, library)\
+                .extract().values():
+            assert p.total_cap_pf >= 0
+            assert p.total_res_kohm >= 0
+            assert p.length_um >= 0
+
+    def test_deterministic(self, library, placed):
+        netlist, placement = placed
+        first = PreRouteEstimator(netlist, placement, library).extract()
+        second = PreRouteEstimator(netlist, placement, library).extract()
+        for name in first:
+            assert first[name].length_um == second[name].length_um
+
+    def test_fanout_factor_monotone(self):
+        factor = PreRouteEstimator._fanout_factor
+        assert factor(2) == 1.0
+        assert factor(3) == 1.0
+        values = [factor(k) for k in range(4, 30)]
+        assert values == sorted(values)
+
+
+class TestPostRoute:
+    def test_sink_delays_cover_all_sinks(self, library, placed):
+        netlist, placement = placed
+        parasitics = PostRouteExtractor(netlist, placement,
+                                        library).extract()
+        for name, net in netlist.nets.items():
+            if not net.has_driver or net.fanout() == 0:
+                continue
+            entry = parasitics[name]
+            for pin in net.sinks:
+                assert pin.full_name in entry.sink_delays
+
+    def test_elmore_delays_nonnegative(self, library, placed):
+        netlist, placement = placed
+        for entry in PostRouteExtractor(netlist, placement,
+                                        library).extract().values():
+            for delay in entry.sink_delays.values():
+                assert delay >= 0
+
+    def test_wire_delay_grows_with_distance(self, library, placed):
+        netlist, placement = placed
+        extractor = PostRouteExtractor(netlist, placement, library)
+        parasitics = extractor.extract()
+        # The farthest sink of a multi-sink net has the largest delay.
+        for name, net in netlist.nets.items():
+            if len(net.sinks) < 2 or net.driver is None:
+                continue
+            entry = parasitics[name]
+            sx, sy = placement.location(net.driver.instance.name)
+            by_distance = sorted(
+                net.sinks,
+                key=lambda p: abs(placement.location(p.instance.name)[0] - sx)
+                + abs(placement.location(p.instance.name)[1] - sy))
+            near = entry.sink_delay(by_distance[0].full_name)
+            far = entry.sink_delay(by_distance[-1].full_name)
+            assert far >= near - 1e-12
+
+
+class TestStaIntegration:
+    def test_parasitics_slow_timing_down(self, library, placed):
+        netlist, placement = placed
+        cons = Constraints(clock_period=50.0)
+        bare = TimingAnalyzer(netlist, library, cons).run()
+        parasitics = PostRouteExtractor(netlist, placement,
+                                        library).extract()
+        loaded = TimingAnalyzer(netlist, library, cons,
+                                parasitics=parasitics).run()
+        assert loaded.wns < bare.wns
+
+    def test_net_model_includes_wire_cap(self, library, placed):
+        netlist, placement = placed
+        cons = Constraints(clock_period=50.0)
+        parasitics = PostRouteExtractor(netlist, placement,
+                                        library).extract()
+        bare_model = NetModel(netlist, library, cons)
+        loaded_model = NetModel(netlist, library, cons, parasitics)
+        checked = 0
+        for name, net in netlist.nets.items():
+            entry = parasitics.get(name)
+            if entry is None or not net.fanout() \
+                    or entry.total_cap_pf <= 0.0:
+                continue
+            assert loaded_model.total_load(net) > bare_model.total_load(net)
+            checked += 1
+        assert checked > 0
+
+
+class TestSpef:
+    def test_round_trip(self, library, placed):
+        netlist, placement = placed
+        parasitics = PostRouteExtractor(netlist, placement,
+                                        library).extract()
+        text = write_spef(parasitics, design_name=netlist.name)
+        parsed = parse_spef(text)
+        assert set(parsed) == set(parasitics)
+        for name, original in parasitics.items():
+            copy = parsed[name]
+            assert copy.total_cap_pf == pytest.approx(
+                original.total_cap_pf, rel=1e-4)
+            assert copy.total_res_kohm == pytest.approx(
+                original.total_res_kohm, rel=1e-4)
+            assert copy.length_um == pytest.approx(
+                original.length_um, rel=1e-4)
+            for sink, delay in original.sink_delays.items():
+                assert copy.sink_delay(sink) == pytest.approx(
+                    delay, rel=1e-4, abs=1e-9)
+
+    def test_header_present(self, library, placed):
+        netlist, placement = placed
+        parasitics = PreRouteEstimator(netlist, placement,
+                                       library).extract()
+        text = write_spef(parasitics, design_name="s27")
+        assert text.startswith('*SPEF')
+        assert "*DESIGN s27" in text
+
+    def test_malformed_rejected(self):
+        from repro.errors import ParseError
+
+        with pytest.raises(ParseError):
+            parse_spef("*D_NET too many tokens here\n*END\n")

@@ -1,0 +1,74 @@
+"""Rectilinear spanning tree construction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.routing.steiner import build_mst
+
+
+def test_two_points():
+    tree = build_mst(["a", "b"], [(0.0, 0.0), (3.0, 4.0)])
+    assert tree.total_length == pytest.approx(7.0)
+    assert tree.edges == [(0, 1)]
+
+
+def test_collinear_chain():
+    points = [(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]
+    tree = build_mst(list("abcd"), points)
+    assert tree.total_length == pytest.approx(3.0)
+
+
+def test_star_topology():
+    # Root in the centre; MST connects each directly.
+    points = [(0.0, 0.0), (1.0, 0.0), (-1.0, 0.0), (0.0, 1.0)]
+    tree = build_mst(list("rabc"), points, root_index=0)
+    assert tree.total_length == pytest.approx(3.0)
+    assert all(parent == 0 for parent, _child in tree.edges)
+
+
+def test_edges_parent_before_child():
+    points = [(0.0, 0.0), (5.0, 0.0), (10.0, 0.0), (15.0, 0.0)]
+    tree = build_mst(list("abcd"), points)
+    reached = {0}
+    for parent, child in tree.edges:
+        assert parent in reached
+        reached.add(child)
+    assert reached == {0, 1, 2, 3}
+
+
+def test_empty_and_singleton():
+    assert build_mst([], []).total_length == 0.0
+    single = build_mst(["a"], [(1.0, 1.0)])
+    assert single.total_length == 0.0
+    assert single.edges == []
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        build_mst(["a"], [(0.0, 0.0), (1.0, 1.0)])
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.floats(min_value=0, max_value=100)),
+                min_size=2, max_size=12, unique=True))
+def test_property_tree_spans_all_points(points):
+    names = [f"p{i}" for i in range(len(points))]
+    tree = build_mst(names, points)
+    assert len(tree.edges) == len(points) - 1
+    reached = {0}
+    for parent, child in tree.edges:
+        assert parent in reached
+        reached.add(child)
+    assert reached == set(range(len(points)))
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=100),
+                          st.floats(min_value=0, max_value=100)),
+                min_size=2, max_size=10, unique=True))
+def test_property_mst_at_least_bbox_halfperimeter_over_sqrt(points):
+    """MST length is bounded below by half the bbox half-perimeter."""
+    tree = build_mst([f"p{i}" for i in range(len(points))], points)
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    hpwl = (max(xs) - min(xs)) + (max(ys) - min(ys))
+    assert tree.total_length >= hpwl - 1e-6 or len(points) == 2

@@ -1,0 +1,90 @@
+"""Equivalence checking."""
+
+import pytest
+
+from repro.errors import EquivalenceError
+from repro.liberty.library import VARIANT_HVT
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.transform import swap_variant
+from repro.sim.equivalence import check_equivalence
+from repro.sim.vectors import exhaustive_vectors, random_vectors, walking_ones
+
+
+class TestVectors:
+    def test_exhaustive_count(self):
+        assert len(list(exhaustive_vectors(["a", "b", "c"]))) == 8
+
+    def test_random_deterministic(self):
+        first = list(random_vectors(["a", "b"], 10, seed=7))
+        second = list(random_vectors(["a", "b"], 10, seed=7))
+        assert first == second
+
+    def test_walking_ones(self):
+        vectors = list(walking_ones(["a", "b"]))
+        assert {"a": 1, "b": 0} in vectors
+        assert {"a": 0, "b": 1} in vectors
+        assert vectors[0] == {"a": 0, "b": 0}
+        assert vectors[-1] == {"a": 1, "b": 1}
+
+
+class TestEquivalence:
+    def test_identical_netlists(self, library, c17):
+        report = check_equivalence(c17, c17.clone("copy"), library)
+        assert report.equivalent
+        assert report.exhaustive
+        assert report.vectors_checked == 32
+
+    def test_variant_swap_equivalent(self, library, c17):
+        revised = c17.clone("revised")
+        for inst in revised.instances.values():
+            swap_variant(revised, inst, library, VARIANT_HVT)
+        assert check_equivalence(c17, revised, library).equivalent
+
+    def test_detects_functional_difference(self, library):
+        golden = NetlistBuilder("g")
+        golden.inputs("a", "b").outputs("y")
+        golden.gate("AND2_X1_LVT", "g1", A="a", B="b", Z="y")
+        revised = NetlistBuilder("r")
+        revised.inputs("a", "b").outputs("y")
+        revised.gate("OR2_X1_LVT", "g1", A="a", B="b", Z="y")
+        report = check_equivalence(golden.build(), revised.build(), library)
+        assert not report.equivalent
+        assert report.mismatches
+
+    def test_port_mismatch_raises(self, library, c17, half_adder):
+        with pytest.raises(EquivalenceError):
+            check_equivalence(c17, half_adder, library)
+
+    def test_sequential_equivalence(self, library, s27):
+        report = check_equivalence(s27, s27.clone("copy"), library)
+        assert report.equivalent
+
+    def test_sequential_difference_detected(self, library, s27):
+        revised = s27.clone("revised")
+        # Rewire one FF's D input to a different net.
+        ff = next(i for i in revised.instances.values()
+                  if i.cell_name.startswith("DFF"))
+        d_pin = ff.pin("D")
+        old_net = d_pin.net
+        other_net = next(n for n in revised.nets.values()
+                         if n is not old_net and n.has_driver)
+        revised.disconnect(d_pin)
+        revised.connect(ff, "D", other_net, d_pin.direction)
+        report = check_equivalence(s27, revised, library)
+        assert not report.equivalent
+
+    def test_raise_on_mismatch(self, library):
+        golden = NetlistBuilder("g")
+        golden.inputs("a").outputs("y")
+        golden.gate("INV_X1_LVT", "g1", A="a", Z="y")
+        revised = NetlistBuilder("r")
+        revised.inputs("a").outputs("y")
+        revised.gate("BUF_X1_LVT", "g1", A="a", Z="y")
+        with pytest.raises(EquivalenceError):
+            check_equivalence(golden.build(), revised.build(), library,
+                              raise_on_mismatch=True)
+
+    def test_mte_port_ignored(self, library, c17):
+        revised = c17.clone("revised")
+        revised.add_input("MTE")
+        assert check_equivalence(c17, revised, library).equivalent

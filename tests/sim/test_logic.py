@@ -1,0 +1,129 @@
+"""Four-valued simulator including standby semantics."""
+
+import pytest
+
+from repro.liberty.library import VARIANT_CMT, VARIANT_HVT, VARIANT_MTV
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.core import PinDirection
+from repro.netlist.transform import swap_variant
+from repro.sim.logic import FLOATING, ONE, Simulator, UNKNOWN, ZERO
+
+
+class TestActiveMode:
+    def test_c17_known_vector(self, library, c17):
+        sim = Simulator(c17, library)
+        result = sim.evaluate({"N1": 0, "N2": 0, "N3": 0, "N6": 0, "N7": 0})
+        # All-zero inputs: every first-level NAND outputs 1.
+        assert result.output_values["N22"] in (0, 1)
+        assert not result.floating_input_pins
+
+    def test_c17_exhaustive_consistency(self, library, c17):
+        """Outputs match direct evaluation of the NAND network."""
+        sim = Simulator(c17, library)
+        for vector_index in range(32):
+            bits = [(vector_index >> k) & 1 for k in range(5)]
+            env = dict(zip(("N1", "N2", "N3", "N6", "N7"), bits))
+            n10 = 1 - (env["N1"] & env["N3"])
+            n11 = 1 - (env["N3"] & env["N6"])
+            n16 = 1 - (env["N2"] & n11)
+            n19 = 1 - (n11 & env["N7"])
+            n22 = 1 - (n10 & n16)
+            n23 = 1 - (n16 & n19)
+            result = sim.evaluate(env)
+            assert result.output_values["N22"] == n22
+            assert result.output_values["N23"] == n23
+
+    def test_x_propagation(self, library, c17):
+        sim = Simulator(c17, library)
+        result = sim.evaluate({"N1": UNKNOWN, "N2": 0, "N3": 1,
+                               "N6": 1, "N7": 0})
+        # N10 = !(X & 1) = X ... N22 depends on it unless controlled.
+        assert result.value("N10") == UNKNOWN
+
+    def test_missing_inputs_default_to_x(self, library, c17):
+        sim = Simulator(c17, library)
+        result = sim.evaluate({})
+        assert all(v in (0, 1, UNKNOWN)
+                   for v in result.output_values.values())
+
+
+class TestSequential:
+    def test_state_drives_q(self, library, s27):
+        sim = Simulator(s27, library)
+        ffs = sim.flip_flops()
+        assert len(ffs) == 3
+        state = {ff.name: 1 for ff in ffs}
+        result = sim.evaluate({"G0": 0, "G1": 0, "G2": 0, "G3": 0}, state)
+        for ff in ffs:
+            q_net = ff.pins["Q"].net.name
+            assert result.value(q_net) == 1
+
+    def test_step_advances_state(self, library, s27):
+        sim = Simulator(s27, library)
+        state = {ff.name: 0 for ff in sim.flip_flops()}
+        vector = {"G0": 1, "G1": 0, "G2": 1, "G3": 0}
+        result, new_state = sim.step(vector, state)
+        assert new_state == result.next_state
+
+    def test_standby_retains_state(self, library, s27):
+        sim = Simulator(s27, library)
+        state = {ff.name: 1 for ff in sim.flip_flops()}
+        _result, new_state = sim.step({"G0": 0, "G1": 0, "G2": 0, "G3": 0},
+                                      state, standby=True)
+        assert new_state == state
+
+
+def _mt_pair(library):
+    """Two-stage design: MT NAND feeding a powered HVT inverter."""
+    builder = NetlistBuilder("mt_pair")
+    builder.inputs("a", "b")
+    builder.outputs("y")
+    builder.gate("NAND2_X1_MTV", "mt1", A="a", B="b", Z="n1")
+    builder.gate("INV_X1_HVT", "hv1", A="n1", Z="y")
+    return builder.build()
+
+
+class TestStandby:
+    def test_improved_mt_floats_in_standby(self, library):
+        nl = _mt_pair(library)
+        sim = Simulator(nl, library)
+        result = sim.evaluate({"a": 1, "b": 1}, standby=True)
+        assert result.value("n1") == FLOATING
+        # The powered inverter saw a floating input.
+        assert "hv1/A" in result.floating_input_pins
+
+    def test_holder_pins_net_to_one(self, library):
+        nl = _mt_pair(library)
+        holder = nl.add_instance("hold1", "HOLDER_X1")
+        nl.add_input("MTE")
+        nl.connect(holder, "Z", "n1", PinDirection.INOUT, keeper=True)
+        nl.connect(holder, "MTE", "MTE", PinDirection.INPUT)
+        sim = Simulator(nl, library)
+        result = sim.evaluate({"a": 1, "b": 1}, standby=True)
+        assert result.value("n1") == ONE
+        assert result.value("y") == ZERO      # INV of held 1
+        assert not result.floating_input_pins
+
+    def test_conventional_mt_holds_one(self, library):
+        nl = _mt_pair(library)
+        mt1 = nl.instance("mt1")
+        swap_variant(nl, mt1, library, VARIANT_CMT)
+        sim = Simulator(nl, library)
+        result = sim.evaluate({"a": 1, "b": 1}, standby=True)
+        assert result.value("n1") == ONE
+        assert result.value("y") == ZERO
+
+    def test_active_mode_mt_behaves_normally(self, library):
+        nl = _mt_pair(library)
+        sim = Simulator(nl, library)
+        result = sim.evaluate({"a": 1, "b": 1}, standby=False)
+        assert result.value("n1") == ZERO
+        assert result.value("y") == ONE
+
+    def test_mte_port_follows_standby_flag(self, library):
+        nl = _mt_pair(library)
+        nl.add_input("MTE")
+        sim = Simulator(nl, library)
+        active = sim.evaluate({"a": 1, "b": 1, "MTE": 0}, standby=False)
+        # standby=False overrides the supplied MTE value.
+        assert active.value("MTE") == 1

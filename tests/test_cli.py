@@ -1,0 +1,47 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    output = capsys.readouterr().out
+    assert "c17" in output
+    assert "circuitA" in output
+
+
+def test_library_command_to_file(tmp_path, capsys):
+    out = tmp_path / "lib.lib"
+    assert main(["library", "--out", str(out)]) == 0
+    text = out.read_text()
+    assert "library (repro_smt)" in text
+    assert "NAND2_X1_MTV" in text
+
+
+def test_flow_command(capsys):
+    assert main(["flow", "--circuit", "c17", "--technique", "improved_smt",
+                 "--margin", "0.2"]) == 0
+    output = capsys.readouterr().out
+    assert "physical_synthesis" in output
+    assert "total area" in output
+
+
+def test_compare_command(capsys):
+    assert main(["compare", "--circuit", "c17", "--margin", "0.2"]) == 0
+    output = capsys.readouterr().out
+    assert "dual_vth" in output
+    assert "improved_smt" in output
+
+
+def test_parser_rejects_bad_technique():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["flow", "--circuit", "c17",
+                           "--technique", "magic"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

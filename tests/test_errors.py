@@ -1,0 +1,32 @@
+"""Exception hierarchy and error formatting."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    assert issubclass(errors.ParseError, errors.ReproError)
+    assert issubclass(errors.LibertyError, errors.ParseError)
+    assert issubclass(errors.ValidationError, errors.NetlistError)
+    assert issubclass(errors.SizingError, errors.VgndError)
+    for name in ("TimingError", "PowerError", "PlacementError",
+                 "RoutingError", "FlowError", "EquivalenceError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_parse_error_location_formatting():
+    err = errors.ParseError("bad token", filename="x.lib", line=4, column=7)
+    assert str(err) == "x.lib:4:7: bad token"
+    assert err.line == 4 and err.column == 7
+
+
+def test_parse_error_partial_location():
+    assert str(errors.ParseError("oops", line=2)) == "2: oops"
+    assert str(errors.ParseError("oops", filename="f")) == "f: oops"
+    assert str(errors.ParseError("oops")) == "oops"
+
+
+def test_single_catch_point():
+    with pytest.raises(errors.ReproError):
+        raise errors.SizingError("nope")

@@ -1,0 +1,122 @@
+"""Cross-cutting property tests over generated circuits.
+
+Each property runs the real machinery (techmap, placement, clustering,
+holders, simulation) on hypothesis-generated circuit configurations and
+asserts the invariants the Selective-MT methodology rests on.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.core.output_holder import insert_output_holders, nets_needing_holders
+from repro.liberty.library import VARIANT_HVT, VARIANT_MTV
+from repro.liberty.synth import build_default_library
+from repro.netlist.techmap import technology_map
+from repro.netlist.transform import swap_variant
+from repro.netlist.validate import check_netlist
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.sim.equivalence import check_equivalence
+from repro.sim.logic import Simulator
+from repro.vgnd.cluster import ClusterConfig, MtClusterer
+from repro.vgnd.sizing import SwitchSizer
+
+SLOW = settings(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+small_configs = st.builds(
+    GeneratorConfig,
+    n_gates=st.integers(min_value=20, max_value=90),
+    n_inputs=st.integers(min_value=4, max_value=10),
+    n_outputs=st.integers(min_value=2, max_value=6),
+    depth=st.integers(min_value=3, max_value=10),
+    style=st.sampled_from(["layered", "tapered", "grid"]),
+    seed=st.integers(min_value=0, max_value=10_000))
+
+
+@SLOW
+@given(config=small_configs)
+def test_property_generated_circuits_map_and_validate(config):
+    library = build_default_library()
+    netlist = generate_circuit("gen", config)
+    technology_map(netlist, library)
+    assert check_netlist(netlist, library) == []
+
+
+@SLOW
+@given(config=small_configs, fraction=st.floats(min_value=0.1, max_value=1.0))
+def test_property_holder_rule_complete_and_minimal(config, fraction):
+    """After insertion, exactly the boundary nets carry holders."""
+    library = build_default_library()
+    netlist = generate_circuit("gen", config)
+    technology_map(netlist, library)
+    # Convert a prefix of instances to MTV, the rest to HVT.
+    instances = [i for i in netlist.instances.values()
+                 if library.cell(i.cell_name).kind.value in
+                 ("logic", "buffer")]
+    cut = max(1, int(len(instances) * fraction))
+    for inst in instances[:cut]:
+        swap_variant(netlist, inst, library, VARIANT_MTV)
+    for inst in instances[cut:]:
+        swap_variant(netlist, inst, library, VARIANT_HVT)
+    netlist.add_input("MTE")
+    insert_output_holders(netlist, library)
+    # Completeness: no net still needs a holder without having one.
+    for net in nets_needing_holders(netlist, library):
+        assert net.keepers
+    # Minimality: every holder sits on a net that needed one.
+    needing = {n.name for n in nets_needing_holders(netlist, library)}
+    for inst in netlist.instances.values():
+        if inst.cell_name == "HOLDER_X1":
+            assert inst.pin("Z").net.name in needing
+    # Standby simulation sees no floating powered inputs.
+    sim = Simulator(netlist, library)
+    vector = {p.name: 1 for p in netlist.input_ports()}
+    result = sim.evaluate(vector, standby=True)
+    assert result.floating_input_pins == []
+
+
+@SLOW
+@given(config=small_configs,
+       max_cells=st.integers(min_value=2, max_value=32))
+def test_property_clustering_partition_and_bounce(config, max_cells):
+    """Clustering partitions the MT set; sizing meets the limit."""
+    library = build_default_library()
+    netlist = generate_circuit("gen", config)
+    technology_map(netlist, library)
+    placement = GlobalPlacer(netlist, library).run()
+    legalize(placement, netlist, library)
+    mt_names = []
+    for inst in netlist.instances.values():
+        cell = library.cell(inst.cell_name)
+        if library.has_variant(cell, VARIANT_MTV):
+            swap_variant(netlist, inst, library, VARIANT_MTV)
+            mt_names.append(inst.name)
+    cluster_config = ClusterConfig(max_cells_per_switch=max_cells)
+    network = MtClusterer(netlist, library, placement,
+                          cluster_config).build(mt_names)
+    clustered = sorted(m for c in network.clusters for m in c.members)
+    assert clustered == sorted(mt_names)
+    for cluster in network.clusters:
+        assert cluster.size <= max_cells
+    SwitchSizer(library,
+                cluster_config.bounce_limit_v).size_network(network)
+    assert network.bounce_ok()
+
+
+@SLOW
+@given(config=small_configs)
+def test_property_variant_swaps_preserve_function(config):
+    """Any all-HVT re-binding is equivalent to the LVT original."""
+    library = build_default_library()
+    netlist = generate_circuit("gen", config)
+    technology_map(netlist, library)
+    golden = netlist.clone("golden")
+    for inst in netlist.instances.values():
+        cell = library.cell(inst.cell_name)
+        if library.has_variant(cell, VARIANT_HVT) and not cell.is_sequential:
+            swap_variant(netlist, inst, library, VARIANT_HVT)
+    report = check_equivalence(golden, netlist, library,
+                               max_random_vectors=32)
+    assert report.equivalent

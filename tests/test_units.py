@@ -1,0 +1,57 @@
+"""Unit conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+def test_thermal_voltage_at_room_temperature():
+    assert units.thermal_voltage() == pytest.approx(0.02585, rel=1e-2)
+
+
+def test_thermal_voltage_scales_with_temperature():
+    assert units.thermal_voltage(600.0) == pytest.approx(
+        2.0 * units.thermal_voltage(300.0))
+
+
+def test_power_round_trip():
+    assert units.nw_to_watts(units.watts_to_nw(1.5)) == pytest.approx(1.5)
+
+
+def test_current_round_trip():
+    assert units.ma_to_amps(units.amps_to_ma(0.25)) == pytest.approx(0.25)
+
+
+def test_time_round_trip():
+    assert units.ns_to_seconds(units.seconds_to_ns(3e-9)) == pytest.approx(3e-9)
+
+
+def test_pretty_power_selects_prefix():
+    assert units.pretty_power(0.5) == "500.000 pW"
+    assert units.pretty_power(5.0).endswith("nW")
+    assert units.pretty_power(5e3).endswith("uW")
+    assert units.pretty_power(5e6).endswith("mW")
+    assert units.pretty_power(0.0) == "0 nW"
+
+
+def test_pretty_time():
+    assert units.pretty_time(1.5) == "1.500 ns"
+    assert units.pretty_time(0.25).endswith("ps")
+
+
+def test_db10():
+    assert units.db10(10.0) == pytest.approx(10.0)
+    assert units.db10(1.0) == pytest.approx(0.0)
+    assert units.db10(0.0) == -math.inf
+
+
+def test_elmore_unit_consistency():
+    # kOhm * pF must equal ns for the Elmore math to need no scaling.
+    assert units.KOHM * units.PF == pytest.approx(units.NS)
+
+
+def test_ir_drop_unit_consistency():
+    # mA * kOhm must equal volts.
+    assert units.MA * units.KOHM == pytest.approx(1.0)

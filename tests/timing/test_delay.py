@@ -1,0 +1,80 @@
+"""Net load / wire delay model (NetModel)."""
+
+import pytest
+
+from repro.routing.extract import NetParasitics
+from repro.timing.constraints import Constraints
+from repro.timing.delay import NetModel
+
+
+def test_total_load_sums_pin_caps(library, c17):
+    model = NetModel(c17, library, Constraints(clock_period=2.0))
+    net = c17.net("N16")  # two NAND2 sinks
+    pin_cap = library.cell("NAND2_X1_LVT").pins["A"].capacitance
+    assert model.total_load(net) == pytest.approx(2 * pin_cap)
+
+
+def test_output_port_load_added(library, c17):
+    cons = Constraints(clock_period=2.0, output_load=0.005)
+    model = NetModel(c17, library, cons)
+    net = c17.net("N22")  # primary output, no instance sinks
+    assert model.total_load(net) == pytest.approx(0.005)
+
+
+def test_per_port_load_override(library, c17):
+    cons = Constraints(clock_period=2.0, output_load=0.005,
+                       output_loads={"N22": 0.02})
+    model = NetModel(c17, library, cons)
+    assert model.total_load(c17.net("N22")) == pytest.approx(0.02)
+
+
+def test_keeper_pins_count_as_load(library, c17):
+    from repro.netlist.core import PinDirection
+
+    cons = Constraints(clock_period=2.0, output_load=0.0)
+    before = NetModel(c17, library, cons).total_load(c17.net("N22"))
+    holder = c17.add_instance("h1", "HOLDER_X1")
+    c17.connect(holder, "Z", "N22", PinDirection.INOUT, keeper=True)
+    after = NetModel(c17, library, cons).total_load(c17.net("N22"))
+    assert after > before
+
+
+def test_wire_delay_from_parasitics(library, c17):
+    net = c17.net("N16")
+    sink = net.sinks[0]
+    parasitics = {"N16": NetParasitics(
+        net_name="N16", total_cap_pf=0.004, total_res_kohm=0.1,
+        length_um=20.0, sink_delays={sink.full_name: 0.0123})}
+    model = NetModel(c17, library, Constraints(clock_period=2.0),
+                     parasitics)
+    assert model.wire_delay(net, sink) == pytest.approx(0.0123)
+    other = net.sinks[1]
+    assert model.wire_delay(net, other) == 0.0  # unknown sink -> 0
+
+
+def test_wire_cap_added_to_load(library, c17):
+    cons = Constraints(clock_period=2.0)
+    bare = NetModel(c17, library, cons).total_load(c17.net("N16"))
+    parasitics = {"N16": NetParasitics(
+        net_name="N16", total_cap_pf=0.01, total_res_kohm=0.1,
+        length_um=50.0)}
+    loaded = NetModel(c17, library, cons, parasitics) \
+        .total_load(c17.net("N16"))
+    assert loaded == pytest.approx(bare + 0.01)
+
+
+def test_cache_invalidation(library, c17):
+    from repro.netlist.core import PinDirection
+
+    cons = Constraints(clock_period=2.0)
+    model = NetModel(c17, library, cons)
+    net = c17.net("N16")
+    before = model.total_load(net)
+    # Add a sink; the cached value is stale until invalidated.
+    inv = c17.add_instance("extra", "INV_X1_LVT")
+    c17.connect(inv, "A", net, PinDirection.INPUT)
+    assert model.total_load(net) == pytest.approx(before)
+    model.invalidate(net)
+    assert model.total_load(net) > before
+    model.invalidate()  # full clear also works
+    assert model.total_load(net) > before

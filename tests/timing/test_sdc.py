@@ -1,0 +1,78 @@
+"""SDC reader/writer subset."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.timing.constraints import Constraints
+from repro.timing.sdc import parse_sdc, write_sdc
+
+SAMPLE = """
+# constraints for c880
+create_clock -period 2.5 -name core [get_ports CLK]
+set_input_transition 0.04 [all_inputs]
+set_input_delay 0.1 [all_inputs]
+set_output_delay 0.2 [all_outputs]
+set_input_delay 0.3 [get_ports fast_in]
+set_load 0.004 [get_ports slow_out]
+"""
+
+
+def test_parse_sample():
+    cons = parse_sdc(SAMPLE)
+    assert cons.clock_period == pytest.approx(2.5)
+    assert cons.clock_port == "CLK"
+    assert cons.input_slew == pytest.approx(0.04)
+    assert cons.input_delay == pytest.approx(0.1)
+    assert cons.output_delay == pytest.approx(0.2)
+    assert cons.input_delays["fast_in"] == pytest.approx(0.3)
+    assert cons.output_loads["slow_out"] == pytest.approx(0.004)
+
+
+def test_per_port_overrides():
+    cons = parse_sdc(SAMPLE)
+    assert cons.input_delay_for("fast_in") == pytest.approx(0.3)
+    assert cons.input_delay_for("other") == pytest.approx(0.1)
+    assert cons.output_load_for("slow_out") == pytest.approx(0.004)
+
+
+def test_missing_clock_rejected():
+    with pytest.raises(ParseError):
+        parse_sdc("set_input_delay 0.1 [all_inputs]")
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(ParseError):
+        parse_sdc("create_clock -period 1 [get_ports CLK]\n"
+                  "set_false_path -from [get_ports a]\n")
+
+
+def test_create_clock_requires_period():
+    with pytest.raises(ParseError):
+        parse_sdc("create_clock -name x [get_ports CLK]")
+
+
+def test_unbalanced_brackets_rejected():
+    with pytest.raises(ParseError):
+        parse_sdc("create_clock -period 1 [get_ports CLK\n")
+
+
+def test_comments_ignored():
+    cons = parse_sdc("# comment\ncreate_clock -period 3 [get_ports CK]\n")
+    assert cons.clock_period == pytest.approx(3.0)
+    assert cons.clock_port == "CK"
+
+
+def test_round_trip():
+    original = Constraints(
+        clock_period=1.8, clock_port="CK", input_delay=0.05,
+        output_delay=0.1, input_slew=0.03,
+        input_delays={"a": 0.2}, output_delays={"y": 0.15},
+        output_loads={"y": 0.006})
+    text = write_sdc(original)
+    parsed = parse_sdc(text)
+    assert parsed.clock_period == pytest.approx(original.clock_period)
+    assert parsed.clock_port == original.clock_port
+    assert parsed.input_slew == pytest.approx(original.input_slew)
+    assert parsed.input_delays == pytest.approx(original.input_delays)
+    assert parsed.output_delays == pytest.approx(original.output_delays)
+    assert parsed.output_loads == pytest.approx(original.output_loads)

@@ -1,0 +1,172 @@
+"""Static timing analysis engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FlowError, TimingError
+from repro.liberty.library import VARIANT_HVT
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.transform import swap_variant
+from repro.timing.constraints import Constraints
+from repro.timing.sta import TimingAnalyzer
+
+
+def chain(length, cell="NAND2_X1_LVT"):
+    builder = NetlistBuilder(f"chain{length}")
+    builder.inputs("a")
+    previous = "a"
+    for i in range(length):
+        builder.gate(cell, f"g{i}", A=previous, B=previous, Z=f"n{i}")
+        previous = f"n{i}"
+    builder.outputs(previous)
+    return builder.build()
+
+
+class TestCombinational:
+    def test_chain_arrival_scales_with_length(self, library):
+        cons = Constraints(clock_period=100.0)
+        arr5 = 100.0 - TimingAnalyzer(chain(5), library, cons).run().wns
+        arr10 = 100.0 - TimingAnalyzer(chain(10), library, cons).run().wns
+        assert arr10 > 1.8 * arr5
+
+    def test_positive_slack_when_period_loose(self, library, c17):
+        report = TimingAnalyzer(c17, library,
+                                Constraints(clock_period=10.0)).run()
+        assert report.setup_met
+        assert report.wns > 0
+
+    def test_negative_slack_when_period_tight(self, library, c17):
+        report = TimingAnalyzer(c17, library,
+                                Constraints(clock_period=0.01)).run()
+        assert not report.setup_met
+        assert report.tns <= report.wns < 0
+
+    def test_hvt_slower_than_lvt(self, library):
+        cons = Constraints(clock_period=100.0)
+        lvt_chain = chain(10)
+        hvt_chain = chain(10)
+        for inst in hvt_chain.instances.values():
+            swap_variant(hvt_chain, inst, library, VARIANT_HVT)
+        lvt_arr = 100.0 - TimingAnalyzer(lvt_chain, library, cons).run().wns
+        hvt_arr = 100.0 - TimingAnalyzer(hvt_chain, library, cons).run().wns
+        assert 1.1 < hvt_arr / lvt_arr < 1.45
+
+    def test_derates_slow_down_instances(self, library, c17):
+        cons = Constraints(clock_period=100.0)
+        base = TimingAnalyzer(c17, library, cons).run()
+        derated = TimingAnalyzer(
+            c17, library, cons,
+            derates={name: 1.5 for name in c17.instances}).run()
+        base_arr = 100.0 - base.wns
+        derated_arr = 100.0 - derated.wns
+        assert derated_arr == pytest.approx(1.5 * base_arr, rel=0.05)
+
+    def test_input_delay_shifts_arrival(self, library, c17):
+        base = TimingAnalyzer(c17, library,
+                              Constraints(clock_period=100.0)).run()
+        shifted = TimingAnalyzer(
+            c17, library,
+            Constraints(clock_period=100.0, input_delay=1.0)).run()
+        assert (100.0 - shifted.wns) == pytest.approx(
+            (100.0 - base.wns) + 1.0, abs=1e-6)
+
+    def test_output_delay_tightens_required(self, library, c17):
+        base = TimingAnalyzer(c17, library,
+                              Constraints(clock_period=100.0)).run()
+        tightened = TimingAnalyzer(
+            c17, library,
+            Constraints(clock_period=100.0, output_delay=2.0)).run()
+        assert tightened.wns == pytest.approx(base.wns - 2.0, abs=1e-6)
+
+    def test_output_load_increases_delay(self, library, c17):
+        loose = TimingAnalyzer(
+            c17, library,
+            Constraints(clock_period=100.0, output_load=0.001)).run()
+        heavy = TimingAnalyzer(
+            c17, library,
+            Constraints(clock_period=100.0, output_load=0.02)).run()
+        assert heavy.wns < loose.wns
+
+
+class TestSequential:
+    def test_s27_setup_and_hold_checks(self, library, s27):
+        report = TimingAnalyzer(s27, library,
+                                Constraints(clock_period=5.0)).run()
+        kinds = {c.kind for c in report.endpoint_checks}
+        assert "setup" in kinds
+        assert "hold" in kinds
+        assert report.setup_met
+        assert report.hold_met
+
+    def test_required_respects_setup_time(self, library, s27):
+        report = TimingAnalyzer(s27, library,
+                                Constraints(clock_period=5.0)).run()
+        setup_checks = [c for c in report.endpoint_checks
+                        if c.kind == "setup"]
+        for check in setup_checks:
+            assert check.required < 5.0  # period minus setup
+
+    def test_clock_arrival_skew_applied(self, library):
+        # ff1 -> inv -> ff2: skewing ff2's capture clock later relaxes
+        # its setup check (ff1's launch is unaffected).
+        builder = NetlistBuilder("skewed")
+        builder.inputs("d")
+        builder.outputs("q2")
+        builder.dff("ff1", d="d", q="n1", cell_name="DFF_X1_LVT")
+        builder.gate("INV_X1_LVT", "g1", A="n1", Z="n2")
+        builder.dff("ff2", d="n2", q="q2", cell_name="DFF_X1_LVT")
+        nl = builder.build()
+        cons = Constraints(clock_period=5.0)
+        base = TimingAnalyzer(nl, library, cons).run()
+        skewed = TimingAnalyzer(nl, library, cons,
+                                clock_arrivals={"ff2": 0.5}).run()
+        base_check = next(c for c in base.endpoint_checks
+                          if c.endpoint == "ff2/D" and c.kind == "setup")
+        skew_check = next(c for c in skewed.endpoint_checks
+                          if c.endpoint == "ff2/D" and c.kind == "setup")
+        assert skew_check.slack > base_check.slack
+
+    def test_critical_endpoint_identified(self, library, s27):
+        report = TimingAnalyzer(s27, library,
+                                Constraints(clock_period=5.0)).run()
+        assert report.critical_endpoint is not None
+
+
+class TestReport:
+    def test_summary_renders(self, library, c17):
+        report = TimingAnalyzer(c17, library,
+                                Constraints(clock_period=2.0)).run()
+        text = report.summary()
+        assert "WNS" in text and "period" in text
+
+    def test_slack_of_unknown_net_is_inf(self, library, c17):
+        report = TimingAnalyzer(c17, library,
+                                Constraints(clock_period=2.0)).run()
+        assert report.slack_of_net("ghost") == float("inf")
+
+
+@settings(max_examples=20, deadline=None)
+@given(length=st.integers(min_value=1, max_value=15))
+def test_property_arrival_monotone_in_depth(length):
+    from repro.liberty.synth import build_default_library
+
+    library = build_default_library()
+    cons = Constraints(clock_period=100.0)
+    shorter = 100.0 - TimingAnalyzer(chain(length), library, cons).run().wns
+    longer = 100.0 - TimingAnalyzer(chain(length + 1), library,
+                                    cons).run().wns
+    assert longer > shorter
+
+
+def test_constraints_validation():
+    with pytest.raises(TimingError):
+        Constraints(clock_period=0.0)
+    with pytest.raises(TimingError):
+        Constraints(clock_period=-1.0)
+
+
+def test_constraints_scaled():
+    cons = Constraints(clock_period=2.0, input_delay=0.1)
+    tighter = cons.scaled(0.5)
+    assert tighter.clock_period == pytest.approx(1.0)
+    assert tighter.input_delay == pytest.approx(0.1)

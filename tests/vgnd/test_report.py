@@ -1,0 +1,111 @@
+"""VGND network report rendering and refinement."""
+
+import pytest
+
+from repro.errors import VgndError
+from repro.liberty.library import VARIANT_MTV
+from repro.netlist.techmap import technology_map
+from repro.netlist.transform import swap_variant
+from repro.netlist.validate import check_netlist
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.vgnd.cluster import ClusterConfig, MtClusterer
+from repro.vgnd.refine import repair_unsizeable, split_cluster
+from repro.vgnd.report import render_network_table
+from repro.vgnd.sizing import SwitchSizer
+
+
+@pytest.fixture()
+def sized_network(library):
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("c499")
+    technology_map(netlist, library)
+    placement = GlobalPlacer(netlist, library).run()
+    legalize(placement, netlist, library)
+    mt_names = []
+    for inst in list(netlist.instances.values()):
+        cell = library.cell(inst.cell_name)
+        if library.has_variant(cell, VARIANT_MTV):
+            swap_variant(netlist, inst, library, VARIANT_MTV)
+            mt_names.append(inst.name)
+    config = ClusterConfig()
+    network = MtClusterer(netlist, library, placement,
+                          config).build(mt_names)
+    sizer = SwitchSizer(library, config.bounce_limit_v)
+    sizer.size_network(network)
+    # Materialize switches in the netlist so splitting can rewire them.
+    from repro.netlist.core import PinDirection
+
+    netlist.add_input("MTE")
+    for cluster in network.clusters:
+        vgnd_net = netlist.get_or_create_net(cluster.net_name)
+        name = netlist.unique_name(f"vgnd_switch_{cluster.index}")
+        inst = netlist.add_instance(name, cluster.switch_cell)
+        netlist.connect(inst, "VGND", vgnd_net, PinDirection.INOUT,
+                        keeper=True)
+        netlist.connect(inst, "MTE", "MTE", PinDirection.INPUT)
+        cluster.switch_instance = name
+        for member in cluster.members:
+            pin = netlist.instances[member].pins.get("VGND")
+            if pin is not None and pin.net is None:
+                netlist.connect(netlist.instances[member], "VGND",
+                                vgnd_net, PinDirection.INOUT, keeper=True)
+    return netlist, placement, network, sizer
+
+
+def test_render_table(library, sized_network):
+    _netlist, _placement, network, _sizer = sized_network
+    text = render_network_table(network, library)
+    assert "VGND switch structure" in text
+    assert "worst bounce" in text
+    for cluster in network.clusters:
+        assert cluster.switch_cell in text
+
+
+def test_split_cluster_preserves_membership(library, sized_network):
+    netlist, placement, network, sizer = sized_network
+    target = max(network.clusters, key=lambda c: c.size)
+    before_members = set(target.members)
+    before_count = len(network.clusters)
+    first, second = split_cluster(netlist, library, placement, network,
+                                  target)
+    assert len(network.clusters) == before_count + 1
+    assert set(first.members) | set(second.members) == before_members
+    assert not set(first.members) & set(second.members)
+    # Rewired rails are consistent.
+    sizer.size_cluster(first)
+    sizer.size_cluster(second)
+    for half in (first, second):
+        for member in half.members:
+            pin = netlist.instances[member].pins["VGND"]
+            assert pin.net.name == half.net_name
+
+
+def test_split_single_cell_cluster_rejected(library, sized_network):
+    netlist, placement, network, _sizer = sized_network
+    from repro.vgnd.network import VgndCluster
+
+    lonely = VgndCluster(index=999, members=[network.clusters[0].members[0]],
+                         net_name="vgnd_999")
+    network.clusters.append(lonely)
+    with pytest.raises(VgndError):
+        split_cluster(netlist, library, placement, network, lonely)
+
+
+def test_repair_unsizeable_splits_until_clean(library, sized_network):
+    netlist, placement, network, _sizer = sized_network
+    # A tighter sizer that cannot serve the biggest cluster as-is.
+    target = max(network.clusters, key=lambda c: c.current_ma)
+    tight_limit = target.current_ma * 0.9 * SwitchSizer(
+        library, 0.048).ron(library.switch_cells()[-1])
+    tight_sizer = SwitchSizer(library, max(tight_limit, 1e-3))
+    outcome = tight_sizer.size_network(network, strict=False)
+    if outcome.unsizeable_clusters:
+        splits = repair_unsizeable(netlist, library, placement, network,
+                                   tight_sizer,
+                                   outcome.unsizeable_clusters)
+        assert splits > 0
+    final = tight_sizer.size_network(network)
+    assert not final.unsizeable_clusters
+    assert network.worst_bounce_v() <= tight_sizer.bounce_limit_v + 1e-9
