@@ -2,35 +2,39 @@
 
 For each circuit, prints area and standby leakage normalized to the
 Dual-Vth baseline — Table 1's format extended across the benchmark
-suite.  Pass circuit names as arguments to customize the sweep::
+suite.  The sweep routes through the process-pool experiment runner,
+so ``--jobs N`` fans the circuit x technique grid out over N worker
+processes with bit-identical numbers::
 
-    python examples/iscas_sweep.py c432 c880 s1196
+    python examples/iscas_sweep.py c432 c880 s1196 --jobs 4
 """
 
-import sys
+import argparse
 
-from repro import FlowConfig, build_default_library, load_circuit
+from repro import FlowConfig, build_default_library
 from repro.config import Technique
-from repro.core.compare import compare_techniques
+from repro.runner import SWEEP_HEADER, render_sweep_row, run_sweep
 
 DEFAULT_SWEEP = ("c432", "c880", "s298", "s344")
 
 
 def main() -> int:
-    circuits = sys.argv[1:] or list(DEFAULT_SWEEP)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("circuits", nargs="*", default=list(DEFAULT_SWEEP),
+                        help="circuit names (default: %(default)s)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="process-pool width (1 = in-process)")
+    args = parser.parse_args()
+
     library = build_default_library()
     config = FlowConfig(timing_margin=0.10)
+    comparisons = run_sweep(args.circuits, config=config, jobs=args.jobs,
+                            library=library)
 
-    print(f"{'circuit':<10} {'technique':<18} {'area%':>8} {'leak%':>8} "
-          f"{'MT':>5} {'SW':>4} {'HOLD':>5}")
-    for name in circuits:
-        netlist = load_circuit(name)
-        comparison = compare_techniques(netlist, library, config,
-                                        circuit_name=name)
+    print(SWEEP_HEADER)
+    for comparison in comparisons:
         for row in comparison.rows:
-            print(f"{name:<10} {row.technique.value:<18} "
-                  f"{row.area_pct:8.2f} {row.leakage_pct:8.2f} "
-                  f"{row.mt_cells:5d} {row.switches:4d} {row.holders:5d}")
+            print(render_sweep_row(comparison.circuit, row))
         improved = comparison.row(Technique.IMPROVED_SMT)
         conventional = comparison.row(Technique.CONVENTIONAL_SMT)
         saving = conventional.area_pct - improved.area_pct

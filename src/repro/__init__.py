@@ -25,6 +25,13 @@ from repro.config import FlowConfig, Technique
 from repro.core.artifacts import export_design, verify_export
 from repro.core.compare import TechniqueComparison, compare_techniques
 from repro.core.flow import FlowResult, SelectiveMtFlow
+from repro.core.stages import (
+    FlowContext,
+    Stage,
+    StageReport,
+    StageRunner,
+    build_pipeline,
+)
 from repro.device.process import DEFAULT_TECHNOLOGY, Technology
 from repro.errors import ReproError
 from repro.experiments import run_table1, table1_config
@@ -32,7 +39,9 @@ from repro.liberty.synth import LibraryBuilder, build_default_library
 from repro.netlist.bench_io import parse_bench, parse_bench_file
 from repro.netlist.core import Netlist
 from repro.netlist.stats import design_stats
+from repro.runner import ExperimentRunner, FlowJob, JobOutcome, run_sweep
 from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
 
 __version__ = "1.0.0"
 
@@ -47,6 +56,16 @@ __all__ = [
     "compare_techniques",
     "FlowResult",
     "SelectiveMtFlow",
+    "FlowContext",
+    "Stage",
+    "StageReport",
+    "StageRunner",
+    "build_pipeline",
+    "ExperimentRunner",
+    "FlowJob",
+    "JobOutcome",
+    "run_sweep",
+    "TimingSession",
     "DEFAULT_TECHNOLOGY",
     "Technology",
     "ReproError",

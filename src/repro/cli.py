@@ -23,9 +23,8 @@ from repro.power.report import render_leakage_table
 from repro import units
 
 
-def _add_flow_options(parser: argparse.ArgumentParser):
-    parser.add_argument("--circuit", required=True,
-                        help="circuit name (see `list`)")
+def _add_config_options(parser: argparse.ArgumentParser):
+    """The FlowConfig knobs shared by flow/compare/sweep."""
     parser.add_argument("--margin", type=float, default=0.15,
                         help="timing margin over the all-LVT critical delay")
     parser.add_argument("--bounce", type=float, default=0.05,
@@ -36,6 +35,12 @@ def _add_flow_options(parser: argparse.ArgumentParser):
                         help="VGND rail length cap (um)")
     parser.add_argument("--seed", type=int, default=1,
                         help="placement seed")
+
+
+def _add_flow_options(parser: argparse.ArgumentParser):
+    parser.add_argument("--circuit", required=True,
+                        help="circuit name (see `list`)")
+    _add_config_options(parser)
 
 
 def _config_from(args) -> FlowConfig:
@@ -95,8 +100,39 @@ def cmd_stats(args) -> int:
 def cmd_compare(args) -> int:
     library = build_default_library()
     netlist = load_circuit(args.circuit)
-    comparison = compare_techniques(netlist, library, _config_from(args))
+    comparison = compare_techniques(netlist, library, _config_from(args),
+                                    jobs=args.jobs)
     print(comparison.render())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.runner import ALL_TECHNIQUES, render_sweep, run_sweep
+
+    circuits = [name.strip() for name in args.circuits.split(",")
+                if name.strip()]
+    if not circuits:
+        print("no circuits given", file=sys.stderr)
+        return 2
+    techniques = ALL_TECHNIQUES
+    if args.techniques:
+        names = [name.strip() for name in args.techniques.split(",")
+                 if name.strip()]
+        try:
+            techniques = tuple(Technique(name) for name in names)
+        except ValueError:
+            valid = ", ".join(t.value for t in Technique)
+            print(f"unknown technique in {args.techniques!r}; "
+                  f"valid: {valid}", file=sys.stderr)
+            return 2
+        if not techniques:
+            print("no techniques given", file=sys.stderr)
+            return 2
+    library = build_default_library()
+    comparisons = run_sweep(circuits, config=_config_from(args),
+                            techniques=techniques,
+                            jobs=args.jobs, library=library)
+    print(render_sweep(comparisons))
     return 0
 
 
@@ -140,7 +176,27 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = sub.add_parser(
         "compare", help="run all three techniques (Table 1 format)")
     _add_flow_options(compare_parser)
+    compare_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width (1 = in-process)")
     compare_parser.set_defaults(func=cmd_compare)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="compare techniques across many circuits, "
+                      "optionally over a process pool")
+    sweep_parser.add_argument(
+        "--circuits", required=True,
+        help="comma-separated circuit names (see `list`)")
+    sweep_parser.add_argument(
+        "--techniques", default=None,
+        help="comma-separated subset of "
+             + ",".join(t.value for t in Technique))
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width (1 = in-process; results are "
+             "identical either way)")
+    _add_config_options(sweep_parser)
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     library_parser = sub.add_parser(
         "library", help="emit the synthesized multi-Vth library")

@@ -37,6 +37,12 @@ class FlowConfig:
     placement_seed: int = 1
     placer_iterations: int = 24
 
+    # Timing engine: drive the STA-in-the-loop stages (assignment, ECO)
+    # through an incremental TimingSession instead of rebuilding a
+    # TimingAnalyzer per probe.  Results are bit-identical either way;
+    # the flag exists so benchmarks can A/B the two engines.
+    incremental_sta: bool = True
+
     # Vth assignment.
     assignment_rounds: int = 4
     # The assignment runs against a slightly tightened period so that

@@ -58,9 +58,11 @@ class TechniqueComparison:
         return "\n".join(lines)
 
 
-def _count_kinds(result: FlowResult, library: Library) -> tuple[int, int, int]:
+def count_cell_kinds(netlist: Netlist,
+                     library: Library) -> tuple[int, int, int]:
+    """(MT cells, switches, holders) in a netlist — the Table 1 columns."""
     mt = switches = holders = 0
-    for inst in result.netlist.instances.values():
+    for inst in netlist.instances.values():
         if inst.cell_name not in library:
             continue
         cell = library.cell(inst.cell_name)
@@ -79,23 +81,48 @@ def compare_techniques(netlist: Netlist, library: Library,
                        techniques: tuple[Technique, ...] = (
                            Technique.DUAL_VTH,
                            Technique.CONVENTIONAL_SMT,
-                           Technique.IMPROVED_SMT)) -> TechniqueComparison:
-    """Run the requested techniques and normalize to Dual-Vth."""
+                           Technique.IMPROVED_SMT),
+                       jobs: int = 1) -> TechniqueComparison:
+    """Run the requested techniques and normalize to Dual-Vth.
+
+    ``jobs > 1`` fans the techniques out over the process-pool
+    experiment runner; the rows are bit-identical to the serial path,
+    but the heavyweight per-technique ``results`` dict stays empty
+    (full :class:`FlowResult` objects do not cross process
+    boundaries).
+    """
     config = config or FlowConfig()
     circuit_name = circuit_name or netlist.name
+    if jobs > 1:
+        from repro.runner import (
+            ExperimentRunner,
+            FlowJob,
+            comparison_from_outcomes,
+        )
+
+        flow_jobs = [FlowJob(circuit=circuit_name, technique=technique,
+                             config=config, netlist=netlist)
+                     for technique in techniques]
+        outcomes = ExperimentRunner(jobs=jobs, library=library).run(flow_jobs)
+        return comparison_from_outcomes(circuit_name, outcomes)
     results: dict[Technique, FlowResult] = {}
     for technique in techniques:
         flow = SelectiveMtFlow(netlist, library, technique, config)
         results[technique] = flow.run()
 
+    # Normalize to Dual-Vth when present; otherwise the first
+    # requested technique becomes the 100 % reference (so a subset
+    # comparison still prints meaningful relative numbers).
     baseline = results.get(Technique.DUAL_VTH)
+    if baseline is None and techniques:
+        baseline = results[techniques[0]]
     base_area = baseline.total_area if baseline else 1.0
     base_leak = baseline.leakage_nw if baseline else 1.0
 
     rows = []
     for technique in techniques:
         result = results[technique]
-        mt, switches, holders = _count_kinds(result, library)
+        mt, switches, holders = count_cell_kinds(result.netlist, library)
         rows.append(ComparisonRow(
             circuit=circuit_name,
             technique=technique,

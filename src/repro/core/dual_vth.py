@@ -30,6 +30,7 @@ from repro.liberty.library import Library, VARIANT_HVT, VARIANT_LVT
 from repro.netlist.core import Instance, Netlist
 from repro.netlist.transform import swap_variant
 from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer, TimingReport
 
 
@@ -67,7 +68,8 @@ class DualVthAssigner:
                  fast_variant: str = VARIANT_LVT,
                  slow_variant: str = VARIANT_HVT,
                  rounds: int = 4,
-                 include_sequential: bool = False):
+                 include_sequential: bool = False,
+                 session: TimingSession | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -76,6 +78,11 @@ class DualVthAssigner:
         self.slow_variant = slow_variant
         self.rounds = rounds
         self.include_sequential = include_sequential
+        #: Optional incremental STA engine; swaps are routed through it
+        #: so probes re-propagate only the affected cones.
+        if session is not None and session.netlist is not netlist:
+            raise FlowError("timing session is bound to a different netlist")
+        self.session = session
         self._sta_runs = 0
         self._depth_cache: dict[str, int] | None = None
 
@@ -83,6 +90,8 @@ class DualVthAssigner:
 
     def _sta(self) -> TimingReport:
         self._sta_runs += 1
+        if self.session is not None:
+            return self.session.report()
         analyzer = TimingAnalyzer(self.netlist, self.library,
                                   self.constraints, self.parasitics)
         return analyzer.run()
@@ -139,6 +148,10 @@ class DualVthAssigner:
         return worst
 
     def _swap(self, instances: list[Instance], variant: str):
+        if self.session is not None:
+            for inst in instances:
+                self.session.swap_variant(inst, variant)
+            return
         for inst in instances:
             swap_variant(self.netlist, inst, self.library, variant)
 
@@ -156,8 +169,11 @@ class DualVthAssigner:
                 continue
             if cell.variant != self.fast_variant \
                     and self.library.has_variant(cell, self.fast_variant):
-                swap_variant(self.netlist, inst, self.library,
-                             self.fast_variant)
+                if self.session is not None:
+                    self.session.swap_variant(inst, self.fast_variant)
+                else:
+                    swap_variant(self.netlist, inst, self.library,
+                                 self.fast_variant)
 
     def run(self, prepare: bool = True) -> AssignmentResult:
         if prepare:

@@ -23,6 +23,7 @@ from repro.netlist.core import Instance, Netlist
 from repro.netlist.transform import insert_buffer
 from repro.timing.constraints import Constraints
 from repro.timing.paths import extract_path
+from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer, TimingReport
 
 
@@ -48,7 +49,8 @@ class HoldFixer:
                  derates: Mapping[str, float] | None = None,
                  clock_arrivals: Mapping[str, float] | None = None,
                  buffer_cell: str = "BUF_X1_HVT",
-                 max_passes: int = 3):
+                 max_passes: int = 3,
+                 session: TimingSession | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -57,12 +59,24 @@ class HoldFixer:
         self.clock_arrivals = clock_arrivals
         self.buffer_cell = buffer_cell
         self.max_passes = max_passes
+        #: Optional incremental STA engine; buffer insertions are routed
+        #: through it so each pass re-propagates only the padded cones.
+        self.session = session
 
     def _sta(self) -> TimingReport:
+        if self.session is not None:
+            return self.session.report()
         return TimingAnalyzer(
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics, derates=self.derates,
             clock_arrivals=self.clock_arrivals).run()
+
+    def _insert_buffer(self, net, sinks):
+        if self.session is not None:
+            return self.session.insert_buffer(
+                net, self.buffer_cell, sinks=sinks, name_prefix="holdfix")
+        return insert_buffer(self.netlist, net, self.buffer_cell,
+                             sinks=sinks, name_prefix="holdfix")
 
     def _buffer_delay_estimate(self) -> float:
         """Nominal delay of one padding buffer (ns)."""
@@ -96,9 +110,7 @@ class HoldFixer:
                 # Insert enough buffers in a chain to close the window.
                 needed = min(int(-check.slack / unit_delay) + 1, 20)
                 for _ in range(needed):
-                    buffer_inst = insert_buffer(
-                        self.netlist, pin.net, self.buffer_cell,
-                        sinks=[pin], name_prefix="holdfix")
+                    buffer_inst = self._insert_buffer(pin.net, [pin])
                     buffers.append(buffer_inst.name)
                 fixed_any = True
             if not fixed_any:
@@ -136,7 +148,8 @@ class SetupFixer:
                  parasitics: Mapping[str, object] | None = None,
                  derates: Mapping[str, float] | None = None,
                  clock_arrivals: Mapping[str, float] | None = None,
-                 max_passes: int = 16, endpoints_per_pass: int = 16):
+                 max_passes: int = 16, endpoints_per_pass: int = 16,
+                 session: TimingSession | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -146,8 +159,14 @@ class SetupFixer:
         self.clock_arrivals = clock_arrivals
         self.max_passes = max_passes
         self.endpoints_per_pass = endpoints_per_pass
+        #: Optional incremental STA engine.  ``fast_swap`` performs the
+        #: netlist edits, so a caller supplying a session must make its
+        #: callback report them (swap through the session / touch nets).
+        self.session = session
 
     def _sta(self) -> TimingReport:
+        if self.session is not None:
+            return self.session.report()
         return TimingAnalyzer(
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics, derates=self.derates,

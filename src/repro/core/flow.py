@@ -8,57 +8,48 @@ CTS + MTE buffering -> post-route (SPEF) switch re-optimization -> ECO
 :class:`SelectiveMtFlow` drives any of the three techniques over a
 generic-gate netlist ("the RTL"), recording a :class:`StageReport` per
 box so Fig. 4 itself is reproducible as an executable artifact.
+
+The flow is assembled from the composable stage registry in
+:mod:`repro.core.stages`: a technique is a list of stage keys, and a
+custom pipeline (subset, reorder, extra stages) can be passed via the
+``stages`` argument or run directly with
+:meth:`SelectiveMtFlow.run_context`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import time
-from typing import Any
+from typing import Iterable
 
 from repro.config import FlowConfig, Technique
-from repro.core.dual_vth import AssignmentResult, DualVthAssigner
-from repro.core.eco import EcoResult, HoldFixer, SetupFixer
-from repro.core.improved_smt import ImprovedSmtBuilder, ImprovedSmtResult
-from repro.core.mte import MteBufferTree, MteTreeResult
-from repro.core.output_holder import insert_output_holders
-from repro.core.selective_mt import ConventionalSmtBuilder
-from repro.cts.tree import ClockTreeSynthesizer, CtsResult
-from repro.errors import FlowError
-from repro.liberty.library import Library, VARIANT_HVT, VARIANT_LVT
-from repro.netlist.core import Netlist, PinDirection
-from repro.netlist.techmap import technology_map
-from repro.netlist.transform import swap_variant
-from repro.netlist.validate import check_netlist
-from repro.placement.legalize import legalize
-from repro.placement.placer import (
-    GlobalPlacer,
-    Placement,
-    place_incremental,
+from repro.core.dual_vth import AssignmentResult
+from repro.core.eco import EcoResult
+from repro.core.improved_smt import ImprovedSmtResult
+from repro.core.mte import MteTreeResult
+from repro.core.selective_mt import ConventionalSmtResult
+from repro.core.stages import (
+    FlowContext,
+    Stage,
+    StageReport,
+    StageRunner,
+    build_pipeline,
 )
-from repro.power.leakage import LeakageAnalyzer, LeakageBreakdown
-from repro.routing.extract import PostRouteExtractor, PreRouteEstimator
-from repro.routing.steiner import build_mst
+from repro.cts.tree import CtsResult
+from repro.errors import FlowError
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist
+from repro.placement.placer import Placement
+from repro.power.leakage import LeakageBreakdown
+from repro.routing.extract import NetParasitics
 from repro.timing.constraints import Constraints
-from repro.timing.sta import TimingAnalyzer, TimingReport
-from repro.vgnd.cluster import ClusterConfig
-from repro.vgnd.em import check_em
+from repro.timing.sta import TimingReport
 from repro.vgnd.network import VgndNetwork
-from repro.vgnd.refine import repair_unsizeable
-from repro.vgnd.sizing import SwitchSizer
 
-
-@dataclasses.dataclass
-class StageReport:
-    """One executed flow stage (one Fig. 4 box)."""
-
-    name: str
-    elapsed_s: float
-    details: dict[str, Any] = dataclasses.field(default_factory=dict)
-
-    def render(self) -> str:
-        detail_text = ", ".join(f"{k}={v}" for k, v in self.details.items())
-        return f"[{self.name}] ({self.elapsed_s:.2f}s) {detail_text}"
+__all__ = [
+    "FlowResult",
+    "SelectiveMtFlow",
+    "StageReport",
+]
 
 
 @dataclasses.dataclass
@@ -69,9 +60,9 @@ class FlowResult:
     netlist: Netlist
     placement: Placement
     constraints: Constraints
-    parasitics: dict[str, Any]
+    parasitics: dict[str, NetParasitics]
     assignment: AssignmentResult | None
-    smt_result: Any | None                 # technique-specific result
+    smt_result: ConventionalSmtResult | ImprovedSmtResult | None
     network: VgndNetwork | None
     cts: CtsResult | None
     mte: MteTreeResult | None
@@ -80,6 +71,8 @@ class FlowResult:
     leakage: LeakageBreakdown
     total_area: float
     stages: list[StageReport]
+    sta_stats: dict[str, dict[str, int]] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def leakage_nw(self) -> float:
@@ -94,13 +87,46 @@ class FlowResult:
     def render_stages(self) -> str:
         return "\n".join(stage.render() for stage in self.stages)
 
+    @classmethod
+    def from_context(cls, ctx: FlowContext) -> "FlowResult":
+        """Package a completed pipeline context.
+
+        Requires the pipeline to have produced final timing and
+        leakage; partial pipelines should keep working with the
+        :class:`FlowContext` itself.
+        """
+        for field in ("netlist", "placement", "constraints", "timing",
+                      "leakage"):
+            if getattr(ctx, field) is None:
+                raise FlowError(
+                    f"pipeline finished without producing {field!r}; "
+                    f"use run_context() for partial pipelines")
+        return cls(
+            technique=ctx.technique,
+            netlist=ctx.netlist,
+            placement=ctx.placement,
+            constraints=ctx.constraints,
+            parasitics=ctx.parasitics,
+            assignment=ctx.assignment,
+            smt_result=ctx.smt_result,
+            network=ctx.network,
+            cts=ctx.cts,
+            mte=ctx.mte,
+            eco=ctx.eco,
+            timing=ctx.timing,
+            leakage=ctx.leakage,
+            total_area=ctx.total_area,
+            stages=list(ctx.stages),
+            sta_stats=dict(ctx.sta_stats))
+
 
 class SelectiveMtFlow:
     """Runs one technique end to end on a generic-gate netlist."""
 
     def __init__(self, netlist: Netlist, library: Library,
                  technique: Technique = Technique.IMPROVED_SMT,
-                 config: FlowConfig | None = None):
+                 config: FlowConfig | None = None,
+                 stages: Iterable[Stage | str] | None = None):
         self.source_netlist = netlist
         self.library = library
         self.technique = technique
@@ -108,380 +134,27 @@ class SelectiveMtFlow:
         self.tech = library.tech
         if self.tech is None:
             raise FlowError("library carries no technology")
-        self._stages: list[StageReport] = []
+        #: Optional custom pipeline (stage keys or Stage objects);
+        #: defaults to the technique's registered stage list.
+        self.stages = list(stages) if stages is not None else None
 
-    # --- stage bookkeeping ------------------------------------------------------
+    def pipeline(self) -> list[Stage]:
+        if self.stages is not None:
+            runner = StageRunner(self.stages)
+            return runner.stages
+        return build_pipeline(self.technique)
 
-    def _record(self, name: str, started: float, **details) -> StageReport:
-        report = StageReport(name=name, elapsed_s=time.perf_counter() - started,
-                             details=details)
-        self._stages.append(report)
-        return report
+    def run_context(self) -> FlowContext:
+        """Run the pipeline and return the raw context.
 
-    # --- stages -------------------------------------------------------------------
-
-    def _stage_physical_synthesis(self) -> tuple[Netlist, Placement]:
-        """Fig. 4 box 1: synthesis with low-Vth cells + initial placement."""
-        started = time.perf_counter()
-        netlist = self.source_netlist.clone()
-        technology_map(netlist, self.library, VARIANT_LVT)
-        problems = check_netlist(netlist, self.library)
-        if problems:
-            raise FlowError(f"netlist invalid after mapping: {problems[:3]}")
-        placer = GlobalPlacer(netlist, self.library,
-                              utilization=self.config.utilization,
-                              aspect_ratio=self.config.aspect_ratio,
-                              iterations=self.config.placer_iterations,
-                              seed=self.config.placement_seed)
-        placement = placer.run()
-        legalize(placement, netlist, self.library)
-        self._record("physical_synthesis", started,
-                     instances=len(netlist.instances),
-                     die=f"{placement.floorplan.width:.0f}x"
-                         f"{placement.floorplan.height:.0f}um")
-        return netlist, placement
-
-    def _derive_constraints(self, netlist: Netlist,
-                            parasitics) -> Constraints:
-        """Clock period = all-LVT critical delay x (1 + margin)."""
-        if self.config.clock_period_ns is not None:
-            return Constraints(clock_period=self.config.clock_period_ns)
-        probe = Constraints(clock_period=1000.0)
-        report = TimingAnalyzer(netlist, self.library, probe,
-                                parasitics=parasitics).run()
-        min_period = 1000.0 - report.wns
-        if min_period <= 0:
-            raise FlowError("could not derive a positive minimum period")
-        return Constraints(
-            clock_period=min_period * (1.0 + self.config.timing_margin))
-
-    def _stage_assignment(self, netlist: Netlist, placement: Placement,
-                          constraints: Constraints, parasitics):
-        """Fig. 4 box 2 (+3 for improved): cell replacement.
-
-        The assignment sees a guardbanded (slightly shorter) period so
-        pre-route estimation error cannot break final timing closure.
+        Unlike :meth:`run` this does not require the pipeline to be
+        complete — useful for assembling partial or experimental
+        pipelines from the stage registry.
         """
-        constraints = constraints.scaled(
-            1.0 - self.config.assignment_guardband)
-        started = time.perf_counter()
-        smt_result = None
-        network = None
-        if self.technique == Technique.DUAL_VTH:
-            assigner = DualVthAssigner(
-                netlist, self.library, constraints, parasitics=parasitics,
-                fast_variant=VARIANT_LVT, slow_variant=VARIANT_HVT,
-                rounds=self.config.assignment_rounds)
-            assignment = assigner.run()
-            self._record("vth_assignment", started,
-                         low_vth=assignment.fast_count,
-                         high_vth=assignment.slow_count,
-                         sta_runs=assignment.sta_runs)
-        elif self.technique == Technique.CONVENTIONAL_SMT:
-            builder = ConventionalSmtBuilder(
-                netlist, self.library, constraints, parasitics=parasitics,
-                rounds=self.config.assignment_rounds)
-            smt_result = builder.run()
-            assignment = smt_result.assignment
-            self._record("vth_assignment", started,
-                         mt_cells=smt_result.mt_count,
-                         high_vth=assignment.slow_count,
-                         sta_runs=assignment.sta_runs)
-        else:
-            cluster_config = ClusterConfig(
-                bounce_limit_v=self.config.bounce_limit_v(self.tech.vdd),
-                max_rail_length_um=self.config.max_rail_length_um,
-                max_cells_per_switch=self.config.max_cells_per_switch)
-            builder = ImprovedSmtBuilder(
-                netlist, self.library, constraints, placement,
-                cluster_config=cluster_config, parasitics=parasitics,
-                rounds=self.config.assignment_rounds)
-            assignment = builder.assign()
-            mt_names = builder.add_vgnd_ports(assignment)
-            initial_switch = builder.insert_initial_switch(mt_names)
-            holders = builder.insert_holders()
-            self._record("vth_assignment", started,
-                         mt_cells=len(mt_names),
-                         high_vth=assignment.slow_count,
-                         sta_runs=assignment.sta_runs)
-            # The switch structure is built after ECO placement (the
-            # replaced cells changed footprint); stash the context.
-            self._improved_ctx = (builder, assignment, mt_names,
-                                  initial_switch, holders)
-        return assignment, smt_result, network
-
-    def _stage_eco_placement(self, netlist: Netlist) -> Placement:
-        """Re-place after replacement: MTV/CMT cells changed footprint.
-
-        LVT/HVT/MT swaps are footprint-compatible, but the VGND-port
-        and embedded-switch variants are larger, so the initial rows no
-        longer fit; an ECO placement restores a legal, congestion-aware
-        layout before the switch structure and routing are built.
-        """
-        started = time.perf_counter()
-        placer = GlobalPlacer(netlist, self.library,
-                              utilization=self.config.utilization,
-                              aspect_ratio=self.config.aspect_ratio,
-                              iterations=self.config.placer_iterations,
-                              seed=self.config.placement_seed)
-        placement = placer.run()
-        legalize(placement, netlist, self.library)
-        for port_name in netlist.ports:
-            placement.ensure_port_location(port_name)
-        self._record("eco_placement", started,
-                     die=f"{placement.floorplan.width:.0f}x"
-                         f"{placement.floorplan.height:.0f}um")
-        return placement
-
-    def _stage_switch_structure(self, placement: Placement):
-        """Fig. 4 box 4: construct the shared switch structure."""
-        if self._improved_ctx is None:
-            return None, None
-        builder, assignment, mt_names, initial_switch, holders = \
-            self._improved_ctx
-        builder.placement = placement
-        started = time.perf_counter()
-        network = builder.build_switch_structure(mt_names, initial_switch)
-        smt_result = ImprovedSmtResult(
-            assignment=assignment, mt_cell_names=mt_names,
-            holder_names=holders, network=network,
-            mte_net_name=builder.mte_net_name)
-        self._record("switch_structure", started,
-                     clusters=len(network.clusters),
-                     holders=len(holders),
-                     worst_bounce_mv=round(
-                         network.worst_bounce_v() * 1e3, 2))
-        return smt_result, network
-
-    def _stage_routing(self, netlist: Netlist, placement: Placement,
-                       constraints: Constraints, smt_result):
-        """Fig. 4 box 5: routing including CTS, MTE buffering."""
-        started = time.perf_counter()
-        cts_result = None
-        if any(inst.cell_name in self.library
-               and self.library.cell(inst.cell_name).is_sequential
-               for inst in netlist.instances.values()):
-            cts = ClockTreeSynthesizer(
-                netlist, self.library, placement,
-                buffer_cell=self.config.cts_buffer_cell,
-                fanout_limit=self.config.cts_fanout_limit)
-            cts_result = cts.run()
-        mte_result = None
-        if self.technique != Technique.DUAL_VTH:
-            mte = MteBufferTree(
-                netlist, self.library, placement,
-                buffer_cell=self.config.mte_buffer_cell,
-                fanout_limit=self.config.mte_fanout_limit)
-            mte_result = mte.run()
-        legalize(placement, netlist, self.library)
-        for port_name in netlist.ports:
-            placement.ensure_port_location(port_name)
-        extractor = PostRouteExtractor(netlist, placement, self.library)
-        parasitics = extractor.extract()
-        self._record(
-            "routing_cts_mte", started,
-            cts_buffers=cts_result.buffer_count if cts_result else 0,
-            cts_skew_ps=round(cts_result.skew * 1e3, 1) if cts_result else 0,
-            mte_buffers=mte_result.buffer_count if mte_result else 0,
-            extracted_nets=len(parasitics))
-        return parasitics, cts_result, mte_result
-
-    def _stage_reoptimize(self, netlist: Netlist, placement: Placement,
-                          network: VgndNetwork | None):
-        """Fig. 4 box 6: switch re-optimization on post-route (SPEF) RC."""
-        if network is None:
-            return
-        started = time.perf_counter()
-        measured: dict[int, float] = {}
-        for cluster in network.clusters:
-            names = list(cluster.members)
-            if cluster.switch_instance:
-                names.append(cluster.switch_instance)
-            points = [placement.locations.get(n, (0.0, 0.0)) for n in names]
-            tree = build_mst(names, points)
-            measured[cluster.index] = tree.total_length
-        sizer = SwitchSizer(self.library, network.bounce_limit_v)
-        outcome = sizer.reoptimize(network, measured, strict=False)
-        splits = 0
-        if outcome.unsizeable_clusters:
-            # Structural half of the re-optimization: split clusters the
-            # extracted rails show to be un-sizeable.
-            splits = repair_unsizeable(
-                netlist, self.library, placement, network, sizer,
-                outcome.unsizeable_clusters)
-            outcome = sizer.size_network(network)
-        # Apply changed switch cells to the netlist instances.
-        changed = 0
-        for cluster in network.clusters:
-            if cluster.switch_instance is None or cluster.switch_cell is None:
-                continue
-            inst = netlist.instances.get(cluster.switch_instance)
-            if inst is not None and inst.cell_name != cluster.switch_cell:
-                inst.cell_name = cluster.switch_cell
-                changed += 1
-        violations = check_em(network, self.library,
-                              self.config.max_cells_per_switch)
-        if violations:
-            raise FlowError("EM violations after re-optimization: "
-                            + "; ".join(v.render() for v in violations[:3]))
-        self._record("spef_reoptimization", started,
-                     resized=outcome.resized_clusters,
-                     applied=changed, splits=splits,
-                     worst_bounce_mv=round(outcome.worst_bounce_v * 1e3, 2))
-
-    def _make_fast_swap(self, netlist: Netlist, network,
-                        placement: Placement | None = None):
-        """Technique-specific "re-accelerate this cell" ECO operation."""
-        library = self.library
-
-        def swap_dual(inst) -> bool:
-            cell = library.cell(inst.cell_name)
-            if not library.has_variant(cell, VARIANT_LVT):
-                return False
-            swap_variant(netlist, inst, library, VARIANT_LVT)
-            return True
-
-        def swap_conventional(inst) -> bool:
-            from repro.liberty.library import VARIANT_CMT
-            cell = library.cell(inst.cell_name)
-            if not library.has_variant(cell, VARIANT_CMT):
-                return False
-            swap_variant(netlist, inst, library, VARIANT_CMT)
-            mte_net = netlist.get_or_create_net("MTE")
-            mte_pin = inst.pins.get("MTE")
-            if mte_pin is not None and mte_pin.net is None:
-                netlist.connect(inst, "MTE", mte_net, PinDirection.INPUT)
-            return True
-
-        def swap_improved(inst) -> bool:
-            from repro.liberty.library import VARIANT_MTV
-            cell = library.cell(inst.cell_name)
-            if not library.has_variant(cell, VARIANT_MTV) \
-                    or network is None or not network.clusters:
-                return False
-            swap_variant(netlist, inst, library, VARIANT_MTV)
-            # Join the geometrically nearest cluster's rail.
-            x = inst.attributes.get("x", 0.0)
-            y = inst.attributes.get("y", 0.0)
-            cluster = min(network.clusters,
-                          key=lambda c: abs(c.centroid[0] - x)
-                          + abs(c.centroid[1] - y))
-            vgnd_net = netlist.get_or_create_net(cluster.net_name)
-            vgnd_pin = inst.pins.get("VGND")
-            if vgnd_pin is not None and vgnd_pin.net is None:
-                netlist.connect(inst, "VGND", vgnd_net,
-                                PinDirection.INOUT, keeper=True)
-            cluster.members.append(inst.name)
-            new_cell = library.cell(inst.cell_name)
-            cluster.current_ma += new_cell.switching_current_ma \
-                / max(len(cluster.members) ** 0.5, 1.0)
-            sizer = SwitchSizer(library, network.bounce_limit_v)
-            sizer.size_cluster(cluster)
-            switch_inst = netlist.instances.get(cluster.switch_instance or "")
-            if switch_inst is not None \
-                    and switch_inst.cell_name != cluster.switch_cell:
-                switch_inst.cell_name = cluster.switch_cell
-            # The re-accelerated cell may now drive powered logic.
-            new_holders = insert_output_holders(netlist, library, "MTE")
-            if placement is not None:
-                for holder_name in new_holders:
-                    place_incremental(placement, netlist, library,
-                                      holder_name, (x, y))
-            return True
-
-        if self.technique == Technique.DUAL_VTH:
-            return swap_dual
-        if self.technique == Technique.CONVENTIONAL_SMT:
-            return swap_conventional
-        return swap_improved
-
-    def _stage_eco(self, netlist: Netlist, constraints: Constraints,
-                   parasitics, network, cts_result,
-                   placement: Placement | None = None):
-        """Fig. 4 box 7: ECO (setup repair + hold fixing), final STA."""
-        started = time.perf_counter()
-        derates = None
-        if network is not None:
-            assumed = self.library.mt_assumed_bounce_v
-            if assumed is None:
-                assumed = self.library.tech.vdd * 0.04
-            derates = network.derates(netlist, self.library, assumed)
-        clock_arrivals = cts_result.clock_arrivals if cts_result else None
-
-        setup_fixer = SetupFixer(
-            netlist, self.library, constraints,
-            fast_swap=self._make_fast_swap(netlist, network, placement),
-            parasitics=parasitics, derates=derates,
-            clock_arrivals=clock_arrivals)
-        setup_result = setup_fixer.run()
-        if network is not None and setup_result.swapped:
-            # Cluster membership may have grown: refresh the derates.
-            assumed = self.library.mt_assumed_bounce_v or \
-                self.library.tech.vdd * 0.04
-            derates = network.derates(netlist, self.library, assumed)
-
-        fixer = HoldFixer(
-            netlist, self.library, constraints, parasitics=parasitics,
-            derates=derates, clock_arrivals=clock_arrivals,
-            buffer_cell=self.config.hold_fix_buffer_cell,
-            max_passes=self.config.max_hold_fix_passes)
-        eco_result = fixer.run()
-        self._record("eco_and_sta", started,
-                     setup_swaps=setup_result.swap_count,
-                     hold_buffers=eco_result.buffer_count,
-                     wns=round(eco_result.final_report.wns, 4),
-                     hold_wns=round(eco_result.final_report.hold_wns, 4))
-        return eco_result
-
-    # --- main ------------------------------------------------------------------------
+        ctx = FlowContext.create(self.source_netlist, self.library,
+                                 self.technique, self.config)
+        StageRunner(self.pipeline()).run(ctx)
+        return ctx
 
     def run(self) -> FlowResult:
-        self._stages = []
-        self._improved_ctx = None
-        netlist, placement = self._stage_physical_synthesis()
-        pre_route = PreRouteEstimator(netlist, placement,
-                                      self.library).extract()
-        constraints = self._derive_constraints(netlist, pre_route)
-
-        assignment, smt_result, network = self._stage_assignment(
-            netlist, placement, constraints, pre_route)
-
-        # Replacement changed cell footprints (MTV/CMT are larger):
-        # refresh the placement, then build the switch structure on it.
-        # The transient single-switch structure is torn down first (it
-        # is about to be replaced by the clustered structure anyway).
-        if self._improved_ctx is not None:
-            builder, _a, mt_names, initial_switch, _h = self._improved_ctx
-            builder.teardown_initial_switch(mt_names, initial_switch)
-            self._improved_ctx = (builder, _a, mt_names, None, _h)
-        placement = self._stage_eco_placement(netlist)
-        if self._improved_ctx is not None:
-            smt_result, network = self._stage_switch_structure(placement)
-
-        parasitics, cts_result, mte_result = self._stage_routing(
-            netlist, placement, constraints, smt_result)
-
-        self._stage_reoptimize(netlist, placement, network)
-
-        eco_result = self._stage_eco(netlist, constraints, parasitics,
-                                     network, cts_result, placement)
-
-        analyzer = LeakageAnalyzer(netlist, self.library)
-        leakage = analyzer.standby_leakage()
-        total_area = analyzer.total_area()
-        return FlowResult(
-            technique=self.technique,
-            netlist=netlist,
-            placement=placement,
-            constraints=constraints,
-            parasitics=parasitics,
-            assignment=assignment,
-            smt_result=smt_result,
-            network=network,
-            cts=cts_result,
-            mte=mte_result,
-            eco=eco_result,
-            timing=eco_result.final_report,
-            leakage=leakage,
-            total_area=total_area,
-            stages=list(self._stages))
+        return FlowResult.from_context(self.run_context())

@@ -31,6 +31,7 @@ from repro.netlist.core import Netlist, PinDirection
 from repro.netlist.transform import swap_variant
 from repro.placement.placer import Placement, place_incremental
 from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
 from repro.vgnd.cluster import ClusterConfig, MtClusterer
 from repro.vgnd.network import VgndNetwork
 from repro.vgnd.sizing import SwitchSizer
@@ -62,7 +63,8 @@ class ImprovedSmtBuilder:
                  constraints: Constraints, placement: Placement,
                  cluster_config: ClusterConfig | None = None,
                  parasitics=None, rounds: int = 4,
-                 mte_net_name: str = "MTE"):
+                 mte_net_name: str = "MTE",
+                 session: TimingSession | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -71,6 +73,10 @@ class ImprovedSmtBuilder:
         self.parasitics = parasitics
         self.rounds = rounds
         self.mte_net_name = mte_net_name
+        #: Optional incremental STA engine for the assignment stage.
+        #: The structural stages (VGND ports, switches, holders) run
+        #: after the last timing probe, so only :meth:`assign` uses it.
+        self.session = session
 
     # --- stages ---------------------------------------------------------------
 
@@ -80,7 +86,7 @@ class ImprovedSmtBuilder:
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics,
             fast_variant=VARIANT_MT, slow_variant=VARIANT_HVT,
-            rounds=self.rounds)
+            rounds=self.rounds, session=self.session)
         return assigner.run()
 
     def add_vgnd_ports(self, assignment: AssignmentResult) -> list[str]:

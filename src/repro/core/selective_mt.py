@@ -16,6 +16,7 @@ from repro.netlist.core import Netlist, PinDirection
 from repro.netlist.transform import swap_variant
 from repro.core.dual_vth import AssignmentResult, DualVthAssigner
 from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
 
 
 @dataclasses.dataclass
@@ -37,13 +38,15 @@ class ConventionalSmtBuilder:
     def __init__(self, netlist: Netlist, library: Library,
                  constraints: Constraints,
                  parasitics=None, rounds: int = 4,
-                 mte_net_name: str = "MTE"):
+                 mte_net_name: str = "MTE",
+                 session: TimingSession | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
         self.parasitics = parasitics
         self.rounds = rounds
         self.mte_net_name = mte_net_name
+        self.session = session
 
     def run(self) -> ConventionalSmtResult:
         # Assignment with the MT variant as the fast class: cells on
@@ -54,7 +57,7 @@ class ConventionalSmtBuilder:
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics,
             fast_variant=VARIANT_MT, slow_variant=VARIANT_HVT,
-            rounds=self.rounds)
+            rounds=self.rounds, session=self.session)
         assignment = assigner.run()
 
         # Ensure an MTE port exists.
@@ -69,12 +72,19 @@ class ConventionalSmtBuilder:
             cell = self.library.cell(inst.cell_name)
             if not self.library.has_variant(cell, VARIANT_CMT):
                 continue  # sequential cells stay powered
-            swap_variant(self.netlist, inst, self.library, VARIANT_CMT)
+            if self.session is not None:
+                self.session.swap_variant(inst, VARIANT_CMT)
+            else:
+                swap_variant(self.netlist, inst, self.library, VARIANT_CMT)
             mte_pin = inst.pins.get("MTE")
             if mte_pin is not None and mte_pin.net is None:
                 self.netlist.connect(inst, "MTE", mte_net,
                                      PinDirection.INPUT)
             mt_names.append(name)
+        if self.session is not None and mt_names:
+            # New MTE sinks reshape the dependency graph and MTE loading.
+            self.session.touch_structural()
+            self.session.touch_net(mte_net)
         return ConventionalSmtResult(
             assignment=assignment,
             mt_cell_names=mt_names,

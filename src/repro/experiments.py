@@ -70,10 +70,34 @@ class Table1Result:
 
 
 def run_table1(library: Library | None = None,
-               circuits: tuple[str, ...] = ("A", "B")) -> Table1Result:
-    """Run the full Table 1 experiment (three flows per circuit)."""
+               circuits: tuple[str, ...] = ("A", "B"),
+               jobs: int = 1) -> Table1Result:
+    """Run the full Table 1 experiment (three flows per circuit).
+
+    ``jobs > 1`` routes the whole circuit x technique grid through the
+    process-pool experiment runner (identical numbers, parallel
+    wall-clock; comparisons then carry rows only, not the full
+    per-technique flow results).
+    """
     library = library or build_default_library()
     comparisons: dict[str, TechniqueComparison] = {}
+    if jobs > 1:
+        from repro.runner import (
+            ALL_TECHNIQUES,
+            ExperimentRunner,
+            FlowJob,
+            comparison_from_outcomes,
+        )
+
+        flow_jobs = [FlowJob(circuit=f"circuit{short}", technique=technique,
+                             config=table1_config(short))
+                     for short in circuits for technique in ALL_TECHNIQUES]
+        outcomes = ExperimentRunner(jobs=jobs, library=library).run(flow_jobs)
+        per_circuit = len(ALL_TECHNIQUES)
+        for index, short in enumerate(circuits):
+            chunk = outcomes[index * per_circuit:(index + 1) * per_circuit]
+            comparisons[short] = comparison_from_outcomes(short, chunk)
+        return Table1Result(comparisons=comparisons)
     for short in circuits:
         name = f"circuit{short}"
         netlist = load_circuit(name)

@@ -327,7 +327,11 @@ class Netlist:
             inst = self.instances[name]
             order.append(inst)
             if is_sequential(inst):
-                pass  # outputs still propagate below
+                # Sequential outputs start new cones; their edges were
+                # never counted into the indegrees, so decrementing
+                # their sinks here would release gates before their
+                # combinational fan-ins and break the order.
+                continue
             for pin in inst.output_pins():
                 net = pin.net
                 if net is None:

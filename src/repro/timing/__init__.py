@@ -8,11 +8,16 @@
   and slew propagation, required times, setup/hold checks, per-instance
   derating (used for actual-vs-assumed VGND bounce).
 * :mod:`repro.timing.paths` — critical path extraction and reports.
+* :mod:`repro.timing.session` — incremental STA: a
+  :class:`~repro.timing.session.TimingSession` keeps the topological
+  order, arc tables and net models alive across edits and
+  re-propagates only dirty fan-out/fan-in cones.
 """
 
 from repro.timing.constraints import Constraints
 from repro.timing.delay import NetModel
 from repro.timing.paths import Path, PathStep
+from repro.timing.session import SessionStats, TimingSession
 from repro.timing.sta import TimingAnalyzer, TimingReport
 
 __all__ = [
@@ -20,6 +25,8 @@ __all__ = [
     "NetModel",
     "Path",
     "PathStep",
+    "SessionStats",
+    "TimingSession",
     "TimingAnalyzer",
     "TimingReport",
 ]

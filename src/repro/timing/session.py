@@ -1,0 +1,703 @@
+"""Incremental static timing: build once, edit, re-propagate cones.
+
+A :class:`TimingSession` owns the expensive STA substrate — the
+topological order, the per-net load/wire model and the node-timing
+store — and keeps it alive across netlist edits.  Edits are reported
+through the session (:meth:`TimingSession.swap_variant`,
+:meth:`set_derates`, :meth:`insert_buffer`, or the generic ``touch_*``
+hooks); :meth:`report` then re-propagates only the affected region:
+
+* **forward** (arrivals, slews, hold arrivals): the combinational
+  fan-out cone of every dirty instance is reset and re-evaluated in the
+  cached topological order;
+* **backward** (required times): the transitive fan-in of the changed
+  region is reset and re-accumulated, reading cached values at the
+  clean frontier;
+* endpoint checks are always regenerated (they are cheap and make the
+  report's check list bit-identical to a from-scratch run).
+
+When the dirty region exceeds ``full_threshold`` of the combinational
+instances the session falls back to a full propagation over the cached
+structures — incremental STA must never be slower than the rebuild it
+replaces.
+
+**Exactness contract**: the report produced after any tracked edit
+sequence is bit-identical (not approximately equal) to the report a
+fresh :class:`~repro.timing.sta.TimingAnalyzer` would produce on the
+same netlist, because per-node values are pure functions of their
+fan-in evaluated by the same code in the same arc order.  The property
+test ``tests/timing/test_session.py`` enforces this on randomized edit
+sequences.
+
+**Invalidation contract**: a report's ``node_timing`` shares state
+with the session; treat a report as stale once further edits have been
+applied *and* :meth:`report` has been called again.  Untracked netlist
+mutations require :meth:`touch_structural` (tracked dirt, rebuilt
+order) or :meth:`invalidate` (conservative full re-propagation).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Mapping
+
+from repro.errors import TimingError
+from repro.liberty.library import CellKind, Library, TimingArc
+from repro.netlist import transform
+from repro.netlist.core import Instance, Net, Netlist, Pin
+from repro.timing.constraints import Constraints
+from repro.timing.delay import NetModel
+from repro.timing.sta import (
+    EndpointCheck,
+    INF,
+    NodeTiming,
+    TimingReport,
+)
+
+
+@dataclasses.dataclass
+class SessionStats:
+    """Work counters: how much propagation the session actually did."""
+
+    sta_calls: int = 0            # report() invocations
+    cached_reports: int = 0       # served with zero propagation
+    full_runs: int = 0            # full forward+backward propagations
+    incremental_runs: int = 0     # cone-limited propagations
+    structure_builds: int = 0     # topo order / membership rebuilds
+    forward_instances: int = 0    # instances actually forward-evaluated
+    forward_instances_saved: int = 0   # clean instances skipped
+
+    @property
+    def propagations(self) -> int:
+        return self.full_runs + self.incremental_runs
+
+    def as_dict(self) -> dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def merge(self, other: "SessionStats") -> "SessionStats":
+        for field in dataclasses.fields(SessionStats):
+            setattr(self, field.name,
+                    getattr(self, field.name) + getattr(other, field.name))
+        return self
+
+
+class TimingSession:
+    """Incremental STA over one (netlist, constraints, parasitics) set."""
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 constraints: Constraints,
+                 parasitics: Mapping[str, object] | None = None,
+                 derates: Mapping[str, float] | None = None,
+                 clock_arrivals: Mapping[str, float] | None = None,
+                 net_model: NetModel | None = None,
+                 full_threshold: float = 0.5):
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.net_model = net_model or NetModel(netlist, library, constraints,
+                                               parasitics)
+        self.derates = dict(derates or {})
+        self.clock_arrivals = dict(clock_arrivals or {})
+        self.full_threshold = full_threshold
+        self.stats = SessionStats()
+        self._order: list[Instance] | None = None
+        self._membership: set[str] = set()
+        self._comb_count = 0
+        self._nodes: dict[str, NodeTiming] = {}
+        self._report: TimingReport | None = None
+        self._dirty_comb: set[str] = set()
+        self._dirty_seq: set[str] = set()
+        self._structural = True
+        self._full_needed = True
+
+    # --- classification helpers (mirror TimingAnalyzer) -------------------
+
+    def _is_seq(self, inst: Instance) -> bool:
+        return (inst.cell_name in self.library
+                and self.library.cell(inst.cell_name).is_sequential)
+
+    def _skip_cell(self, inst: Instance) -> bool:
+        if inst.cell_name not in self.library:
+            return True
+        kind = self.library.cell(inst.cell_name).kind
+        return kind in (CellKind.SWITCH, CellKind.HOLDER)
+
+    def _derate(self, inst: Instance) -> float:
+        return self.derates.get(inst.name, 1.0)
+
+    def _clock_arrival(self, inst: Instance) -> float:
+        return self.clock_arrivals.get(inst.name, 0.0)
+
+    # --- edit API ----------------------------------------------------------
+
+    def swap_variant(self, inst: Instance, variant: str) -> Instance:
+        """Re-bind ``inst`` to a sibling variant and track the dirt."""
+        before_cell = inst.cell_name
+        before = {name: pin.net for name, pin in inst.pins.items()}
+        transform.swap_variant(self.netlist, inst, self.library, variant)
+        if inst.cell_name == before_cell:
+            return inst
+        for pin_name, net in before.items():
+            if net is None:
+                continue
+            if pin_name not in inst.pins:
+                # A connected pin vanished: the dependency graph changed.
+                self._structural = True
+            self.touch_net(net)
+        for pin in inst.pins.values():
+            if pin.net is not None:
+                self.touch_net(pin.net)
+        self._mark_instance(inst)
+        return inst
+
+    def insert_buffer(self, net: Net, buffer_cell: str,
+                      sinks: list[Pin] | None = None,
+                      name_prefix: str = "buf") -> Instance:
+        """Insert a buffer (see :func:`repro.netlist.transform.insert_buffer`)
+        and track the structural dirt."""
+        moved = list(net.sinks) if sinks is None else list(sinks)
+        buffer_inst = transform.insert_buffer(
+            self.netlist, net, buffer_cell, sinks=sinks,
+            name_prefix=name_prefix)
+        self._structural = True
+        self.touch_net(net)
+        self._mark_instance(buffer_inst)
+        for pin in moved:
+            self._mark_instance(pin.instance)
+        return buffer_inst
+
+    def set_derates(self, derates: Mapping[str, float] | None):
+        """Replace the derate map, dirtying only instances that changed."""
+        new = dict(derates or {})
+        changed = set(new) ^ set(self.derates)
+        changed |= {name for name in new
+                    if name in self.derates and new[name] != self.derates[name]}
+        for name in changed:
+            inst = self.netlist.instances.get(name)
+            if inst is not None:
+                self._mark_instance(inst)
+        self.derates = new
+
+    def set_derate(self, name: str, derate: float):
+        if self.derates.get(name, 1.0) == derate:
+            return
+        self.derates[name] = derate
+        inst = self.netlist.instances.get(name)
+        if inst is not None:
+            self._mark_instance(inst)
+
+    def touch_instance(self, inst: Instance | str):
+        """Mark an instance's timing arcs / derate as changed."""
+        if isinstance(inst, str):
+            found = self.netlist.instances.get(inst)
+            if found is None:
+                return
+            inst = found
+        self._mark_instance(inst)
+
+    def touch_net(self, net: Net | str):
+        """Mark a net's load as changed (sinks / keepers / pin caps)."""
+        if isinstance(net, str):
+            found = self.netlist.nets.get(net)
+            if found is None:
+                return
+            net = found
+        self.net_model.invalidate(net)
+        if net.driver is not None:
+            self._mark_instance(net.driver.instance)
+
+    def touch_structural(self):
+        """The netlist graph changed shape but the dirt is tracked.
+
+        Rebuilds the topological order and node membership on the next
+        :meth:`report`; propagation stays incremental.
+        """
+        self._structural = True
+
+    def invalidate(self):
+        """Untracked edits happened: rebuild and re-propagate everything."""
+        self._structural = True
+        self._full_needed = True
+        self.net_model.invalidate()
+
+    def _mark_instance(self, inst: Instance):
+        if inst.cell_name not in self.library:
+            return
+        if self.library.cell(inst.cell_name).is_sequential:
+            self._dirty_seq.add(inst.name)
+        elif not self._skip_cell(inst):
+            self._dirty_comb.add(inst.name)
+
+    # --- main entry -------------------------------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self._dirty_comb or self._dirty_seq
+                    or self._structural or self._full_needed)
+
+    def report(self) -> TimingReport:
+        """Current-design timing, re-propagating only what changed."""
+        self.stats.sta_calls += 1
+        if self._report is not None and not self.dirty:
+            self.stats.cached_reports += 1
+            return self._report
+        if self._structural or self._order is None:
+            self._build_structure()
+        if self._full_needed or self._report is None:
+            report = self._full_run()
+        else:
+            report = self._incremental_run()
+        self._dirty_comb.clear()
+        self._dirty_seq.clear()
+        self._full_needed = False
+        self._report = report
+        return report
+
+    # --- structure --------------------------------------------------------
+
+    def _build_structure(self):
+        """(Re)build the topological order and the node-domain set."""
+        self.stats.structure_builds += 1
+        self._order = self.netlist.topological_order(self._is_seq)
+        membership: set[str] = set()
+        comb = 0
+        for port in self.netlist.input_ports():
+            if port.net is not None:
+                membership.add(port.net.name)
+        for inst in self.netlist.instances.values():
+            if self._is_seq(inst):
+                q_pin = inst.pins.get("Q")
+                if q_pin is not None and q_pin.net is not None:
+                    membership.add(q_pin.net.name)
+                continue
+            if self._skip_cell(inst):
+                continue
+            comb += 1
+            cell = self.library.cell(inst.cell_name)
+            for out_pin in inst.output_pins():
+                if out_pin.net is not None and out_pin.name in cell.pins:
+                    membership.add(out_pin.net.name)
+        self._membership = membership
+        self._comb_count = comb
+        self._structural = False
+        # Nets that left the domain must not shadow a fresh run's absence;
+        # nets that joined it need their state (re)computed.
+        for name in list(self._nodes):
+            if name not in membership:
+                del self._nodes[name]
+        if not self._full_needed and self._report is not None:
+            for name in membership:
+                if name not in self._nodes:
+                    self._adopt_net(name)
+
+    def _adopt_net(self, net_name: str):
+        """A net joined the node domain mid-session: dirty its producer."""
+        net = self.netlist.nets.get(net_name)
+        if net is None:
+            return
+        if net.driver is not None:
+            self._mark_instance(net.driver.instance)
+            return
+        if net.driver_port is not None:
+            # A new primary input: seed its startpoint and re-evaluate
+            # its combinational sinks.
+            entry = NodeTiming()
+            constraints = self.constraints
+            delay = constraints.input_delay_for(net.driver_port.name)
+            entry.arr_rise = entry.arr_fall = delay
+            min_delay = max(delay, constraints.input_delay_min)
+            entry.min_rise = entry.min_fall = min_delay
+            entry.slew_rise = entry.slew_fall = constraints.input_slew
+            self._nodes[net_name] = entry
+            for sink in net.sinks:
+                if not self._is_seq(sink.instance):
+                    self._mark_instance(sink.instance)
+
+    # --- full propagation -------------------------------------------------
+
+    def _full_run(self) -> TimingReport:
+        self.stats.full_runs += 1
+        self.stats.forward_instances += self._comb_count
+        nodes: dict[str, NodeTiming] = {}
+        self._nodes = nodes
+        self._startpoint_ports(nodes)
+        for inst in self.netlist.instances.values():
+            if self._is_seq(inst):
+                self._startpoint_ff(inst, nodes)
+        for inst in self._order:
+            if self._is_seq(inst) or self._skip_cell(inst):
+                continue
+            self._forward_instance(inst, nodes)
+        checks = self._endpoint_pass(nodes)
+        for inst in reversed(self._order):
+            if self._is_seq(inst) or self._skip_cell(inst):
+                continue
+            self._backward_instance(inst, nodes, None)
+        return self._summarize(checks, nodes)
+
+    # --- incremental propagation ------------------------------------------
+
+    def _incremental_run(self) -> TimingReport:
+        netlist = self.netlist
+        nodes = self._nodes
+        membership = self._membership
+
+        # 1. Forward cone: combinational fan-out of every dirty instance.
+        cone: set[str] = set()
+        frontier: deque[Instance] = deque()
+        reset_nets: set[str] = set()
+        seed_back: set[str] = set()
+        dirty_ffs: list[Instance] = []
+
+        for name in self._dirty_comb:
+            inst = netlist.instances.get(name)
+            if inst is None or self._is_seq(inst) or self._skip_cell(inst):
+                continue
+            cone.add(name)
+            frontier.append(inst)
+            for in_pin in inst.input_pins():
+                if in_pin.net is not None and in_pin.name != "MTE" \
+                        and in_pin.net.name in membership:
+                    seed_back.add(in_pin.net.name)
+
+        for name in self._dirty_seq:
+            inst = netlist.instances.get(name)
+            if inst is None or not self._is_seq(inst):
+                continue
+            dirty_ffs.append(inst)
+            q_pin = inst.pins.get("Q")
+            if q_pin is not None and q_pin.net is not None \
+                    and q_pin.net.name in membership \
+                    and q_pin.net.name not in reset_nets:
+                reset_nets.add(q_pin.net.name)
+                for sink in q_pin.net.sinks:
+                    target = sink.instance
+                    if sink.name != "MTE" and target.name not in cone \
+                            and not self._is_seq(target) \
+                            and not self._skip_cell(target):
+                        cone.add(target.name)
+                        frontier.append(target)
+            d_pin = inst.pins.get("D")
+            if d_pin is not None and d_pin.net is not None \
+                    and d_pin.net.name in membership:
+                seed_back.add(d_pin.net.name)
+
+        while frontier:
+            inst = frontier.popleft()
+            for out_pin in inst.output_pins():
+                out_net = out_pin.net
+                if out_net is None or out_net.name not in membership \
+                        or out_net.name in reset_nets:
+                    continue
+                reset_nets.add(out_net.name)
+                for sink in out_net.sinks:
+                    target = sink.instance
+                    if sink.name == "MTE" or target.name in cone:
+                        continue
+                    if self._is_seq(target) or self._skip_cell(target):
+                        continue
+                    cone.add(target.name)
+                    frontier.append(target)
+
+        if len(cone) > self.full_threshold * max(self._comb_count, 1):
+            return self._full_run()
+
+        # 2. Backward region: transitive fan-in of everything that changed.
+        seed_back |= reset_nets
+        back_nets: set[str] = set()
+        back_insts: set[str] = set()
+        stack = list(seed_back)
+        while stack:
+            net_name = stack.pop()
+            if net_name in back_nets:
+                continue
+            back_nets.add(net_name)
+            net = netlist.nets.get(net_name)
+            if net is None:
+                continue
+            for sink in net.sinks:
+                target = sink.instance
+                if sink.name != "MTE" and not self._is_seq(target) \
+                        and not self._skip_cell(target):
+                    back_insts.add(target.name)
+            driver = net.driver
+            if driver is None:
+                continue
+            driver_inst = driver.instance
+            if self._is_seq(driver_inst) or self._skip_cell(driver_inst):
+                continue
+            for in_pin in driver_inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                if in_pin.net.name in membership \
+                        and in_pin.net.name not in back_nets:
+                    stack.append(in_pin.net.name)
+
+        # A full run evaluates every combinational instance twice (one
+        # forward, one backward sweep); incremental pays off while the
+        # touched region stays below that, scaled by the threshold.
+        if len(cone) + len(back_insts) \
+                > self.full_threshold * 2 * max(self._comb_count, 1):
+            return self._full_run()
+
+        self.stats.incremental_runs += 1
+        self.stats.forward_instances += len(cone)
+        self.stats.forward_instances_saved += self._comb_count - len(cone)
+
+        # 3. Reset and re-propagate.
+        for net_name in reset_nets:
+            nodes[net_name] = NodeTiming()
+        for net_name in back_nets:
+            entry = nodes.get(net_name)
+            if entry is not None:
+                entry.req_rise = INF
+                entry.req_fall = INF
+        for inst in dirty_ffs:
+            self._startpoint_ff(inst, nodes)
+        for inst in self._order:
+            if inst.name in cone:
+                self._forward_instance(inst, nodes)
+        checks = self._endpoint_pass(nodes)
+        for inst in reversed(self._order):
+            if inst.name in back_insts:
+                self._backward_instance(inst, nodes, back_nets)
+        return self._summarize(checks, nodes)
+
+    # --- propagation primitives (shared by full and incremental) ----------
+
+    @staticmethod
+    def _node(nodes: dict[str, NodeTiming], net: Net) -> NodeTiming:
+        entry = nodes.get(net.name)
+        if entry is None:
+            entry = NodeTiming()
+            nodes[net.name] = entry
+        return entry
+
+    def _startpoint_ports(self, nodes: dict[str, NodeTiming]):
+        constraints = self.constraints
+        for port in self.netlist.input_ports():
+            if port.net is None:
+                continue
+            entry = self._node(nodes, port.net)
+            delay = constraints.input_delay_for(port.name)
+            entry.arr_rise = entry.arr_fall = delay
+            min_delay = max(delay, constraints.input_delay_min)
+            entry.min_rise = entry.min_fall = min_delay
+            entry.slew_rise = entry.slew_fall = constraints.input_slew
+
+    def _startpoint_ff(self, inst: Instance, nodes: dict[str, NodeTiming]):
+        q_pin = inst.pins.get("Q")
+        if q_pin is None or q_pin.net is None:
+            return
+        cell = self.library.cell(inst.cell_name)
+        arc = cell.pin("Q").arc_from("CK")
+        if arc is None:
+            raise TimingError(f"flip-flop {cell.name} lacks CK->Q arc")
+        load = self.net_model.total_load(q_pin.net)
+        clk_slew = self.constraints.input_slew
+        derate = self._derate(inst)
+        rise, fall = arc.delay(clk_slew, load)
+        srise, sfall = arc.output_slew(clk_slew, load)
+        launch = self._clock_arrival(inst)
+        entry = self._node(nodes, q_pin.net)
+        entry.arr_rise = launch + rise * derate
+        entry.arr_fall = launch + fall * derate
+        entry.min_rise = entry.arr_rise
+        entry.min_fall = entry.arr_fall
+        entry.slew_rise = srise
+        entry.slew_fall = sfall
+
+    def _forward_instance(self, inst: Instance, nodes: dict[str, NodeTiming]):
+        cell = self.library.cell(inst.cell_name)
+        derate = self._derate(inst)
+        for out_pin in inst.output_pins():
+            out_net = out_pin.net
+            if out_net is None:
+                continue
+            lib_out = cell.pins.get(out_pin.name)
+            if lib_out is None:
+                continue
+            load = self.net_model.total_load(out_net)
+            entry = self._node(nodes, out_net)
+            for in_pin in inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                arc = lib_out.arc_from(in_pin.name)
+                if arc is None:
+                    continue
+                src = nodes.get(in_pin.net.name)
+                if src is None or (src.arr_rise == -INF
+                                   and src.arr_fall == -INF):
+                    continue
+                wire = self.net_model.wire_delay(in_pin.net, in_pin)
+                self._propagate_arc(entry, src, arc, load, wire,
+                                    derate, in_pin.net.name, inst.name)
+
+    def _propagate_arc(self, entry: NodeTiming, src: NodeTiming,
+                       arc: TimingArc, load: float, wire: float,
+                       derate: float, src_net: str, inst_name: str):
+        """Fold one arc's contribution into the output node timing."""
+        backref = (src_net, inst_name)
+
+        def consider(out_edge: str, in_arr: float, in_min: float,
+                     in_slew: float, delay_lut, slew_lut):
+            if delay_lut is None:
+                return
+            delay = delay_lut.lookup(in_slew, load) * derate
+            slew = slew_lut.lookup(in_slew, load) if slew_lut else 0.0
+            arrival = in_arr + wire + delay
+            minimum = in_min + wire + delay
+            if out_edge == "rise":
+                if arrival > entry.arr_rise:
+                    entry.arr_rise = arrival
+                    entry.slew_rise = slew
+                    entry.prev_rise = backref
+                entry.min_rise = min(entry.min_rise, minimum)
+            else:
+                if arrival > entry.arr_fall:
+                    entry.arr_fall = arrival
+                    entry.slew_fall = slew
+                    entry.prev_fall = backref
+                entry.min_fall = min(entry.min_fall, minimum)
+
+        if arc.timing_sense == "positive_unate":
+            consider("rise", src.arr_rise, src.min_rise, src.slew_rise,
+                     arc.cell_rise, arc.rise_transition)
+            consider("fall", src.arr_fall, src.min_fall, src.slew_fall,
+                     arc.cell_fall, arc.fall_transition)
+        elif arc.timing_sense == "negative_unate":
+            consider("rise", src.arr_fall, src.min_fall, src.slew_fall,
+                     arc.cell_rise, arc.rise_transition)
+            consider("fall", src.arr_rise, src.min_rise, src.slew_rise,
+                     arc.cell_fall, arc.fall_transition)
+        else:  # non_unate: either input edge can cause either output edge
+            for in_arr, in_min, in_slew in (
+                    (src.arr_rise, src.min_rise, src.slew_rise),
+                    (src.arr_fall, src.min_fall, src.slew_fall)):
+                consider("rise", in_arr, in_min, in_slew,
+                         arc.cell_rise, arc.rise_transition)
+                consider("fall", in_arr, in_min, in_slew,
+                         arc.cell_fall, arc.fall_transition)
+
+    def _endpoint_pass(self, nodes: dict[str, NodeTiming]
+                       ) -> list[EndpointCheck]:
+        """Endpoint checks + required-time seeding (idempotent re-apply)."""
+        constraints = self.constraints
+        period = constraints.clock_period
+        checks: list[EndpointCheck] = []
+
+        for port in self.netlist.output_ports():
+            if port.net is None or port.net.name not in nodes:
+                continue
+            entry = nodes[port.net.name]
+            wire = self.net_model.wire_delay_to_port(port.net, port.name)
+            required = period - constraints.output_delay_for(port.name) - wire
+            entry.req_rise = min(entry.req_rise, required)
+            entry.req_fall = min(entry.req_fall, required)
+            arrival = entry.arrival + wire
+            checks.append(EndpointCheck(
+                endpoint=port.name, kind="output",
+                slack=required + wire - arrival,
+                arrival=arrival, required=required + wire))
+
+        for inst in self.netlist.instances.values():
+            if not self._is_seq(inst):
+                continue
+            d_pin = inst.pins.get("D")
+            if d_pin is None or d_pin.net is None \
+                    or d_pin.net.name not in nodes:
+                continue
+            cell = self.library.cell(inst.cell_name)
+            entry = nodes[d_pin.net.name]
+            wire = self.net_model.wire_delay(d_pin.net, d_pin)
+            capture = period + self._clock_arrival(inst)
+            setup = self._constraint_value(cell, "setup")
+            hold = self._constraint_value(cell, "hold")
+            required = capture - setup - wire
+            entry.req_rise = min(entry.req_rise, required)
+            entry.req_fall = min(entry.req_fall, required)
+            arrival = entry.arrival + wire
+            checks.append(EndpointCheck(
+                endpoint=f"{inst.name}/D", kind="setup",
+                slack=capture - setup - arrival,
+                arrival=arrival, required=capture - setup))
+            min_arrival = entry.min_arrival + wire
+            hold_required = self._clock_arrival(inst) + hold
+            checks.append(EndpointCheck(
+                endpoint=f"{inst.name}/D", kind="hold",
+                slack=min_arrival - hold_required,
+                arrival=min_arrival, required=hold_required))
+        return checks
+
+    def _backward_instance(self, inst: Instance,
+                           nodes: dict[str, NodeTiming],
+                           restrict: set[str] | None):
+        cell = self.library.cell(inst.cell_name)
+        derate = self._derate(inst)
+        for out_pin in inst.output_pins():
+            out_net = out_pin.net
+            if out_net is None or out_net.name not in nodes:
+                continue
+            lib_out = cell.pins.get(out_pin.name)
+            if lib_out is None:
+                continue
+            out_entry = nodes[out_net.name]
+            load = self.net_model.total_load(out_net)
+            for in_pin in inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                arc = lib_out.arc_from(in_pin.name)
+                if arc is None or in_pin.net.name not in nodes:
+                    continue
+                if restrict is not None \
+                        and in_pin.net.name not in restrict:
+                    continue
+                src = nodes[in_pin.net.name]
+                wire = self.net_model.wire_delay(in_pin.net, in_pin)
+                slew = max(src.slew_rise, src.slew_fall)
+                rise_d, fall_d = arc.delay(slew, load)
+                rise_d = rise_d * derate + wire
+                fall_d = fall_d * derate + wire
+                if arc.timing_sense == "positive_unate":
+                    src.req_rise = min(src.req_rise,
+                                       out_entry.req_rise - rise_d)
+                    src.req_fall = min(src.req_fall,
+                                       out_entry.req_fall - fall_d)
+                elif arc.timing_sense == "negative_unate":
+                    src.req_rise = min(src.req_rise,
+                                       out_entry.req_fall - fall_d)
+                    src.req_fall = min(src.req_fall,
+                                       out_entry.req_rise - rise_d)
+                else:
+                    worst_d = max(rise_d, fall_d)
+                    worst_req = min(out_entry.req_rise, out_entry.req_fall)
+                    src.req_rise = min(src.req_rise, worst_req - worst_d)
+                    src.req_fall = min(src.req_fall, worst_req - worst_d)
+
+    def _summarize(self, checks: list[EndpointCheck],
+                   nodes: dict[str, NodeTiming]) -> TimingReport:
+        setup_checks = [c for c in checks if c.kind in ("output", "setup")]
+        hold_checks = [c for c in checks if c.kind == "hold"]
+        wns = min((c.slack for c in setup_checks), default=INF)
+        tns = sum(min(c.slack, 0.0) for c in setup_checks)
+        hold_wns = min((c.slack for c in hold_checks), default=INF)
+        hold_tns = sum(min(c.slack, 0.0) for c in hold_checks)
+        critical = None
+        if setup_checks:
+            critical = min(setup_checks, key=lambda c: c.slack).endpoint
+        return TimingReport(
+            clock_period=self.constraints.clock_period,
+            wns=wns, tns=tns,
+            hold_wns=hold_wns, hold_tns=hold_tns,
+            endpoint_checks=checks, node_timing=nodes,
+            critical_endpoint=critical)
+
+    def _constraint_value(self, cell, which: str) -> float:
+        d_pin = cell.pins.get("D")
+        if d_pin is None:
+            return 0.0
+        for arc in d_pin.timing_arcs:
+            if arc.timing_type.startswith(which):
+                return arc.constraint(self.constraints.input_slew)
+        return 0.0

@@ -25,9 +25,8 @@ import dataclasses
 import math
 from typing import Mapping
 
-from repro.errors import TimingError
-from repro.liberty.library import CellKind, Library, TimingArc
-from repro.netlist.core import Instance, Net, Netlist, Pin
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist
 from repro.timing.constraints import Constraints
 from repro.timing.delay import NetModel
 
@@ -113,7 +112,14 @@ class TimingReport:
 
 
 class TimingAnalyzer:
-    """Performs one full STA over a netlist."""
+    """Performs one full STA over a netlist.
+
+    The propagation engine lives in
+    :class:`repro.timing.session.TimingSession`; this wrapper runs a
+    single-shot session so a fresh analyzer and a session that has
+    absorbed the same edits produce bit-identical reports by
+    construction.
+    """
 
     def __init__(self, netlist: Netlist, library: Library,
                  constraints: Constraints,
@@ -126,258 +132,12 @@ class TimingAnalyzer:
         self.net_model = NetModel(netlist, library, constraints, parasitics)
         self.derates = dict(derates or {})
         self.clock_arrivals = dict(clock_arrivals or {})
-        self._is_seq = lambda inst: (
-            inst.cell_name in library
-            and library.cell(inst.cell_name).is_sequential)
-
-    # --- helpers -----------------------------------------------------------
-
-    def _derate(self, inst: Instance) -> float:
-        return self.derates.get(inst.name, 1.0)
-
-    def _clock_arrival(self, inst: Instance) -> float:
-        return self.clock_arrivals.get(inst.name, 0.0)
-
-    def _skip_cell(self, inst: Instance) -> bool:
-        if inst.cell_name not in self.library:
-            return True
-        kind = self.library.cell(inst.cell_name).kind
-        return kind in (CellKind.SWITCH, CellKind.HOLDER)
-
-    # --- main entry -----------------------------------------------------------
 
     def run(self) -> TimingReport:
-        order = self.netlist.topological_order(self._is_seq)
-        nodes: dict[str, NodeTiming] = {}
+        from repro.timing.session import TimingSession
 
-        def node(net: Net) -> NodeTiming:
-            entry = nodes.get(net.name)
-            if entry is None:
-                entry = NodeTiming()
-                nodes[net.name] = entry
-            return entry
-
-        # --- startpoints --------------------------------------------------
-        constraints = self.constraints
-        for port in self.netlist.input_ports():
-            if port.net is None:
-                continue
-            entry = node(port.net)
-            delay = constraints.input_delay_for(port.name)
-            entry.arr_rise = entry.arr_fall = delay
-            min_delay = max(delay, constraints.input_delay_min)
-            entry.min_rise = entry.min_fall = min_delay
-            entry.slew_rise = entry.slew_fall = constraints.input_slew
-
-        for inst in self.netlist.instances.values():
-            if not self._is_seq(inst):
-                continue
-            q_pin = inst.pins.get("Q")
-            if q_pin is None or q_pin.net is None:
-                continue
-            cell = self.library.cell(inst.cell_name)
-            arc = cell.pin("Q").arc_from("CK")
-            if arc is None:
-                raise TimingError(f"flip-flop {cell.name} lacks CK->Q arc")
-            load = self.net_model.total_load(q_pin.net)
-            clk_slew = constraints.input_slew
-            derate = self._derate(inst)
-            rise, fall = arc.delay(clk_slew, load)
-            srise, sfall = arc.output_slew(clk_slew, load)
-            launch = self._clock_arrival(inst)
-            entry = node(q_pin.net)
-            entry.arr_rise = launch + rise * derate
-            entry.arr_fall = launch + fall * derate
-            entry.min_rise = entry.arr_rise
-            entry.min_fall = entry.arr_fall
-            entry.slew_rise = srise
-            entry.slew_fall = sfall
-
-        # --- forward propagation ---------------------------------------------
-        for inst in order:
-            if self._is_seq(inst) or self._skip_cell(inst):
-                continue
-            cell = self.library.cell(inst.cell_name)
-            derate = self._derate(inst)
-            for out_pin in inst.output_pins():
-                out_net = out_pin.net
-                if out_net is None:
-                    continue
-                lib_out = cell.pins.get(out_pin.name)
-                if lib_out is None:
-                    continue
-                load = self.net_model.total_load(out_net)
-                entry = node(out_net)
-                for in_pin in inst.input_pins():
-                    if in_pin.net is None or in_pin.name == "MTE":
-                        continue
-                    arc = lib_out.arc_from(in_pin.name)
-                    if arc is None:
-                        continue
-                    src = nodes.get(in_pin.net.name)
-                    if src is None or (src.arr_rise == -INF
-                                       and src.arr_fall == -INF):
-                        continue
-                    wire = self.net_model.wire_delay(in_pin.net, in_pin)
-                    self._propagate_arc(entry, src, arc, load, wire,
-                                        derate, in_pin.net.name, inst.name)
-
-        # --- endpoints: required times + checks --------------------------------
-        period = constraints.clock_period
-        checks: list[EndpointCheck] = []
-
-        for port in self.netlist.output_ports():
-            if port.net is None or port.net.name not in nodes:
-                continue
-            entry = nodes[port.net.name]
-            wire = self.net_model.wire_delay_to_port(port.net, port.name)
-            required = period - constraints.output_delay_for(port.name) - wire
-            entry.req_rise = min(entry.req_rise, required)
-            entry.req_fall = min(entry.req_fall, required)
-            arrival = entry.arrival + wire
-            checks.append(EndpointCheck(
-                endpoint=port.name, kind="output",
-                slack=required + wire - arrival,
-                arrival=arrival, required=required + wire))
-
-        for inst in self.netlist.instances.values():
-            if not self._is_seq(inst):
-                continue
-            d_pin = inst.pins.get("D")
-            if d_pin is None or d_pin.net is None \
-                    or d_pin.net.name not in nodes:
-                continue
-            cell = self.library.cell(inst.cell_name)
-            entry = nodes[d_pin.net.name]
-            wire = self.net_model.wire_delay(d_pin.net, d_pin)
-            capture = period + self._clock_arrival(inst)
-            setup = self._constraint_value(cell, "setup")
-            hold = self._constraint_value(cell, "hold")
-            required = capture - setup - wire
-            entry.req_rise = min(entry.req_rise, required)
-            entry.req_fall = min(entry.req_fall, required)
-            arrival = entry.arrival + wire
-            checks.append(EndpointCheck(
-                endpoint=f"{inst.name}/D", kind="setup",
-                slack=capture - setup - arrival,
-                arrival=arrival, required=capture - setup))
-            min_arrival = entry.min_arrival + wire
-            hold_required = self._clock_arrival(inst) + hold
-            checks.append(EndpointCheck(
-                endpoint=f"{inst.name}/D", kind="hold",
-                slack=min_arrival - hold_required,
-                arrival=min_arrival, required=hold_required))
-
-        # --- backward required propagation ---------------------------------------
-        for inst in reversed(order):
-            if self._is_seq(inst) or self._skip_cell(inst):
-                continue
-            cell = self.library.cell(inst.cell_name)
-            derate = self._derate(inst)
-            for out_pin in inst.output_pins():
-                out_net = out_pin.net
-                if out_net is None or out_net.name not in nodes:
-                    continue
-                lib_out = cell.pins.get(out_pin.name)
-                if lib_out is None:
-                    continue
-                out_entry = nodes[out_net.name]
-                load = self.net_model.total_load(out_net)
-                for in_pin in inst.input_pins():
-                    if in_pin.net is None or in_pin.name == "MTE":
-                        continue
-                    arc = lib_out.arc_from(in_pin.name)
-                    if arc is None or in_pin.net.name not in nodes:
-                        continue
-                    src = nodes[in_pin.net.name]
-                    wire = self.net_model.wire_delay(in_pin.net, in_pin)
-                    slew = max(src.slew_rise, src.slew_fall)
-                    rise_d, fall_d = arc.delay(slew, load)
-                    rise_d = rise_d * derate + wire
-                    fall_d = fall_d * derate + wire
-                    if arc.timing_sense == "positive_unate":
-                        src.req_rise = min(src.req_rise,
-                                           out_entry.req_rise - rise_d)
-                        src.req_fall = min(src.req_fall,
-                                           out_entry.req_fall - fall_d)
-                    elif arc.timing_sense == "negative_unate":
-                        src.req_rise = min(src.req_rise,
-                                           out_entry.req_fall - fall_d)
-                        src.req_fall = min(src.req_fall,
-                                           out_entry.req_rise - rise_d)
-                    else:
-                        worst_d = max(rise_d, fall_d)
-                        worst_req = min(out_entry.req_rise, out_entry.req_fall)
-                        src.req_rise = min(src.req_rise, worst_req - worst_d)
-                        src.req_fall = min(src.req_fall, worst_req - worst_d)
-
-        # --- summarize -----------------------------------------------------------
-        setup_checks = [c for c in checks if c.kind in ("output", "setup")]
-        hold_checks = [c for c in checks if c.kind == "hold"]
-        wns = min((c.slack for c in setup_checks), default=INF)
-        tns = sum(min(c.slack, 0.0) for c in setup_checks)
-        hold_wns = min((c.slack for c in hold_checks), default=INF)
-        hold_tns = sum(min(c.slack, 0.0) for c in hold_checks)
-        critical = None
-        if setup_checks:
-            critical = min(setup_checks, key=lambda c: c.slack).endpoint
-        return TimingReport(
-            clock_period=period, wns=wns, tns=tns,
-            hold_wns=hold_wns, hold_tns=hold_tns,
-            endpoint_checks=checks, node_timing=nodes,
-            critical_endpoint=critical)
-
-    def _propagate_arc(self, entry: NodeTiming, src: NodeTiming,
-                       arc: TimingArc, load: float, wire: float,
-                       derate: float, src_net: str, inst_name: str):
-        """Fold one arc's contribution into the output node timing."""
-        backref = (src_net, inst_name)
-
-        def consider(out_edge: str, in_arr: float, in_min: float,
-                     in_slew: float, delay_lut, slew_lut):
-            if delay_lut is None:
-                return
-            delay = delay_lut.lookup(in_slew, load) * derate
-            slew = slew_lut.lookup(in_slew, load) if slew_lut else 0.0
-            arrival = in_arr + wire + delay
-            minimum = in_min + wire + delay
-            if out_edge == "rise":
-                if arrival > entry.arr_rise:
-                    entry.arr_rise = arrival
-                    entry.slew_rise = slew
-                    entry.prev_rise = backref
-                entry.min_rise = min(entry.min_rise, minimum)
-            else:
-                if arrival > entry.arr_fall:
-                    entry.arr_fall = arrival
-                    entry.slew_fall = slew
-                    entry.prev_fall = backref
-                entry.min_fall = min(entry.min_fall, minimum)
-
-        if arc.timing_sense == "positive_unate":
-            consider("rise", src.arr_rise, src.min_rise, src.slew_rise,
-                     arc.cell_rise, arc.rise_transition)
-            consider("fall", src.arr_fall, src.min_fall, src.slew_fall,
-                     arc.cell_fall, arc.fall_transition)
-        elif arc.timing_sense == "negative_unate":
-            consider("rise", src.arr_fall, src.min_fall, src.slew_fall,
-                     arc.cell_rise, arc.rise_transition)
-            consider("fall", src.arr_rise, src.min_rise, src.slew_rise,
-                     arc.cell_fall, arc.fall_transition)
-        else:  # non_unate: either input edge can cause either output edge
-            for in_arr, in_min, in_slew in (
-                    (src.arr_rise, src.min_rise, src.slew_rise),
-                    (src.arr_fall, src.min_fall, src.slew_fall)):
-                consider("rise", in_arr, in_min, in_slew,
-                         arc.cell_rise, arc.rise_transition)
-                consider("fall", in_arr, in_min, in_slew,
-                         arc.cell_fall, arc.fall_transition)
-
-    def _constraint_value(self, cell, which: str) -> float:
-        d_pin = cell.pins.get("D")
-        if d_pin is None:
-            return 0.0
-        for arc in d_pin.timing_arcs:
-            if arc.timing_type.startswith(which):
-                return arc.constraint(self.constraints.input_slew)
-        return 0.0
+        session = TimingSession(
+            self.netlist, self.library, self.constraints,
+            derates=self.derates, clock_arrivals=self.clock_arrivals,
+            net_model=self.net_model)
+        return session.report()

@@ -45,3 +45,47 @@ def test_parser_rejects_bad_technique():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "--circuits", "c17", "--margin", "0.2"]) == 0
+    output = capsys.readouterr().out
+    assert "dual_vth" in output
+    assert "improved_smt" in output
+    assert "c17" in output
+
+
+def test_sweep_command_parallel_matches_serial(capsys):
+    assert main(["sweep", "--circuits", "c17", "--margin", "0.2",
+                 "--jobs", "1"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["sweep", "--circuits", "c17", "--margin", "0.2",
+                 "--jobs", "3"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
+def test_sweep_technique_subset(capsys):
+    assert main(["sweep", "--circuits", "c17", "--margin", "0.2",
+                 "--techniques", "dual_vth,improved_smt"]) == 0
+    output = capsys.readouterr().out
+    assert "conventional_smt" not in output
+    assert "improved_smt" in output
+
+
+def test_sweep_rejects_empty_circuits():
+    assert main(["sweep", "--circuits", ","]) == 2
+
+
+def test_sweep_rejects_bad_technique(capsys):
+    assert main(["sweep", "--circuits", "c17",
+                 "--techniques", "dual_vth,bogus"]) == 2
+    assert "valid:" in capsys.readouterr().err
+
+
+def test_sweep_tolerates_trailing_comma_in_techniques(capsys):
+    assert main(["sweep", "--circuits", "c17", "--margin", "0.2",
+                 "--techniques", "dual_vth,"]) == 0
+    output = capsys.readouterr().out
+    assert "dual_vth" in output
+    assert "improved_smt" not in output

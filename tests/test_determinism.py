@@ -56,6 +56,46 @@ def test_full_flow_deterministic(library):
     assert first[3] == second[3]
 
 
+def test_sweep_parallel_matches_serial(library):
+    """`repro sweep --jobs 4` and `--jobs 1` yield identical rows."""
+    from repro.runner import run_sweep
+
+    config = FlowConfig(timing_margin=0.2, placement_seed=5)
+    serial = run_sweep(["c17"], config=config, jobs=1, library=library)
+    parallel = run_sweep(["c17"], config=config, jobs=4, library=library)
+    assert len(serial) == len(parallel) == 1
+    assert serial[0].circuit == parallel[0].circuit
+    assert serial[0].rows == parallel[0].rows  # dataclass equality: exact
+
+
+def test_sweep_rows_match_in_process_compare(library):
+    """The runner's slim path reproduces compare_techniques() exactly."""
+    from repro.benchcircuits.suite import load_circuit
+    from repro.core.compare import compare_techniques
+    from repro.runner import run_sweep
+
+    config = FlowConfig(timing_margin=0.2, placement_seed=3)
+    netlist = load_circuit("c17")
+    direct = compare_techniques(netlist, library, config,
+                                circuit_name="c17")
+    swept = run_sweep(["c17"], config=config, jobs=1, library=library)[0]
+    assert direct.rows == swept.rows
+
+
+def test_per_job_seed_overrides_config(library):
+    from repro.runner import FlowJob, run_flow_job
+
+    config = FlowConfig(timing_margin=0.2, placement_seed=1)
+    job = FlowJob(circuit="c17", technique=Technique.DUAL_VTH,
+                  config=config, seed=9)
+    assert job.resolved_config().placement_seed == 9
+    outcome = run_flow_job(job, library=library)
+    assert outcome.ok
+    repeat = run_flow_job(job, library=library)
+    assert outcome.area_um2 == repeat.area_um2
+    assert outcome.leakage_nw == repeat.leakage_nw
+
+
 def test_flow_does_not_mutate_source(library):
     from repro.benchcircuits.suite import load_circuit
 

@@ -1,0 +1,210 @@
+"""Incremental-vs-full STA equivalence.
+
+The TimingSession's contract is *exactness*: after any tracked edit
+sequence, its report must be bit-identical (==, not approx) to the
+report a fresh TimingAnalyzer produces on the same netlist.  The
+property tests drive randomized sequences of variant swaps, derate
+changes and buffer insertions over ISCAS-class circuits and compare
+every node and every endpoint check.
+"""
+
+import random
+
+import pytest
+
+from repro.benchcircuits.suite import load_circuit
+from repro.liberty.library import VARIANT_HVT, VARIANT_LVT, VARIANT_MT
+from repro.netlist.techmap import technology_map
+from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
+from repro.timing.sta import TimingAnalyzer
+
+NODE_FIELDS = ("arr_rise", "arr_fall", "min_rise", "min_fall",
+               "slew_rise", "slew_fall", "req_rise", "req_fall",
+               "prev_rise", "prev_fall")
+
+
+def assert_reports_identical(session_report, fresh_report):
+    assert session_report.clock_period == fresh_report.clock_period
+    assert session_report.wns == fresh_report.wns
+    assert session_report.tns == fresh_report.tns
+    assert session_report.hold_wns == fresh_report.hold_wns
+    assert session_report.hold_tns == fresh_report.hold_tns
+    assert session_report.critical_endpoint == fresh_report.critical_endpoint
+    got = [(c.endpoint, c.kind, c.slack, c.arrival, c.required)
+           for c in session_report.endpoint_checks]
+    want = [(c.endpoint, c.kind, c.slack, c.arrival, c.required)
+            for c in fresh_report.endpoint_checks]
+    assert got == want
+    assert set(session_report.node_timing) == set(fresh_report.node_timing)
+    for name, fresh_node in fresh_report.node_timing.items():
+        session_node = session_report.node_timing[name]
+        for field in NODE_FIELDS:
+            assert getattr(session_node, field) \
+                == getattr(fresh_node, field), (name, field)
+
+
+def _mapped(name, library):
+    netlist = load_circuit(name)
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+def _random_edit(rng, session, netlist, library):
+    """Apply one random tracked edit; returns a description string."""
+    instances = [inst for inst in netlist.instances.values()
+                 if inst.cell_name in library]
+    choice = rng.random()
+    if choice < 0.55:
+        inst = rng.choice(instances)
+        cell = library.cell(inst.cell_name)
+        variant = rng.choice([VARIANT_LVT, VARIANT_HVT, VARIANT_MT])
+        if library.has_variant(cell, variant):
+            session.swap_variant(inst, variant)
+            return f"swap {inst.name} -> {variant}"
+        return "noop"
+    if choice < 0.85:
+        inst = rng.choice(instances)
+        derate = rng.choice([1.0, 1.02, 1.05, 1.1])
+        session.set_derate(inst.name, derate)
+        return f"derate {inst.name} = {derate}"
+    buffered = [net for net in netlist.nets.values() if net.sinks]
+    net = rng.choice(buffered)
+    sinks = [rng.choice(net.sinks)]
+    session.insert_buffer(net, "BUF_X1_HVT", sinks=sinks)
+    return f"buffer {net.name}"
+
+
+@pytest.mark.parametrize("circuit,seed", [
+    ("c17", 1),
+    ("c432", 2),
+    ("c432", 3),
+    ("s27", 4),
+    ("s298", 5),
+    ("s344", 6),
+])
+def test_random_edit_sequences_match_full_sta(library, circuit, seed):
+    netlist = _mapped(circuit, library)
+    constraints = Constraints(clock_period=3.0)
+    session = TimingSession(netlist, library, constraints)
+    assert_reports_identical(
+        session.report(),
+        TimingAnalyzer(netlist, library, constraints).run())
+    rng = random.Random(seed)
+    for _ in range(18):
+        _random_edit(rng, session, netlist, library)
+        fresh = TimingAnalyzer(netlist, library, constraints,
+                               derates=session.derates).run()
+        assert_reports_identical(session.report(), fresh)
+
+
+def test_edit_batches_match_full_sta(library):
+    """Several edits between probes (the ECO pattern)."""
+    netlist = _mapped("c880", library)
+    constraints = Constraints(clock_period=4.0)
+    session = TimingSession(netlist, library, constraints)
+    session.report()
+    rng = random.Random(11)
+    for _ in range(6):
+        for _ in range(rng.randint(2, 6)):
+            _random_edit(rng, session, netlist, library)
+        fresh = TimingAnalyzer(netlist, library, constraints,
+                               derates=session.derates).run()
+        assert_reports_identical(session.report(), fresh)
+
+
+def test_session_with_parasitics_and_clock_arrivals(library):
+    """Wire delays and CTS-style skew go through the same machinery."""
+    from repro.placement.legalize import legalize
+    from repro.placement.placer import GlobalPlacer
+    from repro.routing.extract import PreRouteEstimator
+
+    netlist = _mapped("s298", library)
+    placement = GlobalPlacer(netlist, library, seed=3).run()
+    legalize(placement, netlist, library)
+    parasitics = PreRouteEstimator(netlist, placement, library).extract()
+    clock_arrivals = {
+        inst.name: 0.003 * (index % 5)
+        for index, inst in enumerate(netlist.instances.values())
+        if library.cell(inst.cell_name).is_sequential}
+    constraints = Constraints(clock_period=3.5)
+    session = TimingSession(netlist, library, constraints,
+                            parasitics=parasitics,
+                            clock_arrivals=clock_arrivals)
+    rng = random.Random(21)
+    session.report()
+    for _ in range(12):
+        _random_edit(rng, session, netlist, library)
+        fresh = TimingAnalyzer(netlist, library, constraints,
+                               parasitics=parasitics,
+                               derates=session.derates,
+                               clock_arrivals=clock_arrivals).run()
+        assert_reports_identical(session.report(), fresh)
+
+
+def test_zero_threshold_forces_full_runs(library):
+    """full_threshold=0 degenerates to cached-structure full STA."""
+    netlist = _mapped("c432", library)
+    constraints = Constraints(clock_period=3.0)
+    session = TimingSession(netlist, library, constraints,
+                            full_threshold=0.0)
+    session.report()
+    inst = next(iter(netlist.instances.values()))
+    session.swap_variant(inst, VARIANT_HVT)
+    session.report()
+    assert session.stats.incremental_runs == 0
+    assert session.stats.full_runs == 2
+    assert_reports_identical(
+        session.report(),
+        TimingAnalyzer(netlist, library, constraints).run())
+
+
+def test_clean_report_is_cached(library):
+    netlist = _mapped("c432", library)
+    session = TimingSession(netlist, library,
+                            Constraints(clock_period=3.0))
+    first = session.report()
+    second = session.report()
+    assert first is second
+    assert session.stats.cached_reports == 1
+    assert session.stats.propagations == 1
+
+
+def test_small_edits_propagate_incrementally(library):
+    """On a big circuit, a single swap must not trigger a full run."""
+    netlist = _mapped("circuitA", library)
+    constraints = Constraints(clock_period=5.0)
+    session = TimingSession(netlist, library, constraints)
+    session.report()
+    swapped = 0
+    for inst in netlist.instances.values():
+        cell = library.cells.get(inst.cell_name)
+        if cell is None or cell.is_sequential:
+            continue
+        if library.has_variant(cell, VARIANT_HVT):
+            session.swap_variant(inst, VARIANT_HVT)
+            session.report()
+            swapped += 1
+            if swapped >= 8:
+                break
+    assert session.stats.incremental_runs >= 2
+    assert session.stats.forward_instances_saved > 0
+    fresh = TimingAnalyzer(netlist, library, constraints).run()
+    assert_reports_identical(session.report(), fresh)
+
+
+def test_set_derates_diffs_only_changes(library):
+    netlist = _mapped("c432", library)
+    session = TimingSession(netlist, library,
+                            Constraints(clock_period=3.0))
+    session.report()
+    names = list(netlist.instances)[:4]
+    session.set_derates({name: 1.05 for name in names})
+    assert session.dirty
+    session.report()
+    # Re-applying the identical map must not dirty anything.
+    session.set_derates({name: 1.05 for name in names})
+    assert not session.dirty
+    fresh = TimingAnalyzer(netlist, library, Constraints(clock_period=3.0),
+                           derates=session.derates).run()
+    assert_reports_identical(session.report(), fresh)
