@@ -1,0 +1,53 @@
+"""Machine-readable benchmark trajectory.
+
+Benchmarks call :func:`record` with a section name and a metrics dict;
+everything accumulates into one JSON file (default
+``benchmarks/BENCH_variation.json``, override with the
+``BENCH_VARIATION_JSON`` environment variable) so future PRs can diff
+performance numbers instead of scraping bench logs.
+
+Schema::
+
+    {
+      "schema": 1,
+      "sections": {
+        "<section>": {"<metric>": <number or string>, ...},
+        ...
+      }
+    }
+
+The file is read-modify-written per call, so sections recorded by
+different test files in one run all land in the same JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+SCHEMA_VERSION = 1
+
+
+def bench_json_path() -> Path:
+    override = os.environ.get("BENCH_VARIATION_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_variation.json"
+
+
+def record(section: str, metrics: dict) -> Path:
+    """Merge one section's metrics into the bench JSON; returns the path."""
+    path = bench_json_path()
+    payload = {"schema": SCHEMA_VERSION, "sections": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text(encoding="utf-8"))
+            if isinstance(existing.get("sections"), dict):
+                payload["sections"] = existing["sections"]
+        except (json.JSONDecodeError, OSError):
+            pass  # corrupt/unreadable trajectory: start fresh
+    payload["sections"].setdefault(section, {}).update(metrics)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path

@@ -28,6 +28,7 @@ from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer
 
 from conftest import run_once
+from recorder import record
 
 CIRCUIT = "circuitA"
 MARGIN = 0.09          # Table 1's circuit-A margin (timing-tight)
@@ -135,7 +136,7 @@ def test_bench_incremental_sta(benchmark, library):
 
     speedup_assignment = outcome["full_s"] / max(outcome["session_s"], 1e-9)
     speedup_eco = eco["full_s"] / max(eco["session_s"], 1e-9)
-    benchmark.extra_info.update({
+    metrics = {
         "circuit": CIRCUIT,
         "assignment_full_s": round(outcome["full_s"], 4),
         "assignment_session_s": round(outcome["session_s"], 4),
@@ -150,7 +151,9 @@ def test_bench_incremental_sta(benchmark, library):
         "eco_session_s": round(eco["session_s"], 4),
         "eco_speedup": round(speedup_eco, 3),
         "eco_incremental_runs": eco["stats"].incremental_runs,
-    })
+    }
+    benchmark.extra_info.update(metrics)
+    record("incremental_sta", metrics)
     print()
     print(f"assignment: full {outcome['full_s']:.3f}s vs session "
           f"{outcome['session_s']:.3f}s ({speedup_assignment:.2f}x); "

@@ -1,0 +1,135 @@
+"""Variation-engine throughput benchmarks.
+
+Two hot paths of the new subsystem, with wall-clocks and work counts
+landing in ``BENCH_variation.json`` (via :mod:`recorder`) so the
+performance trajectory is machine-readable across PRs:
+
+* corner-library derivation over the full 27-corner grid (the setup
+  cost of a production signoff sweep);
+* Monte-Carlo sampling throughput, leakage-only and with per-sample
+  incremental STA.
+
+Assertions pin qualitative shape (monotone corner orderings, sampling
+determinism), never wall-clock — CI runners are too noisy for timing
+gates.
+"""
+
+import time
+
+from repro.benchcircuits.suite import load_circuit
+from repro.liberty.library import VARIANT_LVT
+from repro.liberty.synth import build_default_library
+from repro.netlist.techmap import technology_map
+from repro.timing.constraints import Constraints
+from repro.timing.sta import TimingAnalyzer
+from repro.variation.corners import derive_corner_library, standard_corners
+from repro.variation.montecarlo import McConfig, MonteCarloEngine, summarize
+
+from conftest import run_once
+from recorder import record
+
+CIRCUIT = "c432"
+MC_SAMPLES = 200
+MC_TIMING_SAMPLES = 12
+
+
+def _mapped(library):
+    netlist = load_circuit(CIRCUIT)
+    technology_map(netlist, library, VARIANT_LVT)
+    probe = TimingAnalyzer(netlist, library,
+                           Constraints(clock_period=1000.0)).run()
+    period = (1000.0 - probe.wns) * 1.15
+    return netlist, Constraints(clock_period=period)
+
+
+def test_bench_corner_grid(benchmark, library):
+    """Derive + leakage-evaluate the full 27-corner grid."""
+    corners = standard_corners(library.tech)
+
+    def grid():
+        from repro.power.leakage import LeakageAnalyzer
+
+        netlist, _ = _mapped(library)
+        started = time.perf_counter()
+        leakage = {}
+        for name, corner in corners.items():
+            corner_library = derive_corner_library(library, corner)
+            leakage[name] = LeakageAnalyzer(
+                netlist, corner_library).standby_leakage().total_nw
+        return leakage, time.perf_counter() - started
+
+    leakage, elapsed = run_once(benchmark, grid)
+
+    # Physical orderings across the grid (fixed VDD/temp slices).
+    vdd = library.tech.vdd
+    assert leakage[f"ss_{vdd:.2f}v_125c"] < leakage[f"tt_{vdd:.2f}v_125c"] \
+        < leakage[f"ff_{vdd:.2f}v_125c"]
+    assert leakage[f"tt_{vdd:.2f}v_m40c"] < leakage[f"tt_{vdd:.2f}v_25c"] \
+        < leakage[f"tt_{vdd:.2f}v_125c"]
+
+    metrics = {
+        "circuit": CIRCUIT,
+        "corners": len(corners),
+        "grid_s": round(elapsed, 4),
+        "corners_per_s": round(len(corners) / max(elapsed, 1e-9), 2),
+    }
+    benchmark.extra_info.update(metrics)
+    record("corner_grid", metrics)
+    print(f"\n{len(corners)} corners derived+evaluated in {elapsed:.3f}s")
+
+
+def test_bench_montecarlo_throughput(benchmark, library):
+    """Leakage-only and timing-enabled sampling rates."""
+    netlist, constraints = _mapped(library)
+
+    def sample_all():
+        leak_engine = MonteCarloEngine(
+            netlist, library, config=McConfig(samples=MC_SAMPLES, seed=7,
+                                              timing=False))
+        started = time.perf_counter()
+        leak_samples = leak_engine.run()
+        leak_elapsed = time.perf_counter() - started
+
+        sta_engine = MonteCarloEngine(
+            netlist, library,
+            config=McConfig(samples=MC_TIMING_SAMPLES, seed=7, timing=True),
+            constraints=constraints)
+        started = time.perf_counter()
+        sta_samples = sta_engine.run()
+        sta_elapsed = time.perf_counter() - started
+        return leak_samples, leak_elapsed, sta_samples, sta_elapsed, \
+            sta_engine.session_stats
+
+    leak_samples, leak_elapsed, sta_samples, sta_elapsed, sta_stats = \
+        run_once(benchmark, sample_all)
+
+    # Determinism: re-evaluating a sample reproduces it exactly.
+    redo = MonteCarloEngine(
+        netlist, library,
+        config=McConfig(samples=MC_SAMPLES, seed=7, timing=False))
+    assert redo.sample(5).leakage_nw == leak_samples[5].leakage_nw
+
+    stats = summarize(leak_samples)
+    # Log-normal shape: the mean sits above the median.
+    assert stats.mean_nw > stats.p50_nw
+
+    metrics = {
+        "circuit": CIRCUIT,
+        "leakage_samples": MC_SAMPLES,
+        "leakage_s": round(leak_elapsed, 4),
+        "leakage_samples_per_s": round(
+            MC_SAMPLES / max(leak_elapsed, 1e-9), 1),
+        "sta_samples": MC_TIMING_SAMPLES,
+        "sta_s": round(sta_elapsed, 4),
+        "sta_samples_per_s": round(
+            MC_TIMING_SAMPLES / max(sta_elapsed, 1e-9), 2),
+        "sta_full_runs": sta_stats.full_runs,
+        "sta_incremental_runs": sta_stats.incremental_runs,
+        "mean_nw": round(stats.mean_nw, 4),
+        "p50_nw": round(stats.p50_nw, 4),
+        "p99_nw": round(stats.p99_nw, 4),
+    }
+    benchmark.extra_info.update(metrics)
+    record("montecarlo", metrics)
+    print(f"\nleakage-only: {MC_SAMPLES} samples in {leak_elapsed:.3f}s; "
+          f"with STA: {MC_TIMING_SAMPLES} samples in {sta_elapsed:.3f}s")

@@ -114,25 +114,110 @@ def cmd_sweep(args) -> int:
     if not circuits:
         print("no circuits given", file=sys.stderr)
         return 2
-    techniques = ALL_TECHNIQUES
-    if args.techniques:
-        names = [name.strip() for name in args.techniques.split(",")
-                 if name.strip()]
-        try:
-            techniques = tuple(Technique(name) for name in names)
-        except ValueError:
-            valid = ", ".join(t.value for t in Technique)
-            print(f"unknown technique in {args.techniques!r}; "
-                  f"valid: {valid}", file=sys.stderr)
-            return 2
-        if not techniques:
-            print("no techniques given", file=sys.stderr)
-            return 2
+    try:
+        techniques = _parse_techniques(args.techniques) or ALL_TECHNIQUES
+    except _CliArgError as error:
+        print(error, file=sys.stderr)
+        return 2
     library = build_default_library()
     comparisons = run_sweep(circuits, config=_config_from(args),
                             techniques=techniques,
                             jobs=args.jobs, library=library)
     print(render_sweep(comparisons))
+    return 0
+
+
+class _CliArgError(Exception):
+    """A user-input problem a command reports as exit code 2."""
+
+
+def _parse_techniques(text: str | None):
+    """Comma-separated technique list; ``None`` means "all"."""
+    if text is None:
+        return None
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    if not names:
+        raise _CliArgError("no techniques given")
+    try:
+        return tuple(Technique(name) for name in names)
+    except ValueError:
+        valid = ", ".join(t.value for t in Technique)
+        raise _CliArgError(
+            f"unknown technique in {text!r}; valid: {valid}") from None
+
+
+def _emit_json(payload: dict, path: str | None):
+    if not path:
+        return
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote JSON report to {path}")
+
+
+def cmd_corners(args) -> int:
+    from repro.experiments import run_table1_corners
+    from repro.variation.corners import (
+        default_signoff_corners,
+        standard_corners,
+    )
+
+    library = build_default_library()
+    circuits = tuple(name.strip() for name in args.circuits.split(",")
+                     if name.strip())
+    if not circuits:
+        print("no circuits given", file=sys.stderr)
+        return 2
+    try:
+        techniques = _parse_techniques(args.techniques)
+    except _CliArgError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.all_corners:
+        corners = tuple(standard_corners(library.tech))
+    elif args.corners:
+        corners = tuple(name.strip() for name in args.corners.split(",")
+                        if name.strip())
+    else:
+        corners = default_signoff_corners(library.tech)
+    known = standard_corners(library.tech)
+    unknown = [name for name in corners if name not in known]
+    if unknown:
+        print(f"unknown corner(s) {unknown}; "
+              f"known: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    result = run_table1_corners(
+        circuits=circuits, techniques=techniques, corners=corners,
+        config=_config_from(args), library=library, jobs=args.jobs)
+    print(result.render())
+    _emit_json(result.as_dict(), args.json)
+    return 0
+
+
+def cmd_montecarlo(args) -> int:
+    from repro.experiments import run_montecarlo
+    from repro.variation.corners import standard_corners
+
+    library = build_default_library()
+    if args.corner and args.corner not in standard_corners(library.tech):
+        print(f"unknown corner {args.corner!r}; "
+              f"known: {', '.join(sorted(standard_corners(library.tech)))}",
+              file=sys.stderr)
+        return 2
+    try:
+        techniques = _parse_techniques(args.techniques)
+    except _CliArgError as error:
+        print(error, file=sys.stderr)
+        return 2
+    study = run_montecarlo(
+        circuit=args.circuit, techniques=techniques, samples=args.samples,
+        seed=args.mc_seed, sigma_global_v=args.sigma_global,
+        sigma_local_v=args.sigma_local, timing=not args.no_timing,
+        corner=args.corner, leakage_budget_nw=args.leakage_budget,
+        config=_config_from(args), library=library, jobs=args.jobs)
+    print(study.render())
+    _emit_json(study.as_dict(), args.json)
     return 0
 
 
@@ -197,6 +282,64 @@ def build_parser() -> argparse.ArgumentParser:
              "identical either way)")
     _add_config_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    corners_parser = sub.add_parser(
+        "corners", help="PVT corner signoff across circuits and "
+                        "techniques (variation engine)")
+    corners_parser.add_argument(
+        "--circuits", required=True,
+        help="comma-separated circuit names (see `list`)")
+    corners_parser.add_argument(
+        "--techniques", default=None,
+        help="comma-separated subset of "
+             + ",".join(t.value for t in Technique))
+    corners_parser.add_argument(
+        "--corners", default=None,
+        help="comma-separated corner names (default: tt_nom + worst "
+             "leakage + worst timing)")
+    corners_parser.add_argument(
+        "--all-corners", action="store_true",
+        help="sign off the full 27-corner SSxVDDxT grid")
+    corners_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width (results identical for any N)")
+    corners_parser.add_argument(
+        "--json", metavar="PATH", help="also write the report as JSON")
+    _add_config_options(corners_parser)
+    corners_parser.set_defaults(func=cmd_corners)
+
+    mc_parser = sub.add_parser(
+        "montecarlo", help="Monte-Carlo Vth-variation study "
+                           "(log-normal leakage statistics + yield)")
+    mc_parser.add_argument("--circuit", required=True,
+                           help="circuit name (see `list`)")
+    mc_parser.add_argument(
+        "--techniques", default=None,
+        help="comma-separated subset of "
+             + ",".join(t.value for t in Technique))
+    mc_parser.add_argument("--samples", type=int, default=64,
+                           help="Monte-Carlo sample count")
+    mc_parser.add_argument("--mc-seed", type=int, default=1,
+                           help="sampling seed (sample k is a pure "
+                                "function of (seed, k))")
+    mc_parser.add_argument("--sigma-global", type=float, default=0.03,
+                           help="die-to-die Vth sigma (V)")
+    mc_parser.add_argument("--sigma-local", type=float, default=0.015,
+                           help="per-instance Vth sigma (V)")
+    mc_parser.add_argument("--no-timing", action="store_true",
+                           help="skip per-sample STA (leakage only)")
+    mc_parser.add_argument("--corner", default=None,
+                           help="evaluate samples around this PVT corner")
+    mc_parser.add_argument("--leakage-budget", type=float, default=None,
+                           help="leakage yield budget in nW (default: "
+                                "2x each technique's nominal)")
+    mc_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width (statistics identical for any N)")
+    mc_parser.add_argument(
+        "--json", metavar="PATH", help="also write the report as JSON")
+    _add_config_options(mc_parser)
+    mc_parser.set_defaults(func=cmd_montecarlo)
 
     library_parser = sub.add_parser(
         "library", help="emit the synthesized multi-Vth library")

@@ -68,6 +68,11 @@ class FlowConfig:
     hold_fix_buffer_cell: str = "BUF_X1_HVT"
     max_hold_fix_passes: int = 3
 
+    # PVT corner signoff: names from repro.variation.corners (e.g.
+    # "tt_nom", "ss_1.08v_125c").  Empty = the corner_signoff stage is
+    # a no-op and the flow behaves exactly as single-point.
+    signoff_corners: tuple[str, ...] = ()
+
     def __post_init__(self):
         if self.timing_margin < 0:
             raise FlowError("timing margin must be non-negative")

@@ -43,6 +43,7 @@ from repro.power.leakage import LeakageBreakdown
 from repro.routing.extract import NetParasitics
 from repro.timing.constraints import Constraints
 from repro.timing.sta import TimingReport
+from repro.variation.signoff import CornerResult
 from repro.vgnd.network import VgndNetwork
 
 __all__ = [
@@ -72,6 +73,10 @@ class FlowResult:
     total_area: float
     stages: list[StageReport]
     sta_stats: dict[str, dict[str, int]] = dataclasses.field(
+        default_factory=dict)
+    #: Per-corner signoff results (empty unless
+    #: ``FlowConfig.signoff_corners`` was set).
+    corners: dict[str, "CornerResult"] = dataclasses.field(
         default_factory=dict)
 
     @property
@@ -117,7 +122,8 @@ class FlowResult:
             leakage=ctx.leakage,
             total_area=ctx.total_area,
             stages=list(ctx.stages),
-            sta_stats=dict(ctx.sta_stats))
+            sta_stats=dict(ctx.sta_stats),
+            corners=dict(ctx.corners))
 
 
 class SelectiveMtFlow:

@@ -61,6 +61,7 @@ from repro.routing.steiner import build_mst
 from repro.timing.constraints import Constraints
 from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer, TimingReport
+from repro.variation.signoff import CornerResult, evaluate_corners
 from repro.vgnd.cluster import ClusterConfig
 from repro.vgnd.em import check_em
 from repro.vgnd.network import VgndNetwork
@@ -111,6 +112,8 @@ class FlowContext:
     timing: TimingReport | None = None
     leakage: LeakageBreakdown | None = None
     total_area: float = 0.0
+    corners: dict[str, CornerResult] = dataclasses.field(
+        default_factory=dict)
 
     # Improved-SMT intermediates (between replacement and the switch
     # structure construction).
@@ -224,6 +227,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "eco_placement",
         "routing_cts_mte",
         "eco_and_sta",
+        "corner_signoff",
         "finalize",
     ),
     Technique.CONVENTIONAL_SMT: (
@@ -234,6 +238,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "eco_placement",
         "routing_cts_mte",
         "eco_and_sta",
+        "corner_signoff",
         "finalize",
     ),
     Technique.IMPROVED_SMT: (
@@ -247,6 +252,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "routing_cts_mte",
         "spef_reoptimization",
         "eco_and_sta",
+        "corner_signoff",
         "finalize",
     ),
 }
@@ -691,6 +697,35 @@ def stage_eco_and_sta(ctx: FlowContext) -> dict[str, Any]:
         "wns": round(eco_result.final_report.wns, 4),
         "hold_wns": round(eco_result.final_report.hold_wns, 4),
     })
+
+
+@flow_stage("corner_signoff")
+def stage_corner_signoff(ctx: FlowContext) -> dict[str, Any] | None:
+    """PVT corner signoff of the finished design (variation engine).
+
+    Re-evaluates the final netlist's standby leakage and timing at
+    each corner named in ``FlowConfig.signoff_corners`` using
+    corner-derived libraries; with no corners configured the stage is
+    invisible (no report), so single-point flows are untouched.
+    """
+    names = ctx.config.signoff_corners
+    if not names:
+        return None
+    ctx.require("netlist", "constraints")
+    clock_arrivals = ctx.cts.clock_arrivals if ctx.cts else None
+    ctx.corners = evaluate_corners(
+        ctx.netlist, ctx.library, names, ctx.constraints,
+        parasitics=ctx.parasitics, network=ctx.network,
+        clock_arrivals=clock_arrivals)
+    worst_leak = max(ctx.corners.values(), key=lambda r: r.leakage_nw)
+    worst_wns = min(ctx.corners.values(), key=lambda r: r.wns)
+    return {
+        "corners": len(ctx.corners),
+        "worst_leakage_nw": round(worst_leak.leakage_nw, 3),
+        "worst_leakage_corner": worst_leak.corner.name,
+        "worst_wns": round(worst_wns.wns, 4),
+        "worst_wns_corner": worst_wns.corner.name,
+    }
 
 
 @flow_stage("finalize")

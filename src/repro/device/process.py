@@ -56,6 +56,18 @@ class Technology:
     # this factor (classic "stacking effect").
     stack_factor: float = 0.25
 
+    # --- variation model (used by repro.variation) -------------------------
+    # DIBL: effective Vth drops by this many volts per volt of Vds
+    # (approximated as the supply) above nominal.
+    dibl_v_per_v: float = 0.08
+    # Threshold temperature coefficient (volts per kelvin; negative:
+    # Vth drops as the die heats up, which is why leakage explodes).
+    vth_temp_v_per_k: float = -0.8e-3
+    # Mobility degradation: drive current scales as (T/T0)^-m.
+    mobility_temp_exp: float = 1.5
+    # Subthreshold prefactor scales as (T/T0)^2 (diffusion current).
+    leakage_temp_exp: float = 2.0
+
     # --- capacitances ------------------------------------------------------
     # Gate capacitance per um of transistor width [pF/um].
     cgate_per_um: float = 1.0e-3

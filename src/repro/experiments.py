@@ -104,3 +104,231 @@ def run_table1(library: Library | None = None,
         comparisons[short] = compare_techniques(
             netlist, library, table1_config(short), circuit_name=short)
     return Table1Result(comparisons=comparisons)
+
+
+def _resolve_circuit(short: str) -> str:
+    """Table 1 shorthand ("A"/"B") or any suite circuit name."""
+    return f"circuit{short}" if short in ("A", "B") else short
+
+
+def _circuit_config(short: str, config: FlowConfig | None) -> FlowConfig:
+    if config is not None:
+        return config
+    try:
+        return table1_config(short)
+    except KeyError:
+        return FlowConfig()
+
+
+@dataclasses.dataclass
+class CornerSignoffResult:
+    """Corner signoff across a circuit x technique x corner grid."""
+
+    corners: tuple[str, ...]
+    #: (circuit, technique) -> CornerOutcome, submission order.
+    outcomes: dict[tuple[str, "Technique"], "CornerOutcome"]
+
+    def outcome(self, circuit: str, technique: Technique) -> "CornerOutcome":
+        return self.outcomes[(circuit, technique)]
+
+    def as_dict(self) -> dict:
+        return {
+            "corners": list(self.corners),
+            "results": [
+                {
+                    "circuit": circuit,
+                    "technique": technique.value,
+                    "area_um2": outcome.area_um2,
+                    "nominal_leakage_nw": outcome.nominal_leakage_nw,
+                    "nominal_wns": outcome.nominal_wns,
+                    "corners": [dataclasses.asdict(row)
+                                for row in outcome.rows],
+                }
+                for (circuit, technique), outcome in self.outcomes.items()
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "Corner signoff (standby leakage nW / setup WNS ns)",
+            f"{'Circuit':<10} {'Technique':<18} {'Corner':<16} "
+            f"{'Leak(nW)':>12} {'xNominal':>9} {'WNS':>9}",
+        ]
+        for (circuit, technique), outcome in self.outcomes.items():
+            base = outcome.nominal_leakage_nw or 1.0
+            for row in outcome.rows:
+                lines.append(
+                    f"{circuit:<10} {technique.value:<18} {row.corner:<16} "
+                    f"{row.leakage_nw:12.2f} {row.leakage_nw / base:9.2f} "
+                    f"{row.wns:+9.4f}")
+        return "\n".join(lines)
+
+
+def run_table1_corners(circuits: tuple[str, ...] = ("A", "B"),
+                       techniques=None,
+                       corners: tuple[str, ...] | None = None,
+                       config: FlowConfig | None = None,
+                       library: Library | None = None,
+                       jobs: int = 1) -> CornerSignoffResult:
+    """Table 1 under PVT corners: every technique signed off per corner.
+
+    The grid is ``circuits x techniques`` (one flow each, corners are
+    evaluated inside the job), fanned out through the experiment
+    runner; results are deterministic for any ``jobs``.
+    """
+    from repro.runner import ALL_TECHNIQUES, ExperimentRunner
+    from repro.variation.corners import default_signoff_corners
+    from repro.variation.jobs import CornerJob, run_corner_job
+
+    library = library or build_default_library()
+    techniques = tuple(techniques or ALL_TECHNIQUES)
+    corners = tuple(corners or default_signoff_corners(library.tech))
+    labeled_grid = [
+        (short, CornerJob(circuit=_resolve_circuit(short),
+                          technique=technique,
+                          config=_circuit_config(short, config),
+                          corners=corners))
+        for short in circuits for technique in techniques]
+    grid = [job for _, job in labeled_grid]
+    outcomes = ExperimentRunner(jobs=jobs, library=library).map(
+        run_corner_job, grid)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        from repro.errors import FlowError
+
+        first = failed[0]
+        raise FlowError(
+            f"{len(failed)} corner job(s) failed "
+            f"({first.circuit}/{first.technique.value}):\n{first.error}")
+    keyed = {(short, job.technique): outcome
+             for (short, job), outcome in zip(labeled_grid, outcomes)}
+    return CornerSignoffResult(corners=corners, outcomes=keyed)
+
+
+@dataclasses.dataclass
+class MonteCarloStudy:
+    """Per-technique Monte-Carlo statistics on one circuit."""
+
+    circuit: str
+    samples: int
+    seed: int
+    corner: str | None
+    #: technique -> (nominal leakage nW, nominal WNS | None, stats)
+    results: dict["Technique", "McTechniqueResult"]
+
+    def result(self, technique: Technique) -> "McTechniqueResult":
+        return self.results[technique]
+
+    def as_dict(self) -> dict:
+        return {
+            "circuit": self.circuit,
+            "samples": self.samples,
+            "seed": self.seed,
+            "corner": self.corner,
+            "results": {
+                technique.value: {
+                    "nominal_leakage_nw": res.nominal_leakage_nw,
+                    "nominal_wns": res.nominal_wns,
+                    "area_um2": res.area_um2,
+                    "statistics": res.statistics.as_dict(),
+                }
+                for technique, res in self.results.items()
+            },
+        }
+
+    def render(self) -> str:
+        where = f" @ {self.corner}" if self.corner else ""
+        lines = [
+            f"Monte-Carlo standby leakage on {self.circuit}{where} "
+            f"({self.samples} samples, seed {self.seed})",
+            f"{'Technique':<18} {'Nominal':>10} {'Mean':>10} {'Sigma':>10} "
+            f"{'P95':>10} {'LeakYld':>8} {'TimYld':>7}",
+        ]
+        for technique, res in self.results.items():
+            stats = res.statistics
+            leak_yield = (f"{stats.leakage_yield:8.2f}"
+                          if stats.leakage_yield is not None else "       -")
+            timing_yield = (f"{stats.timing_yield:7.2f}"
+                            if stats.timing_yield is not None else "      -")
+            lines.append(
+                f"{technique.value:<18} {res.nominal_leakage_nw:10.2f} "
+                f"{stats.mean_nw:10.2f} {stats.std_nw:10.2f} "
+                f"{stats.p95_nw:10.2f} {leak_yield} {timing_yield}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class McTechniqueResult:
+    """One technique's Monte-Carlo outcome."""
+
+    nominal_leakage_nw: float
+    nominal_wns: float | None
+    area_um2: float
+    statistics: "McStatistics"
+    samples: list
+
+
+def run_montecarlo(circuit: str = "A",
+                   techniques=None,
+                   samples: int = 64,
+                   seed: int = 1,
+                   sigma_global_v: float = 0.03,
+                   sigma_local_v: float = 0.015,
+                   timing: bool = True,
+                   corner: str | None = None,
+                   leakage_budget_nw: float | None = None,
+                   config: FlowConfig | None = None,
+                   library: Library | None = None,
+                   jobs: int = 1) -> MonteCarloStudy:
+    """Monte-Carlo leakage/timing study across techniques.
+
+    Samples are chunked across the experiment runner; since sample
+    ``k`` is a pure function of ``(seed, k)``, the merged statistics
+    are identical for any ``jobs`` setting.  The leakage-yield budget
+    defaults to ``McConfig.budget_factor`` x each technique's own
+    nominal leakage.
+    """
+    from repro.runner import ALL_TECHNIQUES, ExperimentRunner
+    from repro.variation.jobs import McJob, run_mc_job
+    from repro.variation.montecarlo import McConfig, summarize
+
+    library = library or build_default_library()
+    techniques = tuple(techniques or ALL_TECHNIQUES)
+    mc = McConfig(samples=samples, seed=seed,
+                  sigma_global_v=sigma_global_v,
+                  sigma_local_v=sigma_local_v, timing=timing,
+                  leakage_budget_nw=leakage_budget_nw)
+    flow_config = _circuit_config(circuit, config)
+    resolved = _resolve_circuit(circuit)
+    chunks = min(max(1, jobs), samples)
+    bounds = [(index * samples // chunks,
+               (index + 1) * samples // chunks) for index in range(chunks)]
+    grid = [McJob(circuit=resolved, technique=technique, config=flow_config,
+                  mc=mc, corner=corner, start=start, count=stop - start)
+            for technique in techniques for (start, stop) in bounds]
+    outcomes = ExperimentRunner(jobs=jobs, library=library).map(
+        run_mc_job, grid)
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        from repro.errors import FlowError
+
+        first = failed[0]
+        raise FlowError(
+            f"{len(failed)} Monte-Carlo job(s) failed "
+            f"({first.circuit}/{first.technique.value}):\n{first.error}")
+    results: dict[Technique, McTechniqueResult] = {}
+    per_technique = len(bounds)
+    for index, technique in enumerate(techniques):
+        chunk = outcomes[index * per_technique:(index + 1) * per_technique]
+        merged = [sample for outcome in chunk for sample in outcome.samples]
+        budget = mc.leakage_budget_nw
+        if budget is None:
+            budget = mc.budget_factor * chunk[0].nominal_leakage_nw
+        results[technique] = McTechniqueResult(
+            nominal_leakage_nw=chunk[0].nominal_leakage_nw,
+            nominal_wns=chunk[0].nominal_wns,
+            area_um2=chunk[0].area_um2,
+            statistics=summarize(merged, leakage_budget_nw=budget),
+            samples=merged)
+    return MonteCarloStudy(circuit=resolved, samples=samples, seed=seed,
+                           corner=corner, results=results)

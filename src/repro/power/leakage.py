@@ -47,16 +47,28 @@ class LeakageBreakdown:
         self.instance_count += 1
         self.per_instance[instance] = value
 
-    def as_dict(self) -> dict[str, float]:
+    #: The contribution categories, in report order.
+    CATEGORIES = ("lvt_logic_nw", "hvt_logic_nw", "sequential_nw",
+                  "mt_residual_nw", "conventional_mt_nw", "switch_nw",
+                  "holder_nw")
+
+    def category_values(self) -> dict[str, float]:
+        return {category: getattr(self, category)
+                for category in self.CATEGORIES}
+
+    def shares_pct(self) -> dict[str, float]:
+        """Percentage-of-total per category (zeros when total is zero)."""
+        total = self.total_nw
+        return {category: (100.0 * value / total if total else 0.0)
+                for category, value in self.category_values().items()}
+
+    def as_dict(self) -> dict[str, float | int | dict[str, float]]:
+        """Self-describing summary: totals, count and per-category shares."""
         return {
             "total_nw": self.total_nw,
-            "lvt_logic_nw": self.lvt_logic_nw,
-            "hvt_logic_nw": self.hvt_logic_nw,
-            "sequential_nw": self.sequential_nw,
-            "mt_residual_nw": self.mt_residual_nw,
-            "conventional_mt_nw": self.conventional_mt_nw,
-            "switch_nw": self.switch_nw,
-            "holder_nw": self.holder_nw,
+            **self.category_values(),
+            "instance_count": self.instance_count,
+            "shares_pct": self.shares_pct(),
         }
 
 

@@ -20,15 +20,16 @@ def render_leakage_table(breakdown: LeakageBreakdown,
                          title: str = "Standby leakage") -> str:
     """Format a leakage breakdown as an aligned text table."""
     lines = [title, "-" * len(title)]
+    shares = breakdown.shares_pct()
     for key, label in _CATEGORY_LABELS:
         value = getattr(breakdown, key)
         if value == 0.0:
             continue
-        share = 100.0 * value / breakdown.total_nw if breakdown.total_nw else 0.0
         lines.append(f"{label:<36} {units.pretty_power(value):>14} "
-                     f"({share:5.1f}%)")
+                     f"({shares[key]:5.1f}%)")
     lines.append(f"{'Total':<36} "
                  f"{units.pretty_power(breakdown.total_nw):>14}")
+    lines.append(f"{'Instances':<36} {breakdown.instance_count:>14d}")
     return "\n".join(lines)
 
 

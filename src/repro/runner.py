@@ -136,24 +136,46 @@ def run_flow_job(job: FlowJob, library: Library | None = None) -> JobOutcome:
             error=traceback.format_exc())
 
 
+def _map_call(fn, item):
+    """Pool-side trampoline: hand the worker's library to the job fn."""
+    return fn(item, _process_library())
+
+
 class ExperimentRunner:
-    """Fans flow jobs out across processes, results in submission order."""
+    """Fans jobs out across processes, results in submission order.
+
+    :meth:`run` executes flow jobs; :meth:`map` is the generic
+    substrate underneath it, used by the variation engine to fan out
+    corner-signoff and Monte-Carlo-chunk jobs with the same
+    determinism guarantees (per-job purity, submission-order results,
+    serial ≡ parallel).
+    """
 
     def __init__(self, jobs: int = 1, library: Library | None = None):
         self.jobs = max(1, int(jobs))
         self.library = library
 
-    def run(self, flow_jobs: Sequence[FlowJob]) -> list[JobOutcome]:
-        flow_jobs = list(flow_jobs)
-        if self.jobs == 1 or len(flow_jobs) <= 1:
-            return [run_flow_job(job, library=self.library)
-                    for job in flow_jobs]
-        workers = min(self.jobs, len(flow_jobs))
+    def map(self, fn, items: Sequence) -> list:
+        """Apply ``fn(item, library)`` to every item, optionally pooled.
+
+        ``fn`` must be a picklable top-level function whose result is a
+        pure function of ``(item, library)``; the runner then
+        guarantees identical results for any ``jobs`` setting.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            library = self.library if self.library is not None \
+                else _process_library()
+            return [fn(item, library) for item in items]
+        workers = min(self.jobs, len(items))
         with ProcessPoolExecutor(max_workers=workers,
                                  initializer=_worker_init,
                                  initargs=(self.library,)) as pool:
-            futures = [pool.submit(run_flow_job, job) for job in flow_jobs]
+            futures = [pool.submit(_map_call, fn, item) for item in items]
             return [future.result() for future in futures]
+
+    def run(self, flow_jobs: Sequence[FlowJob]) -> list[JobOutcome]:
+        return self.map(run_flow_job, flow_jobs)
 
 
 def comparison_from_outcomes(circuit: str,

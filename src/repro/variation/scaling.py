@@ -1,0 +1,131 @@
+"""Physical scaling laws for PVT variation analysis.
+
+Everything in :mod:`repro.variation` reduces to two questions about a
+transistor at an off-nominal operating point: *how much slower/faster
+is it* and *how much more/less does it leak*.  This module answers
+both as pure ratio functions of a :class:`~repro.device.process.Technology`
+and an :class:`OperatingPoint`, so corner libraries and Monte-Carlo
+samples can be derived by scaling the nominal characterization instead
+of re-running it.
+
+The models (all relative to the technology's nominal point):
+
+* **Effective threshold** — the nominal Vth shifted by the process
+  sample (``vth_shift_v``), the threshold temperature coefficient
+  (Vth drops as the die heats), and DIBL (Vth drops as Vds ~ Vdd
+  rises).
+
+* **Delay** (alpha-power law): ``t ~ Vdd * (T/T0)^m / (Vdd - Vth)^alpha``
+  — mobility degrades with temperature, drive grows with overdrive.
+
+* **Subthreshold leakage power**:
+  ``P ~ Vdd * (T/T0)^2 * exp(-Vth_eff / (n * vT(T)))`` — the exact
+  exponential sensitivity to Vth and temperature that the Selective-MT
+  methodology trades on.
+
+At the nominal point every factor is exactly ``1.0`` (same float
+operations in numerator and denominator), which is what lets the TT
+nominal corner reproduce single-point results bit-identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro import units
+from repro.device.process import Technology
+
+#: Overdrive floor (volts): keeps the alpha-power law finite when a
+#: corner pushes Vdd - Vth towards zero.
+OVERDRIVE_FLOOR = 1e-3
+
+
+@dataclasses.dataclass(frozen=True)
+class OperatingPoint:
+    """One (voltage, temperature, process shift) evaluation point.
+
+    ``vth_shift_v`` is the *global* process component: positive for a
+    slow (high-Vth) sample, negative for a fast one.  Per-instance
+    local mismatch rides on top of this in the Monte-Carlo engine.
+    """
+
+    vdd: float
+    temperature_k: float
+    vth_shift_v: float = 0.0
+
+    @classmethod
+    def nominal(cls, tech: Technology) -> "OperatingPoint":
+        return cls(vdd=tech.vdd, temperature_k=tech.temperature_k)
+
+
+def effective_vth(tech: Technology, vth_nominal: float,
+                  point: OperatingPoint) -> float:
+    """Threshold voltage of a device at the operating point (volts)."""
+    return (vth_nominal
+            + point.vth_shift_v
+            + tech.vth_temp_v_per_k * (point.temperature_k
+                                       - tech.temperature_k)
+            - tech.dibl_v_per_v * (point.vdd - tech.vdd))
+
+
+def _overdrive(vdd: float, vth: float) -> float:
+    return max(vdd - vth, OVERDRIVE_FLOOR)
+
+
+def drive_current_factor(tech: Technology, vth_nominal: float,
+                         point: OperatingPoint) -> float:
+    """Saturation-current ratio Id(point) / Id(nominal)."""
+    od_nom = _overdrive(tech.vdd, vth_nominal)
+    od = _overdrive(point.vdd, effective_vth(tech, vth_nominal, point))
+    mobility = (point.temperature_k / tech.temperature_k) \
+        ** tech.mobility_temp_exp
+    return (od / od_nom) ** tech.alpha / mobility
+
+
+def delay_factor(tech: Technology, vth_nominal: float,
+                 point: OperatingPoint) -> float:
+    """Gate-delay ratio t(point) / t(nominal).
+
+    Delay ~ C * Vdd / Id; the capacitance is voltage/temperature
+    independent in this model, so the ratio is the supply ratio over
+    the current ratio.
+    """
+    return (point.vdd / tech.vdd) \
+        / drive_current_factor(tech, vth_nominal, point)
+
+
+def leakage_factor(tech: Technology, vth_nominal: float,
+                   point: OperatingPoint) -> float:
+    """Standby-leakage-power ratio P(point) / P(nominal).
+
+    Strictly increasing in temperature (prefactor, thermal voltage and
+    the negative Vth temperature coefficient all push the same way)
+    and strictly decreasing in ``vth_shift_v``.
+    """
+    swing_nom = tech.subthreshold_n * units.thermal_voltage(
+        tech.temperature_k)
+    swing = tech.subthreshold_n * units.thermal_voltage(point.temperature_k)
+    vth = effective_vth(tech, vth_nominal, point)
+    current_ratio = (
+        (point.temperature_k / tech.temperature_k) ** tech.leakage_temp_exp
+        * math.exp(vth_nominal / swing_nom - vth / swing))
+    return current_ratio * (point.vdd / tech.vdd)
+
+
+def local_leakage_factor(tech: Technology, dvth_v: float) -> float:
+    """Leakage multiplier of a single device whose Vth moved by ``dvth_v``.
+
+    Used per instance by the Monte-Carlo engine: a Gaussian Vth
+    mismatch maps through this exponential to the classic log-normal
+    leakage distribution.
+    """
+    return math.exp(-dvth_v / tech.subthreshold_swing())
+
+
+def local_delay_factor(tech: Technology, vth_nominal: float,
+                       dvth_v: float) -> float:
+    """Delay multiplier of a single device whose Vth moved by ``dvth_v``."""
+    od_nom = _overdrive(tech.vdd, vth_nominal)
+    od = _overdrive(tech.vdd, vth_nominal + dvth_v)
+    return (od_nom / od) ** tech.alpha

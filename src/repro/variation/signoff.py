@@ -1,0 +1,108 @@
+"""Multi-corner signoff evaluation of a finished design.
+
+The design is optimized once at the nominal point (the paper's flow);
+signoff then re-evaluates the *final* netlist at each requested PVT
+corner with a corner-derived library — the industry pattern Hillman
+(arXiv:0710.4842) describes for power-management IP.  Per corner this
+is one leakage pass plus one STA, so a full 27-corner sweep costs a
+small multiple of the final-STA stage, not of the whole flow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+from repro.liberty.library import Library
+from repro.netlist.core import Netlist
+from repro.power.leakage import LeakageAnalyzer, LeakageBreakdown
+from repro.timing.constraints import Constraints
+from repro.timing.sta import TimingAnalyzer
+from repro.variation.corners import (
+    PvtCorner,
+    corner_scales,
+    derive_corner_library,
+    resolve_corner,
+)
+
+
+@dataclasses.dataclass
+class CornerResult:
+    """Leakage / timing of the final design at one PVT corner."""
+
+    corner: PvtCorner
+    leakage_nw: float
+    wns: float
+    hold_wns: float
+    delay_scale_low: float
+    delay_scale_high: float
+    leakage_scale_low: float
+    leakage_scale_high: float
+    leakage: LeakageBreakdown | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "corner": self.corner.name,
+            "process": self.corner.process,
+            "vdd": self.corner.vdd,
+            "temperature_c": self.corner.temperature_c,
+            "leakage_nw": self.leakage_nw,
+            "wns": self.wns,
+            "hold_wns": self.hold_wns,
+            "delay_scale_low": self.delay_scale_low,
+            "delay_scale_high": self.delay_scale_high,
+            "leakage_scale_low": self.leakage_scale_low,
+            "leakage_scale_high": self.leakage_scale_high,
+        }
+
+
+def evaluate_corner(netlist: Netlist, library: Library, corner: PvtCorner,
+                    constraints: Constraints,
+                    parasitics: Mapping[str, object] | None = None,
+                    network=None,
+                    clock_arrivals: Mapping[str, float] | None = None,
+                    keep_breakdown: bool = False) -> CornerResult:
+    """One corner: derive the library, run leakage + STA on the design.
+
+    Mirrors the flow's final STA setup (VGND-bounce derates, CTS clock
+    arrivals), so the ``tt_nom`` corner reproduces the single-point
+    result bit-identically.
+    """
+    corner_library = derive_corner_library(library, corner)
+    derates = None
+    if network is not None:
+        assumed = corner_library.mt_assumed_bounce_v
+        if assumed is None:
+            assumed = corner_library.tech.vdd * 0.04
+        derates = network.derates(netlist, corner_library, assumed)
+    report = TimingAnalyzer(netlist, corner_library, constraints,
+                            parasitics=parasitics, derates=derates,
+                            clock_arrivals=clock_arrivals).run()
+    breakdown = LeakageAnalyzer(netlist, corner_library).standby_leakage()
+    scales = corner_scales(library.tech, corner)
+    return CornerResult(
+        corner=corner,
+        leakage_nw=breakdown.total_nw,
+        wns=report.wns,
+        hold_wns=report.hold_wns,
+        delay_scale_low=scales.delay_low,
+        delay_scale_high=scales.delay_high,
+        leakage_scale_low=scales.leakage_low,
+        leakage_scale_high=scales.leakage_high,
+        leakage=breakdown if keep_breakdown else None)
+
+
+def evaluate_corners(netlist: Netlist, library: Library,
+                     corner_names, constraints: Constraints,
+                     parasitics: Mapping[str, object] | None = None,
+                     network=None,
+                     clock_arrivals: Mapping[str, float] | None = None
+                     ) -> dict[str, CornerResult]:
+    """Evaluate a list of corner names, preserving input order."""
+    results: dict[str, CornerResult] = {}
+    for name in corner_names:
+        corner = resolve_corner(name, library.tech)
+        results[name] = evaluate_corner(
+            netlist, library, corner, constraints, parasitics=parasitics,
+            network=network, clock_arrivals=clock_arrivals)
+    return results

@@ -83,6 +83,67 @@ def test_sweep_rejects_bad_technique(capsys):
     assert "valid:" in capsys.readouterr().err
 
 
+def test_corners_command(tmp_path, capsys):
+    out = tmp_path / "corners.json"
+    assert main(["corners", "--circuits", "c17", "--margin", "0.2",
+                 "--techniques", "dual_vth,improved_smt",
+                 "--corners", "tt_nom,ff_1.32v_125c",
+                 "--json", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "tt_nom" in output
+    assert "ff_1.32v_125c" in output
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["corners"] == ["tt_nom", "ff_1.32v_125c"]
+    techniques = {row["technique"] for row in payload["results"]}
+    assert techniques == {"dual_vth", "improved_smt"}
+
+
+def test_corners_rejects_unknown_corner(capsys):
+    assert main(["corners", "--circuits", "c17",
+                 "--corners", "tt_nom,bogus_corner"]) == 2
+    assert "unknown corner" in capsys.readouterr().err
+
+
+def test_corners_rejects_empty_circuits():
+    assert main(["corners", "--circuits", ","]) == 2
+
+
+def test_corners_rejects_bad_technique(capsys):
+    assert main(["corners", "--circuits", "c17",
+                 "--techniques", "dual_vth,bogus"]) == 2
+    assert "valid:" in capsys.readouterr().err
+
+
+def test_sweep_rejects_empty_techniques(capsys):
+    assert main(["sweep", "--circuits", "c17", "--techniques", ","]) == 2
+    assert "no techniques" in capsys.readouterr().err
+
+
+def test_montecarlo_command(tmp_path, capsys):
+    out = tmp_path / "mc.json"
+    assert main(["montecarlo", "--circuit", "c17", "--margin", "0.2",
+                 "--samples", "5", "--no-timing",
+                 "--techniques", "dual_vth", "--json", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "Monte-Carlo" in output
+    assert "dual_vth" in output
+    import json
+
+    payload = json.loads(out.read_text())
+    assert payload["samples"] == 5
+    stats = payload["results"]["dual_vth"]["statistics"]
+    assert stats["samples"] == 5
+    assert stats["mean_nw"] > 0
+
+
+def test_montecarlo_rejects_unknown_corner(capsys):
+    assert main(["montecarlo", "--circuit", "c17",
+                 "--corner", "bogus"]) == 2
+    assert "unknown corner" in capsys.readouterr().err
+
+
 def test_sweep_tolerates_trailing_comma_in_techniques(capsys):
     assert main(["sweep", "--circuits", "c17", "--margin", "0.2",
                  "--techniques", "dual_vth,"]) == 0

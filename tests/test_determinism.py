@@ -96,6 +96,22 @@ def test_per_job_seed_overrides_config(library):
     assert outcome.leakage_nw == repeat.leakage_nw
 
 
+def test_corner_signoff_parallel_matches_serial(library):
+    """`repro-smt corners --jobs N` is bit-identical for any N."""
+    from repro.experiments import run_table1_corners
+
+    kwargs = dict(circuits=("c17",),
+                  corners=("tt_nom", "ff_1.32v_125c"),
+                  config=FlowConfig(timing_margin=0.2),
+                  library=library)
+    serial = run_table1_corners(jobs=1, **kwargs)
+    parallel = run_table1_corners(jobs=3, **kwargs)
+    assert serial.as_dict() == parallel.as_dict()
+    # Results are keyed by the caller's circuit names.
+    outcome = serial.outcome("c17", Technique.IMPROVED_SMT)
+    assert outcome.row("tt_nom").leakage_nw == outcome.nominal_leakage_nw
+
+
 def test_flow_does_not_mutate_source(library):
     from repro.benchcircuits.suite import load_circuit
 

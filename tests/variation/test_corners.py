@@ -1,0 +1,169 @@
+"""PVT corner registry and corner-library derivation contract."""
+
+import pytest
+
+from repro.errors import FlowError
+from repro.liberty.library import CellKind, VthClass
+from repro.variation.corners import (
+    DEFAULT_SIGNOFF_CORNERS,
+    PvtCorner,
+    corner_scales,
+    derive_corner_library,
+    nominal_corner,
+    resolve_corner,
+    standard_corners,
+)
+
+
+class TestRegistry:
+    def test_grid_is_27_plus_nominal(self, tech):
+        corners = standard_corners(tech)
+        assert len(corners) == 28
+        assert "tt_nom" in corners
+        for name, corner in corners.items():
+            assert corner.name == name
+
+    def test_default_signoff_corners_resolve(self, tech):
+        for name in DEFAULT_SIGNOFF_CORNERS:
+            assert resolve_corner(name, tech).name == name
+
+    def test_default_signoff_corners_follow_the_technology(self):
+        from repro.device.process import Technology
+        from repro.variation.corners import default_signoff_corners
+
+        low_v = Technology(vdd=1.0)
+        names = default_signoff_corners(low_v)
+        assert names[0] == "tt_nom"
+        for name in names:
+            assert resolve_corner(name, low_v).name == name
+        assert "1.10v" in names[1]  # ff at +10 % of the 1.0 V supply
+
+    def test_unknown_corner_rejected(self, tech):
+        with pytest.raises(FlowError, match="unknown corner"):
+            resolve_corner("tt_9.99v_25c", tech)
+
+    def test_unknown_process_letter_rejected(self):
+        with pytest.raises(FlowError, match="process letter"):
+            PvtCorner(name="xx", process="xx", vdd=1.2,
+                      temperature_k=300.0)
+
+    def test_negative_temperature_naming(self, tech):
+        assert f"ss_{tech.vdd * 0.9:.2f}v_m40c" in standard_corners(tech)
+
+
+class TestScales:
+    def test_nominal_scales_are_exactly_one(self, tech):
+        scales = corner_scales(tech, nominal_corner(tech))
+        assert scales.delay_low == scales.delay_high == 1.0
+        assert scales.leakage_low == scales.leakage_high == 1.0
+
+    def test_leakage_ordering_across_process(self, tech):
+        """At fixed VDD/temp, leakage is monotone SS < TT < FF."""
+        vdd = tech.vdd
+        by_process = [
+            corner_scales(tech, resolve_corner(f"{p}_{vdd:.2f}v_125c",
+                                               tech))
+            for p in ("ss", "tt", "ff")]
+        lows = [s.leakage_low for s in by_process]
+        highs = [s.leakage_high for s in by_process]
+        assert lows == sorted(lows) and lows[0] < lows[-1]
+        assert highs == sorted(highs) and highs[0] < highs[-1]
+
+    def test_leakage_ordering_across_temperature(self, tech):
+        vdd = tech.vdd
+        temps = [corner_scales(tech, resolve_corner(
+            f"tt_{vdd:.2f}v_{label}", tech))
+            for label in ("m40c", "25c", "125c")]
+        values = [s.leakage_low for s in temps]
+        assert values == sorted(values) and values[0] < values[-1]
+
+    def test_delay_ordering_across_vdd(self, tech):
+        labels = [f"tt_{tech.vdd * scale:.2f}v_25c"
+                  for scale in (1.1, 1.0, 0.9)]
+        values = [corner_scales(tech, resolve_corner(label, tech)).delay_low
+                  for label in labels]
+        assert values == sorted(values)  # delay grows as VDD drops
+
+
+class TestDerivedLibrary:
+    def test_nominal_library_not_mutated(self, library, tech):
+        cell = library.cell("NAND2_X1_LVT")
+        arc = cell.pins["Z"].timing_arcs[0]
+        before_lut = arc.cell_rise.values
+        before_leak = cell.default_leakage_nw
+        derive_corner_library(library, resolve_corner("ff_1.32v_125c",
+                                                      tech))
+        assert cell.pins["Z"].timing_arcs[0].cell_rise.values == before_lut
+        assert cell.default_leakage_nw == before_leak
+
+    def test_tt_nominal_is_bit_identical(self, library, tech):
+        derived = derive_corner_library(library, nominal_corner(tech))
+        assert len(derived) == len(library)
+        for cell in library:
+            twin = derived.cell(cell.name)
+            assert twin is not cell
+            assert twin.area == cell.area
+            assert twin.default_leakage_nw == cell.default_leakage_nw
+            assert [s.value_nw for s in twin.leakage_states] \
+                == [s.value_nw for s in cell.leakage_states]
+            for pin_name, pin in cell.pins.items():
+                twin_pin = twin.pins[pin_name]
+                assert twin_pin.capacitance == pin.capacitance
+                for arc, twin_arc in zip(pin.timing_arcs,
+                                         twin_pin.timing_arcs):
+                    for table in ("cell_rise", "cell_fall",
+                                  "rise_transition", "fall_transition",
+                                  "rise_constraint", "fall_constraint"):
+                        lut = getattr(arc, table)
+                        twin_lut = getattr(twin_arc, table)
+                        assert (lut is None) == (twin_lut is None)
+                        if lut is not None:
+                            assert twin_lut.values == lut.values
+
+    def test_hot_fast_corner_scales_tables(self, library, tech):
+        corner = resolve_corner("ff_1.32v_125c", tech)
+        scales = corner_scales(tech, corner)
+        derived = derive_corner_library(library, corner)
+        cell = library.cell("NAND2_X1_LVT")
+        twin = derived.cell("NAND2_X1_LVT")
+        assert twin.default_leakage_nw == pytest.approx(
+            cell.default_leakage_nw * scales.leakage_low)
+        lut = cell.pins["Z"].timing_arcs[0].cell_rise
+        twin_lut = twin.pins["Z"].timing_arcs[0].cell_rise
+        assert twin_lut.values[0][0] == pytest.approx(
+            lut.values[0][0] * scales.delay_low)
+
+    def test_standby_high_vth_leakage_classes(self, library, tech):
+        """MT / switch / holder leakage scales with the high-Vth law."""
+        corner = resolve_corner("ss_1.08v_125c", tech)
+        scales = corner_scales(tech, corner)
+        derived = derive_corner_library(library, corner)
+        for name in ("NAND2_X1_MTV", "NAND2_X1_CMT", "HOLDER_X1"):
+            cell = library.cell(name)
+            twin = derived.cell(name)
+            assert twin.default_leakage_nw == pytest.approx(
+                cell.default_leakage_nw * scales.leakage_high)
+        switch = library.switch_cells()[0]
+        assert derived.cell(switch.name).default_leakage_nw \
+            == pytest.approx(switch.default_leakage_nw
+                             * scales.leakage_high)
+
+    def test_corner_technology_is_adjusted(self, library, tech):
+        corner = resolve_corner("ss_1.08v_125c", tech)
+        derived = derive_corner_library(library, corner)
+        assert derived.tech.vdd == pytest.approx(corner.vdd)
+        assert derived.tech.temperature_k == pytest.approx(
+            corner.temperature_k)
+        assert derived.tech.vth_low == pytest.approx(
+            tech.vth_low + corner.vth_shift_v)
+        assert derived.mt_assumed_bounce_v == pytest.approx(
+            library.mt_assumed_bounce_v * corner.vdd / tech.vdd)
+        # Classification survives derivation.
+        assert derived.cell("SWITCH_X4").kind == CellKind.SWITCH
+        assert derived.cell("NAND2_X1_HVT").vth_class == VthClass.HIGH
+
+    def test_derivation_requires_technology(self, tech):
+        from repro.liberty.library import Library
+
+        with pytest.raises(FlowError, match="technology"):
+            derive_corner_library(Library("bare"), nominal_corner(tech))

@@ -1,0 +1,127 @@
+"""Physical scaling laws: nominal identity, signs, monotonicity."""
+
+import math
+
+import pytest
+
+from repro.variation.scaling import (
+    OperatingPoint,
+    delay_factor,
+    drive_current_factor,
+    effective_vth,
+    leakage_factor,
+    local_delay_factor,
+    local_leakage_factor,
+)
+
+HOT = 398.15
+COLD = 233.15
+
+
+def nominal_point(tech):
+    return OperatingPoint.nominal(tech)
+
+
+class TestNominalIdentity:
+    def test_all_factors_exactly_one(self, tech):
+        point = nominal_point(tech)
+        for vth in (tech.vth_low, tech.vth_high):
+            assert delay_factor(tech, vth, point) == 1.0
+            assert leakage_factor(tech, vth, point) == 1.0
+            assert drive_current_factor(tech, vth, point) == 1.0
+            assert effective_vth(tech, vth, point) == vth
+
+    def test_local_factors_identity_at_zero_shift(self, tech):
+        assert local_leakage_factor(tech, 0.0) == 1.0
+        assert local_delay_factor(tech, tech.vth_low, 0.0) == 1.0
+
+
+class TestEffectiveVth:
+    def test_temperature_lowers_vth(self, tech):
+        hot = OperatingPoint(tech.vdd, HOT)
+        assert effective_vth(tech, tech.vth_low, hot) < tech.vth_low
+
+    def test_dibl_lowers_vth_at_high_vdd(self, tech):
+        boosted = OperatingPoint(tech.vdd * 1.1, tech.temperature_k)
+        assert effective_vth(tech, tech.vth_low, boosted) < tech.vth_low
+
+    def test_process_shift_is_additive(self, tech):
+        slow = OperatingPoint(tech.vdd, tech.temperature_k,
+                              vth_shift_v=0.045)
+        assert effective_vth(tech, tech.vth_low, slow) == pytest.approx(
+            tech.vth_low + 0.045)
+
+
+class TestDelayMonotonicity:
+    def test_delay_increases_as_vdd_drops(self, tech):
+        for vth in (tech.vth_low, tech.vth_high):
+            factors = [delay_factor(tech, vth,
+                                    OperatingPoint(scale * tech.vdd,
+                                                   tech.temperature_k))
+                       for scale in (1.1, 1.05, 1.0, 0.95, 0.9)]
+            assert factors == sorted(factors)
+            assert factors[0] < 1.0 < factors[-1]
+
+    def test_delay_increases_ss_to_ff_decreases(self, tech):
+        """Slow (higher-Vth) samples are slower: SS > TT > FF."""
+        ss, tt, ff = (delay_factor(
+            tech, tech.vth_low,
+            OperatingPoint(tech.vdd, tech.temperature_k, shift))
+            for shift in (+0.045, 0.0, -0.045))
+        assert ss > tt > ff
+
+    def test_hot_is_slower_at_nominal_vdd(self, tech):
+        hot = delay_factor(tech, tech.vth_low,
+                           OperatingPoint(tech.vdd, HOT))
+        cold = delay_factor(tech, tech.vth_low,
+                            OperatingPoint(tech.vdd, COLD))
+        assert cold < 1.0 < hot
+
+
+class TestLeakageMonotonicity:
+    def test_strictly_increasing_with_temperature(self, tech):
+        temps = [COLD, 273.15, tech.temperature_k, 350.0, HOT]
+        for vth in (tech.vth_low, tech.vth_high):
+            values = [leakage_factor(tech, vth,
+                                     OperatingPoint(tech.vdd, t))
+                      for t in temps]
+            assert values == sorted(values)
+            assert values[0] < values[-1]
+
+    def test_process_ordering_ss_tt_ff(self, tech):
+        """Fast (lower-Vth) samples leak exponentially more:
+        SS < TT < FF at fixed VDD and temperature."""
+        ss, tt, ff = (leakage_factor(
+            tech, tech.vth_low,
+            OperatingPoint(tech.vdd, tech.temperature_k, shift))
+            for shift in (+0.045, 0.0, -0.045))
+        assert ss < tt < ff
+        # Exponential sensitivity: the swing between the corners is
+        # the library's design space, so it must be large.
+        assert ff / ss > 5.0
+
+    def test_high_vth_more_temperature_sensitive(self, tech):
+        """The exponential makes the *ratio* grow with Vth."""
+        hot = OperatingPoint(tech.vdd, HOT)
+        assert leakage_factor(tech, tech.vth_high, hot) \
+            > leakage_factor(tech, tech.vth_low, hot)
+
+
+class TestLocalFactors:
+    def test_leakage_factor_is_exponential_in_shift(self, tech):
+        swing = tech.subthreshold_swing()
+        assert local_leakage_factor(tech, swing) == pytest.approx(
+            1.0 / math.e)
+        assert local_leakage_factor(tech, -swing) == pytest.approx(math.e)
+
+    def test_gaussian_maps_to_lognormal_median(self, tech):
+        # exp(-X/swing) for X ~ N(0, s): median is exp(0) = 1.
+        up = local_leakage_factor(tech, 0.02)
+        down = local_leakage_factor(tech, -0.02)
+        assert up * down == pytest.approx(1.0)
+
+    def test_delay_factor_monotone_in_shift(self, tech):
+        shifts = (-0.06, -0.03, 0.0, 0.03, 0.06)
+        values = [local_delay_factor(tech, tech.vth_low, s)
+                  for s in shifts]
+        assert values == sorted(values)
