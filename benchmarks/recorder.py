@@ -36,9 +36,18 @@ def bench_json_path() -> Path:
     return Path(__file__).resolve().parent / "BENCH_variation.json"
 
 
-def record(section: str, metrics: dict) -> Path:
+def compute_json_path() -> Path:
+    """Trajectory file for the compute-backend benchmarks
+    (``BENCH_compute.json``, override with ``BENCH_COMPUTE_JSON``)."""
+    override = os.environ.get("BENCH_COMPUTE_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_compute.json"
+
+
+def record(section: str, metrics: dict, path: Path | None = None) -> Path:
     """Merge one section's metrics into the bench JSON; returns the path."""
-    path = bench_json_path()
+    path = path or bench_json_path()
     payload = {"schema": SCHEMA_VERSION, "sections": {}}
     if path.exists():
         try:

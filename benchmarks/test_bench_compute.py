@@ -1,0 +1,135 @@
+"""Compute-backend benchmarks: scalar vs numpy kernel throughput.
+
+Records ``BENCH_compute.json`` (see ``recorder.compute_json_path``):
+
+* ``sta_<n>`` — one full STA propagation on generated layered circuits
+  of 1k / 10k / 50k instances, three ways: scalar, numpy cold (first
+  run, includes lowering the netlist into the array view) and numpy
+  warm (view built — the steady state of any STA-in-the-loop use);
+* ``mc_10k`` — Monte-Carlo samples/sec on the 10k-instance circuit
+  with per-sample timing, scalar vs one batched array pass.
+
+Asserted floor (the tentpole's acceptance bar): the numpy backend
+sustains **>= 5x** the scalar Monte-Carlo throughput on the 10k
+circuit.  The single-shot STA assertions are looser (equivalence plus
+a sanity factor) because one cold run amortizes nothing.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from recorder import compute_json_path, record
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.liberty.library import VARIANT_LVT
+from repro.netlist.techmap import technology_map
+from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
+from repro.variation.montecarlo import McConfig, MonteCarloEngine
+
+SIZES = (1_000, 10_000, 50_000)
+CLOCK_PERIOD_NS = 6.0
+
+
+def _generated(n_gates: int, library):
+    config = GeneratorConfig(
+        n_gates=n_gates, n_inputs=64, n_outputs=32, n_ffs=32,
+        depth=max(12, n_gates // 400), seed=3)
+    netlist = generate_circuit(f"bench{n_gates}", config)
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+def _full_sta_seconds(session: TimingSession) -> float:
+    """One full propagation, forced by dirtying every derate."""
+    session.set_derates({name: 1.0 + 1e-9 for name in
+                         session.netlist.instances})
+    started = time.perf_counter()
+    session.report()
+    return time.perf_counter() - started
+
+
+@pytest.fixture(scope="module")
+def circuits(library):
+    return {n: _generated(n, library) for n in SIZES}
+
+
+@pytest.mark.parametrize("n_gates", SIZES)
+def test_bench_full_sta(circuits, library, n_gates):
+    netlist = circuits[n_gates]
+    constraints = Constraints(clock_period=CLOCK_PERIOD_NS)
+    scalar = TimingSession(netlist, library, constraints,
+                           compute_backend="python")
+    started = time.perf_counter()
+    scalar_report = scalar.report()
+    scalar_cold_s = time.perf_counter() - started
+    scalar_warm_s = _full_sta_seconds(scalar)
+
+    vector = TimingSession(netlist.clone(), library, constraints,
+                           compute_backend="numpy")
+    started = time.perf_counter()
+    vector_report = vector.report()
+    vector_cold_s = time.perf_counter() - started
+    vector_warm_s = _full_sta_seconds(vector)
+
+    assert vector_report.wns == pytest.approx(scalar_report.wns, rel=1e-9)
+    instances = len(netlist.instances)
+    record(f"sta_{n_gates}", {
+        "instances": instances,
+        "scalar_cold_s": round(scalar_cold_s, 4),
+        "scalar_full_s": round(scalar_warm_s, 4),
+        "numpy_cold_s": round(vector_cold_s, 4),
+        "numpy_full_s": round(vector_warm_s, 4),
+        "scalar_inst_per_s": round(instances / scalar_warm_s),
+        "numpy_inst_per_s": round(instances / vector_warm_s),
+        "warm_speedup": round(scalar_warm_s / vector_warm_s, 2),
+    }, path=compute_json_path())
+    # Warm numpy full runs must at least keep pace at scale; the real
+    # bar is the batched Monte-Carlo case below.
+    if n_gates >= 10_000:
+        assert vector_warm_s < scalar_warm_s
+
+
+def test_bench_montecarlo_10k(circuits, library):
+    netlist = circuits[10_000]
+    constraints = Constraints(clock_period=CLOCK_PERIOD_NS)
+    samples = 8
+    mc = McConfig(samples=samples, seed=1, timing=True)
+
+    scalar = MonteCarloEngine(netlist, library, mc,
+                              constraints=constraints,
+                              compute_backend="python")
+    started = time.perf_counter()
+    scalar_samples = scalar.run()
+    scalar_s = time.perf_counter() - started
+
+    vector = MonteCarloEngine(netlist.clone(), library, mc,
+                              constraints=constraints,
+                              compute_backend="numpy")
+    vector.run(start=0, count=1)   # build the view once (steady state)
+    started = time.perf_counter()
+    vector_samples = vector.run()
+    vector_s = time.perf_counter() - started
+
+    for a, b in zip(scalar_samples, vector_samples):
+        assert b.leakage_nw == pytest.approx(a.leakage_nw, rel=1e-9)
+        assert b.wns == pytest.approx(a.wns, rel=1e-9)
+
+    speedup = scalar_s / vector_s
+    record("mc_10k", {
+        "instances": len(netlist.instances),
+        "samples": samples,
+        "scalar_s": round(scalar_s, 3),
+        "numpy_s": round(vector_s, 3),
+        "scalar_samples_per_s": round(samples / scalar_s, 2),
+        "numpy_samples_per_s": round(samples / vector_s, 2),
+        "speedup": round(speedup, 2),
+    }, path=compute_json_path())
+    # Acceptance bar: one batched (samples x instances) pass beats k
+    # sequential scalar re-propagations by at least 5x.
+    assert speedup >= 5.0, f"numpy MC speedup {speedup:.1f}x < 5x"

@@ -35,6 +35,11 @@ def _add_config_options(parser: argparse.ArgumentParser):
                         help="VGND rail length cap (um)")
     parser.add_argument("--seed", type=int, default=1,
                         help="placement seed")
+    parser.add_argument(
+        "--backend", default=None, choices=["python", "numpy"],
+        help="numeric compute backend for STA / leakage / Monte-Carlo "
+             "(default: $REPRO_COMPUTE_BACKEND or python; numpy falls "
+             "back to python when the optional dependency is missing)")
 
 
 def _add_flow_options(parser: argparse.ArgumentParser):
@@ -44,12 +49,16 @@ def _add_flow_options(parser: argparse.ArgumentParser):
 
 
 def _config_from(args) -> FlowConfig:
-    return FlowConfig(
+    kwargs = dict(
         timing_margin=args.margin,
         bounce_limit_fraction=args.bounce,
         max_cells_per_switch=args.max_cells,
         max_rail_length_um=args.max_rail,
         placement_seed=args.seed)
+    if getattr(args, "backend", None):
+        # As a constructor kwarg so __post_init__ validates the name.
+        kwargs["compute_backend"] = args.backend
+    return FlowConfig(**kwargs)
 
 
 def cmd_list(_args) -> int:

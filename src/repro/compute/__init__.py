@@ -1,0 +1,97 @@
+"""Vectorized array-compute backend for STA and leakage hot paths.
+
+The repro system keeps **two numerically equivalent implementations**
+of every numeric hot path:
+
+* ``python`` — the reference scalar implementation: per-instance dict
+  loops in :mod:`repro.timing.session`, :mod:`repro.power.leakage` and
+  :mod:`repro.variation.montecarlo`.  Always available, easy to audit,
+  the ground truth the property suite compares against.
+* ``numpy`` — a compiled array view of the same computation
+  (:mod:`repro.compute.view` + :mod:`repro.compute.kernels`): the
+  netlist is lowered once into stable index maps, CSR-style adjacency
+  and gathered Liberty coefficient tables, and full-design propagation
+  becomes a handful of levelized array passes.  A Monte-Carlo chunk
+  evaluates as one ``(samples x instances)`` pass instead of ``k``
+  sequential re-propagations.
+
+Backend selection is a plain string carried by
+:class:`repro.config.FlowConfig` (``compute_backend``), the CLI
+(``--backend``) and the analyzer constructors.  ``numpy`` degrades
+gracefully: when the optional dependency is missing (install with
+``pip install .[fast]``), :func:`resolve_backend` silently falls back
+to the scalar path, so the same scripts run everywhere.
+
+Equivalence contract (enforced by
+``tests/compute/test_backend_equivalence.py``): for any netlist and
+any tracked edit sequence, the two backends agree on every per-net
+slack, WNS/TNS and total leakage to within 1e-9 relative, and produce
+reports with bit-identical endpoint ordering.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import FlowError
+
+#: The recognized compute backends.
+BACKENDS = ("python", "numpy")
+
+#: Environment override consulted by :func:`default_backend` — lets CI
+#: run the whole test suite under either backend without code changes.
+BACKEND_ENV_VAR = "REPRO_COMPUTE_BACKEND"
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy dependency can be imported."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def resolve_backend(name: str | None) -> str:
+    """Validate a backend name and apply the graceful scalar fallback.
+
+    ``None`` resolves to :func:`default_backend`.  Requesting
+    ``numpy`` without numpy installed is *not* an error — the scalar
+    reference path is numerically equivalent, so we quietly use it.
+    Unknown names raise :class:`~repro.errors.FlowError`.
+    """
+    if name is None:
+        return default_backend()
+    if name not in BACKENDS:
+        raise FlowError(
+            f"unknown compute backend {name!r}; known: {BACKENDS}")
+    if name == "numpy" and not numpy_available():
+        return "python"
+    return name
+
+
+def default_backend() -> str:
+    """The session-wide default backend.
+
+    Reads ``REPRO_COMPUTE_BACKEND`` (so a CI matrix job can flip every
+    flow, session and analyzer at once) and falls back to ``python``.
+    The value is resolved, so an unavailable numpy degrades to the
+    scalar path here too.
+    """
+    name = os.environ.get(BACKEND_ENV_VAR, "").strip() or "python"
+    if name not in BACKENDS:
+        raise FlowError(
+            f"{BACKEND_ENV_VAR}={name!r} is not a known backend; "
+            f"known: {BACKENDS}")
+    if name == "numpy" and not numpy_available():
+        return "python"
+    return name
+
+
+__all__ = [
+    "BACKENDS",
+    "BACKEND_ENV_VAR",
+    "default_backend",
+    "numpy_available",
+    "resolve_backend",
+]

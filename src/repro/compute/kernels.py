@@ -1,0 +1,304 @@
+"""NumPy kernels over a :class:`~repro.compute.view.NetlistArrayView`.
+
+Every kernel carries a leading **sample axis**: state arrays are
+``(samples, nets)`` and derates are ``(samples, instances)``.  A
+single-design propagation is the ``samples == 1`` special case; a
+Monte-Carlo chunk passes the whole ``(samples x instances)`` derate
+matrix and gets per-sample WNS back from one levelized sweep — the
+"one array pass instead of k re-propagations" the compute backend
+exists for.
+
+Numerical contract: each kernel reproduces the scalar engine's
+*per-element arithmetic exactly* — the same interpolation expressions,
+the same operand order (``in_arr + wire + delay``), the same
+strict-greater winner selection (first contribution attaining the
+segment max, in the scalar engine's visit order).  The only permitted
+divergence is reduction tree shape in sums, which the 1e-9 relative
+equivalence contract absorbs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compute.view import (
+    NetlistArrayView,
+    SENSE_NEGATIVE,
+    SENSE_POSITIVE,
+)
+
+NEG_INF = -np.inf
+
+
+def lut_lookup(lut_arrays, ids, x1, x2):
+    """Vectorized :meth:`repro.liberty.library.Lut.lookup`.
+
+    ``ids`` are :class:`~repro.compute.view.LutStore` ids (-1 means "no
+    table": the scalar engine's 0.0).  ``x1``/``x2`` broadcast against
+    ``ids`` — typically ``ids`` is per-contribution and ``x1`` carries
+    a leading sample axis.
+    """
+    search1, interp1, search2, interp2, values = lut_arrays
+    ids = np.asarray(ids)
+    safe = np.where(ids < 0, 0, ids)
+    x1 = np.asarray(x1, dtype=float)
+    x2 = np.asarray(x2, dtype=float)
+
+    i1 = np.sum(x1[..., None] > search1[safe][..., 1:], axis=-1)
+    lo1 = interp1[safe, i1]
+    span1 = interp1[safe, i1 + 1] - lo1
+    f1 = np.where(span1 > 0.0,
+                  (x1 - lo1) / np.where(span1 > 0.0, span1, 1.0), 0.0)
+
+    j1 = np.sum(x2[..., None] > search2[safe][..., 1:], axis=-1)
+    lo2 = interp2[safe, j1]
+    span2 = interp2[safe, j1 + 1] - lo2
+    f2 = np.where(span2 > 0.0,
+                  (x2 - lo2) / np.where(span2 > 0.0, span2, 1.0), 0.0)
+
+    v00 = values[safe, i1, j1]
+    v01 = values[safe, i1, j1 + 1]
+    v10 = values[safe, i1 + 1, j1]
+    v11 = values[safe, i1 + 1, j1 + 1]
+    top = v00 + f2 * (v01 - v00)
+    bottom = v10 + f2 * (v11 - v10)
+    result = top + f1 * (bottom - top)
+    return np.where(ids < 0, 0.0, result)
+
+
+class ForwardState:
+    """Arrival-side node arrays, shape (samples, nets)."""
+
+    __slots__ = ("arr_rise", "arr_fall", "min_rise", "min_fall",
+                 "slew_rise", "slew_fall", "win_rise", "win_fall")
+
+    def __init__(self, samples: int, nets: int):
+        shape = (samples, nets)
+        self.arr_rise = np.full(shape, NEG_INF)
+        self.arr_fall = np.full(shape, NEG_INF)
+        self.min_rise = np.full(shape, np.inf)
+        self.min_fall = np.full(shape, np.inf)
+        self.slew_rise = np.zeros(shape)
+        self.slew_fall = np.zeros(shape)
+        #: Winning contribution row per net (sample 0 only; -1 = none).
+        self.win_rise = None
+        self.win_fall = None
+
+
+def forward(view: NetlistArrayView, derates: np.ndarray,
+            track_winners: bool = False) -> ForwardState:
+    """Levelized arrival/slew/min-arrival propagation.
+
+    ``derates``: (samples, instances).  Startpoints are seeded exactly
+    like the scalar engine (input ports, FF CK->Q arcs), then each
+    topological level is one vectorized pass per edge stream.
+    """
+    samples = derates.shape[0]
+    nets = len(view.node_names)
+    state = ForwardState(samples, nets)
+    lut_arrays = view.luts.arrays()
+    constraints = view.constraints
+
+    if len(view.port_nodes):
+        idx = view.port_nodes
+        state.arr_rise[:, idx] = view.port_delay
+        state.arr_fall[:, idx] = view.port_delay
+        state.min_rise[:, idx] = view.port_min
+        state.min_fall[:, idx] = view.port_min
+        state.slew_rise[:, idx] = constraints.input_slew
+        state.slew_fall[:, idx] = constraints.input_slew
+
+    if len(view.ff_node):
+        idx = view.ff_node
+        clk_slew = np.full(len(idx), constraints.input_slew)
+        load = view.loads[idx]
+        rise = lut_lookup(lut_arrays, view.ff_cr, clk_slew, load)
+        fall = lut_lookup(lut_arrays, view.ff_cf, clk_slew, load)
+        der = derates[:, view.ff_inst]
+        arr_rise = view.ff_launch + rise * der
+        arr_fall = view.ff_launch + fall * der
+        state.arr_rise[:, idx] = arr_rise
+        state.arr_fall[:, idx] = arr_fall
+        state.min_rise[:, idx] = arr_rise
+        state.min_fall[:, idx] = arr_fall
+        state.slew_rise[:, idx] = lut_lookup(
+            lut_arrays, view.ff_rt, clk_slew, load)
+        state.slew_fall[:, idx] = lut_lookup(
+            lut_arrays, view.ff_ft, clk_slew, load)
+
+    if track_winners:
+        state.win_rise = np.full(nets, -1, dtype=np.int64)
+        state.win_fall = np.full(nets, -1, dtype=np.int64)
+
+    rise_by = {info[0]: info for info in view.rise.levels}
+    fall_by = {info[0]: info for info in view.fall.levels}
+    passes = (
+        (view.rise, rise_by, state.arr_rise, state.min_rise,
+         state.slew_rise, "win_rise"),
+        (view.fall, fall_by, state.arr_fall, state.min_fall,
+         state.slew_fall, "win_fall"),
+    )
+    for level in sorted(set(rise_by) | set(fall_by)):
+        for stream, by_level, arr_x, min_x, slw_x, win_attr in passes:
+            info = by_level.get(level)
+            if info is None:
+                continue
+            _, start, stop, seg_starts, seg_out = info
+            src = stream.src[start:stop]
+            edge = stream.src_edge[start:stop]
+            rise_sel = edge == 0
+            in_arr = np.where(rise_sel, state.arr_rise[:, src],
+                              state.arr_fall[:, src])
+            in_min = np.where(rise_sel, state.min_rise[:, src],
+                              state.min_fall[:, src])
+            in_slew = np.where(rise_sel, state.slew_rise[:, src],
+                               state.slew_fall[:, src])
+            load = view.loads[stream.out[start:stop]]
+            delay = lut_lookup(lut_arrays, stream.dlut[start:stop],
+                               in_slew, load) \
+                * derates[:, stream.inst[start:stop]]
+            wire = stream.wire[start:stop]
+            arrival = in_arr + wire + delay
+            minimum = in_min + wire + delay
+            out_slew = lut_lookup(lut_arrays, stream.slut[start:stop],
+                                  in_slew, load)
+
+            count = stop - start
+            sizes = np.diff(np.append(seg_starts, count))
+            seg_max = np.maximum.reduceat(arrival, seg_starts, axis=-1)
+            seg_min = np.minimum.reduceat(minimum, seg_starts, axis=-1)
+            # First contribution attaining the max = the scalar
+            # engine's strict-greater winner.
+            local = np.arange(count)
+            at_max = arrival == np.repeat(seg_max, sizes, axis=-1)
+            first = np.minimum.reduceat(
+                np.where(at_max, local, count), seg_starts, axis=-1)
+            first = np.minimum(first, count - 1)
+            win_slew = np.take_along_axis(out_slew, first, axis=-1)
+            updated = seg_max > NEG_INF
+
+            arr_x[:, seg_out] = seg_max
+            min_x[:, seg_out] = seg_min
+            slw_x[:, seg_out] = np.where(updated, win_slew, 0.0)
+            winners = getattr(state, win_attr)
+            if winners is not None:
+                winners[seg_out] = np.where(
+                    updated[0], start + first[0], -1)
+    return state
+
+
+def backward(view: NetlistArrayView, fwd: ForwardState,
+             derates: np.ndarray):
+    """Required-time propagation; returns (req_rise, req_fall).
+
+    Seeds endpoint required times (the scalar engine's
+    ``_endpoint_pass`` min-updates), then sweeps levels descending.
+    """
+    samples = derates.shape[0]
+    nets = len(view.node_names)
+    req_rise = np.full((samples, nets), np.inf)
+    req_fall = np.full((samples, nets), np.inf)
+    period = view.constraints.clock_period
+    lut_arrays = view.luts.arrays()
+
+    for k in range(len(view.out_ep_node)):
+        idx = view.out_ep_node[k]
+        required = period - view.out_ep_delay[k] - view.out_ep_wire[k]
+        req_rise[:, idx] = np.minimum(req_rise[:, idx], required)
+        req_fall[:, idx] = np.minimum(req_fall[:, idx], required)
+    for k in range(len(view.ff_ep_node)):
+        idx = view.ff_ep_node[k]
+        capture = period + view.ff_ep_clk[k]
+        required = capture - view.ff_ep_setup[k] - view.ff_ep_wire[k]
+        req_rise[:, idx] = np.minimum(req_rise[:, idx], required)
+        req_fall[:, idx] = np.minimum(req_fall[:, idx], required)
+
+    for start, stop, seg_starts, seg_src in view.bwd.levels:
+        src = view.bwd.src[start:stop]
+        out = view.bwd.out[start:stop]
+        slew = np.maximum(fwd.slew_rise[:, src], fwd.slew_fall[:, src])
+        load = view.loads[out]
+        der = derates[:, view.bwd.inst[start:stop]]
+        wire = view.bwd.wire[start:stop]
+        rise_d = lut_lookup(lut_arrays, view.bwd.rlut[start:stop],
+                            slew, load) * der + wire
+        fall_d = lut_lookup(lut_arrays, view.bwd.flut[start:stop],
+                            slew, load) * der + wire
+        req_out_rise = req_rise[:, out]
+        req_out_fall = req_fall[:, out]
+        sense = view.bwd.sense[start:stop]
+        worst = np.minimum(req_out_rise, req_out_fall) \
+            - np.maximum(rise_d, fall_d)
+        cand_rise = np.where(
+            sense == SENSE_POSITIVE, req_out_rise - rise_d,
+            np.where(sense == SENSE_NEGATIVE,
+                     req_out_fall - fall_d, worst))
+        cand_fall = np.where(
+            sense == SENSE_POSITIVE, req_out_fall - fall_d,
+            np.where(sense == SENSE_NEGATIVE,
+                     req_out_rise - rise_d, worst))
+        seg_rise = np.minimum.reduceat(cand_rise, seg_starts, axis=-1)
+        seg_fall = np.minimum.reduceat(cand_fall, seg_starts, axis=-1)
+        req_rise[:, seg_src] = np.minimum(req_rise[:, seg_src], seg_rise)
+        req_fall[:, seg_src] = np.minimum(req_fall[:, seg_src], seg_fall)
+    return req_rise, req_fall
+
+
+def setup_slacks(view: NetlistArrayView, fwd: ForwardState) -> np.ndarray:
+    """Per-sample setup-check slacks, in the scalar check order
+    (output ports first, then flip-flop D setups)."""
+    samples = fwd.arr_rise.shape[0]
+    period = view.constraints.clock_period
+    parts = []
+    if len(view.out_ep_node):
+        idx = view.out_ep_node
+        arrival = np.maximum(fwd.arr_rise[:, idx],
+                             fwd.arr_fall[:, idx]) + view.out_ep_wire
+        required = period - view.out_ep_delay - view.out_ep_wire
+        parts.append(required + view.out_ep_wire - arrival)
+    if len(view.ff_ep_node):
+        idx = view.ff_ep_node
+        arrival = np.maximum(fwd.arr_rise[:, idx],
+                             fwd.arr_fall[:, idx]) + view.ff_ep_wire
+        capture = period + view.ff_ep_clk
+        parts.append(capture - view.ff_ep_setup - arrival)
+    if not parts:
+        return np.full((samples, 0), np.inf)
+    return np.concatenate(parts, axis=-1)
+
+
+def setup_wns(view: NetlistArrayView, derates: np.ndarray) -> np.ndarray:
+    """Per-sample worst setup slack from one batched forward pass."""
+    view.ensure()
+    fwd = forward(view, derates)
+    slacks = setup_slacks(view, fwd)
+    if slacks.shape[-1] == 0:
+        return np.full(derates.shape[0], np.inf)
+    return slacks.min(axis=-1)
+
+
+# --- leakage kernels --------------------------------------------------------
+
+
+def category_sums(values, categories, n_categories: int) -> np.ndarray:
+    """Per-category totals of index-sorted per-instance leakage values."""
+    values = np.asarray(values, dtype=float)
+    categories = np.asarray(categories, dtype=np.int64)
+    if len(values) == 0:
+        return np.zeros(n_categories)
+    return np.bincount(categories, weights=values,
+                       minlength=n_categories)
+
+
+def local_leakage_factors(dvth: np.ndarray, swing_v: float) -> np.ndarray:
+    """Vectorized :func:`repro.variation.scaling.local_leakage_factor`."""
+    return np.exp(-dvth / swing_v)
+
+
+def local_delay_factors(dvth: np.ndarray, vth_nominal: np.ndarray,
+                        vdd: float, alpha: float,
+                        floor: float) -> np.ndarray:
+    """Vectorized :func:`repro.variation.scaling.local_delay_factor`."""
+    od_nom = np.maximum(vdd - vth_nominal, floor)
+    od = np.maximum(vdd - (vth_nominal + dvth), floor)
+    return (od_nom / od) ** alpha

@@ -1,0 +1,705 @@
+"""Array view of a netlist: the structure the numpy kernels run on.
+
+:class:`NetlistArrayView` lowers one (netlist, library, constraints,
+net model) quadruple into flat numpy arrays once, then keeps them
+alive across edits:
+
+* **stable index maps** — instances in sorted-name order, timing nodes
+  (nets in the STA domain) in the exact insertion order a scalar full
+  propagation would create them, so array column ``i`` and dict entry
+  ``i`` describe the same object;
+* **CSR-style adjacency** — every timing-arc contribution (one
+  ``consider()`` call of the scalar engine) becomes one row of a flat
+  table, sorted by topological level with per-level segment offsets,
+  so one level evaluates as one vectorized pass;
+* **gathered Liberty coefficients** — every NLDM LUT referenced by an
+  arc is registered in a :class:`LutStore` (stacked, padded tables) and
+  arcs carry integer LUT ids.  (The Monte-Carlo engine gathers its own
+  per-instance leakage/Vth coefficient vectors in the same sorted-name
+  index order, so its derate matrices align with this view's columns.)
+
+Invalidation contract (mirrors the
+:class:`~repro.timing.session.TimingSession` dirt taxonomy):
+
+* :meth:`touch_net` — only the net's capacitive load changed; the load
+  vector entry is refreshed in place;
+* :meth:`touch_instance` — the instance's timing tables changed (a
+  variant swap); its contribution rows are re-gathered in place when
+  the arc topology is unchanged, otherwise the view rebuilds;
+* :meth:`touch_structural` — the graph changed shape (buffer
+  insertion, removal); the next :meth:`ensure` rebuilds everything.
+
+``ensure()`` is cheap when nothing is dirty, so callers invoke it
+before every kernel pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TimingError
+from repro.liberty.library import CellKind, Lut
+
+#: Sense codes used by the backward kernel.
+SENSE_POSITIVE = 0
+SENSE_NEGATIVE = 1
+SENSE_NON_UNATE = 2
+
+_SENSE_CODE = {
+    "positive_unate": SENSE_POSITIVE,
+    "negative_unate": SENSE_NEGATIVE,
+}
+
+
+class LutStore:
+    """Stacked, padded NLDM tables addressed by integer id.
+
+    ``lookup`` in :mod:`repro.compute.kernels` reproduces
+    :meth:`repro.liberty.library.Lut.lookup` bit for bit: the same
+    segment search (linear scan expressed as a comparison count), the
+    same interpolation expressions, the same degenerate-axis handling.
+    Axes are padded so every table shares one array shape:
+
+    * the *search* axis holds ``+inf`` beyond the scan window (entries
+      ``1 .. len-2``), so the vectorized comparison count can never
+      step past the window;
+    * the *interp* axis repeats its last real value, making the padded
+      span zero, which the kernel maps to interpolation fraction 0.0 —
+      exactly the scalar code's degenerate-segment answer.
+    """
+
+    def __init__(self):
+        self._luts: list[Lut] = []
+        self._ids: dict[int, int] = {}
+        self._arrays = None
+
+    def register(self, lut: Lut | None) -> int:
+        """The id of ``lut`` (registering it if new); -1 for ``None``."""
+        if lut is None:
+            return -1
+        key = id(lut)
+        found = self._ids.get(key)
+        if found is not None:
+            return found
+        index = len(self._luts)
+        self._ids[key] = index
+        self._luts.append(lut)
+        self._arrays = None
+        return index
+
+    def __len__(self) -> int:
+        return len(self._luts)
+
+    def arrays(self):
+        """(search1, interp1, search2, interp2, values) stacked arrays."""
+        if self._arrays is None:
+            self._arrays = self._build()
+        return self._arrays
+
+    def _build(self):
+        count = max(len(self._luts), 1)
+        dim1 = max([len(l.index_1) for l in self._luts] + [1])
+        dim2 = max([len(l.index_2) for l in self._luts] + [1])
+        dim1 = max(dim1, 2)
+        dim2 = max(dim2, 2)
+        search1 = np.full((count, dim1), np.inf)
+        interp1 = np.zeros((count, dim1))
+        search2 = np.full((count, dim2), np.inf)
+        interp2 = np.zeros((count, dim2))
+        values = np.zeros((count, dim1, dim2))
+        for index, lut in enumerate(self._luts):
+            _fill_axis(search1[index], interp1[index], lut.index_1)
+            _fill_axis(search2[index], interp2[index], lut.index_2)
+            table = np.asarray(lut.values, dtype=float)
+            values[index, :table.shape[0], :table.shape[1]] = table
+            # Edge-replicate so padded cells stay finite (they are
+            # always multiplied by a zero fraction).
+            values[index, table.shape[0]:, :] = values[
+                index, table.shape[0] - 1, :]
+            values[index, :, table.shape[1]:] = values[
+                index, :, table.shape[1] - 1:table.shape[1]]
+        return search1, interp1, search2, interp2, values
+
+
+def _fill_axis(search_row: np.ndarray, interp_row: np.ndarray,
+               axis: tuple[float, ...]):
+    n = len(axis)
+    hi = n - 1
+    # Scan window: the scalar loop compares x against axis[1..hi-1].
+    if hi >= 2:
+        search_row[1:hi] = axis[1:hi]
+    interp_row[:n] = axis
+    interp_row[n:] = axis[-1]
+
+
+class _Stream:
+    """One forward contribution stream (rise-target or fall-target)."""
+
+    __slots__ = ("out", "src", "inst", "src_edge", "dlut", "slut", "wire",
+                 "levels", "size")
+
+    def __init__(self, rows, level_of):
+        # rows: list of [out, src, inst, src_edge, dlut, slut, wire]
+        self.size = len(rows)
+        if rows:
+            out = np.array([r[0] for r in rows], dtype=np.int64)
+            src = np.array([r[1] for r in rows], dtype=np.int64)
+            inst = np.array([r[2] for r in rows], dtype=np.int64)
+            edge = np.array([r[3] for r in rows], dtype=np.int64)
+            dlut = np.array([r[4] for r in rows], dtype=np.int64)
+            slut = np.array([r[5] for r in rows], dtype=np.int64)
+            wire = np.array([r[6] for r in rows], dtype=float)
+            levels = level_of[inst]
+            perm = np.argsort(levels, kind="stable")
+        else:
+            out = src = inst = edge = dlut = slut = np.zeros(0, np.int64)
+            wire = np.zeros(0)
+            levels = np.zeros(0, np.int64)
+            perm = np.zeros(0, np.int64)
+        self.out = out[perm]
+        self.src = src[perm]
+        self.inst = inst[perm]
+        self.src_edge = edge[perm]
+        self.dlut = dlut[perm]
+        self.slut = slut[perm]
+        self.wire = wire[perm]
+        self.levels = _level_slices(levels[perm], self.out)
+
+
+def _level_slices(sorted_levels: np.ndarray, out: np.ndarray):
+    """[(level, start, stop, seg_starts, seg_out)] for a sorted table."""
+    slices = []
+    n = len(sorted_levels)
+    if n == 0:
+        return slices
+    boundaries = [0] + list(
+        np.nonzero(np.diff(sorted_levels))[0] + 1) + [n]
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        seg_out = out[lo:hi]
+        change = np.nonzero(np.diff(seg_out))[0] + 1
+        seg_starts = np.concatenate(
+            ([0], change)).astype(np.int64)
+        slices.append((int(sorted_levels[lo]), lo, hi, seg_starts,
+                       seg_out[seg_starts]))
+    return slices
+
+
+class _BackwardStream:
+    """Backward (required-time) arc table, level-descending."""
+
+    __slots__ = ("out", "src", "inst", "sense", "rlut", "flut", "wire",
+                 "levels")
+
+    def __init__(self, rows, level_of):
+        if rows:
+            out = np.array([r[0] for r in rows], dtype=np.int64)
+            src = np.array([r[1] for r in rows], dtype=np.int64)
+            inst = np.array([r[2] for r in rows], dtype=np.int64)
+            sense = np.array([r[3] for r in rows], dtype=np.int64)
+            rlut = np.array([r[4] for r in rows], dtype=np.int64)
+            flut = np.array([r[5] for r in rows], dtype=np.int64)
+            wire = np.array([r[6] for r in rows], dtype=float)
+            levels = level_of[inst]
+            # Descending level; within a level group by source net so
+            # the min-reduction segments are contiguous.
+            perm = np.lexsort((src, -levels))
+        else:
+            out = src = inst = sense = rlut = flut = np.zeros(0, np.int64)
+            wire = np.zeros(0)
+            levels = np.zeros(0, np.int64)
+            perm = np.zeros(0, np.int64)
+        self.out = out[perm]
+        self.src = src[perm]
+        self.inst = inst[perm]
+        self.sense = sense[perm]
+        self.rlut = rlut[perm]
+        self.flut = flut[perm]
+        self.wire = wire[perm]
+        self.levels = _bwd_level_slices(levels[perm], self.src) \
+            if len(perm) else []
+
+
+def _bwd_level_slices(sorted_desc_levels: np.ndarray, src: np.ndarray):
+    slices = []
+    n = len(sorted_desc_levels)
+    boundaries = [0] + list(
+        np.nonzero(np.diff(sorted_desc_levels))[0] + 1) + [n]
+    for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+        seg_src = src[lo:hi]
+        change = np.nonzero(np.diff(seg_src))[0] + 1
+        seg_starts = np.concatenate(([0], change)).astype(np.int64)
+        slices.append((lo, hi, seg_starts, seg_src[seg_starts]))
+    return slices
+
+
+class NetlistArrayView:
+    """Flat array mirror of one netlist for the numpy kernels."""
+
+    def __init__(self, netlist, library, constraints, net_model,
+                 clock_arrivals=None):
+        self.netlist = netlist
+        self.library = library
+        self.constraints = constraints
+        self.net_model = net_model
+        self.clock_arrivals = dict(clock_arrivals or {})
+        self._built = False
+        self._structural_dirty = True
+        self._dirty_loads: set[str] = set()
+        self._dirty_insts: set[str] = set()
+        self.rebuilds = 0
+        self.patches = 0
+
+    # --- classification (mirrors TimingSession) ------------------------
+
+    def _is_seq(self, inst) -> bool:
+        return (inst.cell_name in self.library
+                and self.library.cell(inst.cell_name).is_sequential)
+
+    def _skip(self, inst) -> bool:
+        if inst.cell_name not in self.library:
+            return True
+        kind = self.library.cell(inst.cell_name).kind
+        return kind in (CellKind.SWITCH, CellKind.HOLDER)
+
+    # --- invalidation ---------------------------------------------------
+
+    def touch_net(self, name: str):
+        """The net's capacitive load changed."""
+        if self._built:
+            self._dirty_loads.add(name)
+
+    def touch_instance(self, name: str):
+        """The instance's timing tables changed (variant swap)."""
+        if self._built:
+            self._dirty_insts.add(name)
+
+    def touch_structural(self):
+        """The netlist graph changed shape: full rebuild next ensure."""
+        self._structural_dirty = True
+
+    @property
+    def dirty(self) -> bool:
+        return (self._structural_dirty or not self._built
+                or bool(self._dirty_insts) or bool(self._dirty_loads))
+
+    def ensure(self) -> "NetlistArrayView":
+        """Apply pending invalidations; afterwards the arrays are current."""
+        if self._structural_dirty or not self._built:
+            self._rebuild()
+            return self
+        if self._dirty_insts:
+            if not self._patch_instances():
+                self._rebuild()
+                return self
+            self._dirty_insts.clear()
+        if self._dirty_loads:
+            self._refresh_loads()
+        return self
+
+    # --- build ----------------------------------------------------------
+
+    def _rebuild(self):
+        self.rebuilds += 1
+        netlist, library = self.netlist, self.library
+        constraints = self.constraints
+
+        order = netlist.topological_order(self._is_seq)
+
+        # Node domain, in the exact insertion order of a scalar full
+        # run: input-port nets, flip-flop Q nets, comb out nets (topo).
+        node_names: list[str] = []
+        node_index: dict[str, int] = {}
+
+        def add_node(name: str) -> int:
+            idx = node_index.get(name)
+            if idx is None:
+                idx = len(node_names)
+                node_index[name] = idx
+                node_names.append(name)
+            return idx
+
+        input_ports = [p for p in netlist.input_ports() if p.net is not None]
+        for port in input_ports:
+            add_node(port.net.name)
+        seq_insts = [inst for inst in netlist.instances.values()
+                     if self._is_seq(inst)]
+        for inst in seq_insts:
+            q_pin = inst.pins.get("Q")
+            if q_pin is not None and q_pin.net is not None:
+                add_node(q_pin.net.name)
+        comb_order = [inst for inst in order
+                      if not self._is_seq(inst) and not self._skip(inst)]
+        for inst in comb_order:
+            cell = library.cell(inst.cell_name)
+            for out_pin in inst.output_pins():
+                if out_pin.net is not None and out_pin.name in cell.pins:
+                    add_node(out_pin.net.name)
+
+        inst_names = sorted(netlist.instances)
+        inst_index = {name: i for i, name in enumerate(inst_names)}
+
+        # Topological levels (per instance; startpoint nets are level 0).
+        net_level: dict[int, int] = {}
+        for port in input_ports:
+            net_level[node_index[port.net.name]] = 0
+        for inst in seq_insts:
+            q_pin = inst.pins.get("Q")
+            if q_pin is not None and q_pin.net is not None:
+                net_level[node_index[q_pin.net.name]] = 0
+        level_of = np.zeros(len(inst_names), dtype=np.int64)
+        for inst in comb_order:
+            best = 0
+            for in_pin in inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                sidx = node_index.get(in_pin.net.name)
+                if sidx is not None:
+                    best = max(best, net_level.get(sidx, 0))
+            lvl = best + 1
+            level_of[inst_index[inst.name]] = lvl
+            cell = library.cell(inst.cell_name)
+            for out_pin in inst.output_pins():
+                if out_pin.net is not None and out_pin.name in cell.pins:
+                    net_level[node_index[out_pin.net.name]] = lvl
+
+        luts = LutStore()
+        rise_rows: list[list] = []
+        fall_rows: list[list] = []
+        bwd_rows: list[list] = []
+        inst_sig: dict[str, list] = {}
+
+        for inst in comb_order:
+            signature = self._gather_instance(
+                inst, node_index, inst_index, luts,
+                rise_rows, fall_rows, bwd_rows)
+            inst_sig[inst.name] = signature
+
+        self.node_names = node_names
+        self.node_index = node_index
+        self.inst_names = inst_names
+        self.inst_index = inst_index
+        self.comb_count = len(comb_order)
+        self.luts = luts
+        self.rise = _Stream(rise_rows, level_of)
+        self.fall = _Stream(fall_rows, level_of)
+        self.bwd = _BackwardStream(bwd_rows, level_of)
+        # Row permutations: _gather_instance recorded build-order row
+        # ids; map them through the level sort so patches hit the
+        # stored rows.
+        self._finalize_row_maps(rise_rows, fall_rows, level_of, inst_sig)
+
+        self.loads = np.zeros(len(node_names))
+        for name, idx in node_index.items():
+            net = netlist.nets.get(name)
+            if net is not None:
+                self.loads[idx] = self.net_model.total_load(net)
+
+        # Startpoints.
+        self.port_nodes = np.array(
+            [node_index[p.net.name] for p in input_ports], dtype=np.int64)
+        self.port_delay = np.array(
+            [constraints.input_delay_for(p.name) for p in input_ports])
+        self.port_min = np.array(
+            [max(constraints.input_delay_for(p.name),
+                 constraints.input_delay_min) for p in input_ports])
+        ff_node, ff_inst, ff_launch = [], [], []
+        ff_cr, ff_cf, ff_rt, ff_ft = [], [], [], []
+        for inst in seq_insts:
+            q_pin = inst.pins.get("Q")
+            if q_pin is None or q_pin.net is None:
+                continue
+            cell = library.cell(inst.cell_name)
+            arc = cell.pin("Q").arc_from("CK")
+            if arc is None:
+                raise TimingError(f"flip-flop {cell.name} lacks CK->Q arc")
+            ff_node.append(node_index[q_pin.net.name])
+            ff_inst.append(inst_index[inst.name])
+            ff_launch.append(self.clock_arrivals.get(inst.name, 0.0))
+            ff_cr.append(luts.register(arc.cell_rise))
+            ff_cf.append(luts.register(arc.cell_fall))
+            ff_rt.append(luts.register(arc.rise_transition))
+            ff_ft.append(luts.register(arc.fall_transition))
+        self.ff_node = np.array(ff_node, dtype=np.int64)
+        self.ff_inst = np.array(ff_inst, dtype=np.int64)
+        self.ff_launch = np.array(ff_launch)
+        self.ff_cr = np.array(ff_cr, dtype=np.int64)
+        self.ff_cf = np.array(ff_cf, dtype=np.int64)
+        self.ff_rt = np.array(ff_rt, dtype=np.int64)
+        self.ff_ft = np.array(ff_ft, dtype=np.int64)
+
+        # Endpoints (python check-list order: output ports, then per-FF
+        # setup+hold).
+        self.out_ep_names: list[str] = []
+        out_ep_node, out_ep_wire, out_ep_delay = [], [], []
+        for port in netlist.output_ports():
+            if port.net is None or port.net.name not in node_index:
+                continue
+            self.out_ep_names.append(port.name)
+            out_ep_node.append(node_index[port.net.name])
+            out_ep_wire.append(
+                self.net_model.wire_delay_to_port(port.net, port.name))
+            out_ep_delay.append(constraints.output_delay_for(port.name))
+        self.out_ep_node = np.array(out_ep_node, dtype=np.int64)
+        self.out_ep_wire = np.array(out_ep_wire)
+        self.out_ep_delay = np.array(out_ep_delay)
+
+        self.ff_ep_names: list[str] = []
+        ff_ep_node, ff_ep_wire = [], []
+        ff_ep_setup, ff_ep_hold, ff_ep_clk = [], [], []
+        for inst in seq_insts:
+            d_pin = inst.pins.get("D")
+            if d_pin is None or d_pin.net is None \
+                    or d_pin.net.name not in node_index:
+                continue
+            cell = library.cell(inst.cell_name)
+            self.ff_ep_names.append(inst.name)
+            ff_ep_node.append(node_index[d_pin.net.name])
+            ff_ep_wire.append(self.net_model.wire_delay(d_pin.net, d_pin))
+            ff_ep_setup.append(self._constraint_value(cell, "setup"))
+            ff_ep_hold.append(self._constraint_value(cell, "hold"))
+            ff_ep_clk.append(self.clock_arrivals.get(inst.name, 0.0))
+        self.ff_ep_node = np.array(ff_ep_node, dtype=np.int64)
+        self.ff_ep_wire = np.array(ff_ep_wire)
+        self.ff_ep_setup = np.array(ff_ep_setup)
+        self.ff_ep_hold = np.array(ff_ep_hold)
+        self.ff_ep_clk = np.array(ff_ep_clk)
+
+        self._inst_sig = inst_sig
+        self._built = True
+        self._structural_dirty = False
+        self._dirty_loads.clear()
+        self._dirty_insts.clear()
+
+    def _gather_instance(self, inst, node_index, inst_index, luts,
+                         rise_rows, fall_rows, bwd_rows) -> list:
+        """Append one instance's contributions; returns its signature.
+
+        The signature is the arc topology — (out, src, src_edge) per
+        stream plus the backward row count — used by
+        :meth:`_patch_instances` to decide whether an in-place LUT-id
+        rewrite is sound after a variant swap.
+        """
+        library = self.library
+        cell = library.cell(inst.cell_name)
+        iidx = inst_index[inst.name]
+        sig: list = []
+        my_rise: list[int] = []
+        my_fall: list[int] = []
+        my_bwd: list[int] = []
+        for out_pin in inst.output_pins():
+            out_net = out_pin.net
+            if out_net is None:
+                continue
+            lib_out = cell.pins.get(out_pin.name)
+            if lib_out is None:
+                continue
+            oidx = node_index[out_net.name]
+            for in_pin in inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                arc = lib_out.arc_from(in_pin.name)
+                if arc is None:
+                    continue
+                sidx = node_index.get(in_pin.net.name)
+                if sidx is None:
+                    continue
+                wire = self.net_model.wire_delay(in_pin.net, in_pin)
+                sense = _SENSE_CODE.get(arc.timing_sense, SENSE_NON_UNATE)
+                if sense == SENSE_POSITIVE:
+                    pairs = (
+                        (rise_rows, my_rise, 0, arc.cell_rise,
+                         arc.rise_transition),
+                        (fall_rows, my_fall, 1, arc.cell_fall,
+                         arc.fall_transition),
+                    )
+                elif sense == SENSE_NEGATIVE:
+                    pairs = (
+                        (rise_rows, my_rise, 1, arc.cell_rise,
+                         arc.rise_transition),
+                        (fall_rows, my_fall, 0, arc.cell_fall,
+                         arc.fall_transition),
+                    )
+                else:
+                    pairs = (
+                        (rise_rows, my_rise, 0, arc.cell_rise,
+                         arc.rise_transition),
+                        (fall_rows, my_fall, 0, arc.cell_fall,
+                         arc.fall_transition),
+                        (rise_rows, my_rise, 1, arc.cell_rise,
+                         arc.rise_transition),
+                        (fall_rows, my_fall, 1, arc.cell_fall,
+                         arc.fall_transition),
+                    )
+                for rows, mine, edge, delay_lut, slew_lut in pairs:
+                    if delay_lut is None:
+                        continue
+                    mine.append(len(rows))
+                    rows.append([oidx, sidx, iidx, edge,
+                                 luts.register(delay_lut),
+                                 luts.register(slew_lut), wire])
+                my_bwd.append(len(bwd_rows))
+                bwd_rows.append([oidx, sidx, iidx, sense,
+                                 luts.register(arc.cell_rise),
+                                 luts.register(arc.cell_fall), wire])
+                sig.append((oidx, sidx, sense,
+                            arc.cell_rise is not None,
+                            arc.cell_fall is not None))
+        return [sig, my_rise, my_fall, my_bwd]
+
+    def _finalize_row_maps(self, rise_rows, fall_rows, level_of, inst_sig):
+        """Map build-order row ids to post-sort storage positions.
+
+        Uses the same stable sort key as :class:`_Stream`, so the
+        inverse permutation points at the stored rows.  Backward rows
+        are re-located by (instance, out, src) at patch time instead.
+        """
+        def inverse_perm(rows):
+            if not rows:
+                return np.zeros(0, np.int64)
+            inst = np.array([r[2] for r in rows], dtype=np.int64)
+            perm = np.argsort(level_of[inst], kind="stable")
+            inverse = np.empty_like(perm)
+            inverse[perm] = np.arange(len(perm))
+            return inverse
+
+        inv_rise = inverse_perm(rise_rows)
+        inv_fall = inverse_perm(fall_rows)
+        for entry in inst_sig.values():
+            entry[1] = [int(inv_rise[r]) for r in entry[1]]
+            entry[2] = [int(inv_fall[r]) for r in entry[2]]
+
+    # --- incremental refresh -------------------------------------------
+
+    def _refresh_loads(self):
+        for name in self._dirty_loads:
+            idx = self.node_index.get(name)
+            if idx is None:
+                continue
+            net = self.netlist.nets.get(name)
+            if net is not None:
+                self.loads[idx] = self.net_model.total_load(net)
+        self._dirty_loads.clear()
+
+    def _patch_instances(self) -> bool:
+        """Re-gather LUT ids for dirty instances in place.
+
+        Sound only when the arc topology (out/src/sense pattern) is
+        unchanged — a variant swap between siblings of the same base
+        cell.  Any mismatch (different arcs, a sequential or skip cell,
+        an unknown instance) reports False and the caller rebuilds.
+        """
+        for name in sorted(self._dirty_insts):
+            entry = self._inst_sig.get(name)
+            inst = self.netlist.instances.get(name)
+            if inst is None:
+                return False
+            if self._is_seq(inst) or self._skip(inst):
+                return False
+            if entry is None:
+                return False
+            if not self._patch_one(inst, entry):
+                return False
+        self.patches += len(self._dirty_insts)
+        return True
+
+    def _patch_one(self, inst, entry) -> bool:
+        old_sig, my_rise, my_fall, _my_bwd = entry
+        library = self.library
+        cell = library.cell(inst.cell_name)
+        new_sig = []
+        rise_updates: list[tuple[int, int]] = []
+        fall_updates: list[tuple[int, int]] = []
+        for out_pin in inst.output_pins():
+            out_net = out_pin.net
+            if out_net is None:
+                continue
+            lib_out = cell.pins.get(out_pin.name)
+            if lib_out is None:
+                continue
+            oidx = self.node_index.get(out_net.name)
+            if oidx is None:
+                return False
+            for in_pin in inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                arc = lib_out.arc_from(in_pin.name)
+                if arc is None:
+                    continue
+                sidx = self.node_index.get(in_pin.net.name)
+                if sidx is None:
+                    continue
+                sense = _SENSE_CODE.get(arc.timing_sense, SENSE_NON_UNATE)
+                new_sig.append((oidx, sidx, sense,
+                                arc.cell_rise is not None,
+                                arc.cell_fall is not None))
+                reps = 2 if sense == SENSE_NON_UNATE else 1
+                for _ in range(reps):
+                    if arc.cell_rise is not None:
+                        rise_updates.append(
+                            (self.luts.register(arc.cell_rise),
+                             self.luts.register(arc.rise_transition)))
+                    if arc.cell_fall is not None:
+                        fall_updates.append(
+                            (self.luts.register(arc.cell_fall),
+                             self.luts.register(arc.fall_transition)))
+        if new_sig != old_sig:
+            return False
+        if len(rise_updates) != len(my_rise) \
+                or len(fall_updates) != len(my_fall):
+            return False
+        for row, (dlut, slut) in zip(my_rise, rise_updates):
+            self.rise.dlut[row] = dlut
+            self.rise.slut[row] = slut
+        for row, (dlut, slut) in zip(my_fall, fall_updates):
+            self.fall.dlut[row] = dlut
+            self.fall.slut[row] = slut
+        # Backward rows: locate by (inst, out, src) — unique per arc.
+        iidx = self.inst_index[inst.name]
+        mask = self.bwd.inst == iidx
+        rows = np.nonzero(mask)[0]
+        arcs_by_key = {}
+        for out_pin in inst.output_pins():
+            if out_pin.net is None:
+                continue
+            lib_out = cell.pins.get(out_pin.name)
+            if lib_out is None:
+                continue
+            for in_pin in inst.input_pins():
+                if in_pin.net is None or in_pin.name == "MTE":
+                    continue
+                arc = lib_out.arc_from(in_pin.name)
+                if arc is None:
+                    continue
+                oidx = self.node_index.get(out_pin.net.name)
+                sidx = self.node_index.get(in_pin.net.name)
+                if oidx is None or sidx is None:
+                    continue
+                arcs_by_key[(oidx, sidx)] = arc
+        if len(rows) != len(arcs_by_key):
+            return False
+        for row in rows:
+            key = (int(self.bwd.out[row]), int(self.bwd.src[row]))
+            arc = arcs_by_key.get(key)
+            if arc is None:
+                return False
+            self.bwd.rlut[row] = self.luts.register(arc.cell_rise)
+            self.bwd.flut[row] = self.luts.register(arc.cell_fall)
+        return True
+
+    # --- helpers --------------------------------------------------------
+
+    def _constraint_value(self, cell, which: str) -> float:
+        from repro.timing.sta import cell_constraint_value
+
+        return cell_constraint_value(cell, which, self.constraints.input_slew)
+
+    def derate_vector(self, derates) -> np.ndarray:
+        """Per-instance derate vector (sorted-name index order)."""
+        vec = np.ones(len(self.inst_names))
+        if derates:
+            index = self.inst_index
+            for name, value in derates.items():
+                idx = index.get(name)
+                if idx is not None:
+                    vec[idx] = value
+        return vec

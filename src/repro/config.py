@@ -9,6 +9,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 
+from repro.compute import BACKENDS, default_backend
 from repro.errors import FlowError
 
 
@@ -42,6 +43,12 @@ class FlowConfig:
     # TimingAnalyzer per probe.  Results are bit-identical either way;
     # the flag exists so benchmarks can A/B the two engines.
     incremental_sta: bool = True
+
+    # Numeric compute backend for every STA / leakage / Monte-Carlo
+    # hot path: "python" (scalar reference) or "numpy" (vectorized
+    # array kernels; equivalent to 1e-9 rel, falls back to scalar when
+    # numpy is not installed).  Default honors REPRO_COMPUTE_BACKEND.
+    compute_backend: str = dataclasses.field(default_factory=default_backend)
 
     # Vth assignment.
     assignment_rounds: int = 4
@@ -78,6 +85,10 @@ class FlowConfig:
             raise FlowError("timing margin must be non-negative")
         if not 0.0 < self.bounce_limit_fraction < 0.5:
             raise FlowError("bounce limit fraction must be in (0, 0.5)")
+        if self.compute_backend not in BACKENDS:
+            raise FlowError(
+                f"unknown compute backend {self.compute_backend!r}; "
+                f"known: {BACKENDS}")
 
     def bounce_limit_v(self, vdd: float) -> float:
         return self.bounce_limit_fraction * vdd

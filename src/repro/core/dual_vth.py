@@ -69,7 +69,8 @@ class DualVthAssigner:
                  slow_variant: str = VARIANT_HVT,
                  rounds: int = 4,
                  include_sequential: bool = False,
-                 session: TimingSession | None = None):
+                 session: TimingSession | None = None,
+                 compute_backend: str | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -78,6 +79,7 @@ class DualVthAssigner:
         self.slow_variant = slow_variant
         self.rounds = rounds
         self.include_sequential = include_sequential
+        self.compute_backend = compute_backend
         #: Optional incremental STA engine; swaps are routed through it
         #: so probes re-propagate only the affected cones.
         if session is not None and session.netlist is not netlist:
@@ -93,7 +95,8 @@ class DualVthAssigner:
         if self.session is not None:
             return self.session.report()
         analyzer = TimingAnalyzer(self.netlist, self.library,
-                                  self.constraints, self.parasitics)
+                                  self.constraints, self.parasitics,
+                                  compute_backend=self.compute_backend)
         return analyzer.run()
 
     def _candidates(self) -> list[Instance]:

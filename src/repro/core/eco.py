@@ -50,10 +50,12 @@ class HoldFixer:
                  clock_arrivals: Mapping[str, float] | None = None,
                  buffer_cell: str = "BUF_X1_HVT",
                  max_passes: int = 3,
-                 session: TimingSession | None = None):
+                 session: TimingSession | None = None,
+                 compute_backend: str | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
+        self.compute_backend = compute_backend
         self.parasitics = parasitics
         self.derates = derates
         self.clock_arrivals = clock_arrivals
@@ -69,7 +71,8 @@ class HoldFixer:
         return TimingAnalyzer(
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics, derates=self.derates,
-            clock_arrivals=self.clock_arrivals).run()
+            clock_arrivals=self.clock_arrivals,
+            compute_backend=self.compute_backend).run()
 
     def _insert_buffer(self, net, sinks):
         if self.session is not None:
@@ -149,10 +152,12 @@ class SetupFixer:
                  derates: Mapping[str, float] | None = None,
                  clock_arrivals: Mapping[str, float] | None = None,
                  max_passes: int = 16, endpoints_per_pass: int = 16,
-                 session: TimingSession | None = None):
+                 session: TimingSession | None = None,
+                 compute_backend: str | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
+        self.compute_backend = compute_backend
         self.fast_swap = fast_swap
         self.parasitics = parasitics
         self.derates = derates
@@ -170,7 +175,8 @@ class SetupFixer:
         return TimingAnalyzer(
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics, derates=self.derates,
-            clock_arrivals=self.clock_arrivals).run()
+            clock_arrivals=self.clock_arrivals,
+            compute_backend=self.compute_backend).run()
 
     def run(self) -> SetupEcoResult:
         swapped: list[str] = []

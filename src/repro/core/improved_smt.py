@@ -64,7 +64,9 @@ class ImprovedSmtBuilder:
                  cluster_config: ClusterConfig | None = None,
                  parasitics=None, rounds: int = 4,
                  mte_net_name: str = "MTE",
-                 session: TimingSession | None = None):
+                 session: TimingSession | None = None,
+                 compute_backend: str | None = None):
+        self.compute_backend = compute_backend
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -86,7 +88,8 @@ class ImprovedSmtBuilder:
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics,
             fast_variant=VARIANT_MT, slow_variant=VARIANT_HVT,
-            rounds=self.rounds, session=self.session)
+            rounds=self.rounds, session=self.session,
+            compute_backend=self.compute_backend)
         return assigner.run()
 
     def add_vgnd_ports(self, assignment: AssignmentResult) -> list[str]:

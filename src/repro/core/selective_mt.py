@@ -39,7 +39,8 @@ class ConventionalSmtBuilder:
                  constraints: Constraints,
                  parasitics=None, rounds: int = 4,
                  mte_net_name: str = "MTE",
-                 session: TimingSession | None = None):
+                 session: TimingSession | None = None,
+                 compute_backend: str | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -47,6 +48,7 @@ class ConventionalSmtBuilder:
         self.rounds = rounds
         self.mte_net_name = mte_net_name
         self.session = session
+        self.compute_backend = compute_backend
 
     def run(self) -> ConventionalSmtResult:
         # Assignment with the MT variant as the fast class: cells on
@@ -57,7 +59,8 @@ class ConventionalSmtBuilder:
             self.netlist, self.library, self.constraints,
             parasitics=self.parasitics,
             fast_variant=VARIANT_MT, slow_variant=VARIANT_HVT,
-            rounds=self.rounds, session=self.session)
+            rounds=self.rounds, session=self.session,
+            compute_backend=self.compute_backend)
         assignment = assigner.run()
 
         # Ensure an MTE port exists.

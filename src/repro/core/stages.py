@@ -156,7 +156,8 @@ class FlowContext:
         return TimingSession(
             self.netlist, self.library, constraints,
             parasitics=self.parasitics, derates=derates,
-            clock_arrivals=clock_arrivals)
+            clock_arrivals=clock_arrivals,
+            compute_backend=self.config.compute_backend)
 
     def _note_session(self, label: str, session: TimingSession | None,
                       details: dict[str, Any]) -> dict[str, Any]:
@@ -325,7 +326,8 @@ def stage_derive_constraints(ctx: FlowContext) -> None:
         return None
     probe = Constraints(clock_period=1000.0)
     report = TimingAnalyzer(ctx.netlist, ctx.library, probe,
-                            parasitics=ctx.parasitics).run()
+                            parasitics=ctx.parasitics,
+                            compute_backend=ctx.config.compute_backend).run()
     min_period = 1000.0 - report.wns
     if min_period <= 0:
         raise FlowError("could not derive a positive minimum period")
@@ -350,7 +352,8 @@ def stage_dual_vth_assignment(ctx: FlowContext) -> dict[str, Any]:
     assigner = DualVthAssigner(
         ctx.netlist, ctx.library, constraints, parasitics=ctx.parasitics,
         fast_variant=VARIANT_LVT, slow_variant=VARIANT_HVT,
-        rounds=ctx.config.assignment_rounds, session=session)
+        rounds=ctx.config.assignment_rounds, session=session,
+        compute_backend=ctx.config.compute_backend)
     assignment = assigner.run()
     ctx.assignment = assignment
     return ctx._note_session("vth_assignment", session, {
@@ -368,7 +371,8 @@ def stage_conventional_smt_assignment(ctx: FlowContext) -> dict[str, Any]:
     session = ctx._make_session(constraints)
     builder = ConventionalSmtBuilder(
         ctx.netlist, ctx.library, constraints, parasitics=ctx.parasitics,
-        rounds=ctx.config.assignment_rounds, session=session)
+        rounds=ctx.config.assignment_rounds, session=session,
+        compute_backend=ctx.config.compute_backend)
     smt_result = builder.run()
     ctx.smt_result = smt_result
     ctx.assignment = smt_result.assignment
@@ -393,7 +397,8 @@ def stage_improved_smt_assignment(ctx: FlowContext) -> dict[str, Any]:
     builder = ImprovedSmtBuilder(
         ctx.netlist, ctx.library, constraints, ctx.placement,
         cluster_config=cluster_config, parasitics=ctx.parasitics,
-        rounds=config.assignment_rounds, session=session)
+        rounds=config.assignment_rounds, session=session,
+        compute_backend=config.compute_backend)
     assignment = builder.assign()
     mt_names = builder.add_vgnd_ports(assignment)
     initial_switch = builder.insert_initial_switch(mt_names)
@@ -674,7 +679,8 @@ def stage_eco_and_sta(ctx: FlowContext) -> dict[str, Any]:
         netlist, library, ctx.constraints,
         fast_swap=make_fast_swap(ctx, session),
         parasitics=ctx.parasitics, derates=derates,
-        clock_arrivals=clock_arrivals, session=session)
+        clock_arrivals=clock_arrivals, session=session,
+        compute_backend=ctx.config.compute_backend)
     setup_result = setup_fixer.run()
     if network is not None and setup_result.swapped:
         # Cluster membership may have grown: refresh the derates.
@@ -687,7 +693,8 @@ def stage_eco_and_sta(ctx: FlowContext) -> dict[str, Any]:
         netlist, library, ctx.constraints, parasitics=ctx.parasitics,
         derates=derates, clock_arrivals=clock_arrivals,
         buffer_cell=ctx.config.hold_fix_buffer_cell,
-        max_passes=ctx.config.max_hold_fix_passes, session=session)
+        max_passes=ctx.config.max_hold_fix_passes, session=session,
+        compute_backend=ctx.config.compute_backend)
     eco_result = fixer.run()
     ctx.eco = eco_result
     ctx.timing = eco_result.final_report
@@ -716,7 +723,8 @@ def stage_corner_signoff(ctx: FlowContext) -> dict[str, Any] | None:
     ctx.corners = evaluate_corners(
         ctx.netlist, ctx.library, names, ctx.constraints,
         parasitics=ctx.parasitics, network=ctx.network,
-        clock_arrivals=clock_arrivals)
+        clock_arrivals=clock_arrivals,
+        compute_backend=ctx.config.compute_backend)
     worst_leak = max(ctx.corners.values(), key=lambda r: r.leakage_nw)
     worst_wns = min(ctx.corners.values(), key=lambda r: r.wns)
     return {
@@ -732,7 +740,8 @@ def stage_corner_signoff(ctx: FlowContext) -> dict[str, Any] | None:
 def stage_finalize(ctx: FlowContext) -> None:
     """Hidden plumbing: standby leakage + area accounting."""
     ctx.require("netlist")
-    analyzer = LeakageAnalyzer(ctx.netlist, ctx.library)
+    analyzer = LeakageAnalyzer(ctx.netlist, ctx.library,
+                               compute_backend=ctx.config.compute_backend)
     ctx.leakage = analyzer.standby_leakage()
     ctx.total_area = analyzer.total_area()
     return None

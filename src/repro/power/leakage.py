@@ -73,11 +73,23 @@ class LeakageBreakdown:
 
 
 class LeakageAnalyzer:
-    """Computes standby / active leakage for one netlist."""
+    """Computes standby / active leakage for one netlist.
 
-    def __init__(self, netlist: Netlist, library: Library):
+    Totals are accumulated in **stable index-sorted order** (instances
+    sorted by name) on both compute backends, so the floating-point
+    accumulation order — and therefore the reported totals, digit for
+    digit — is independent of netlist construction order.  The
+    ``numpy`` backend replaces the scalar per-category accumulation
+    with one array summation pass over the same sorted values.
+    """
+
+    def __init__(self, netlist: Netlist, library: Library,
+                 compute_backend: str | None = None):
+        from repro.compute import resolve_backend
+
         self.netlist = netlist
         self.library = library
+        self.compute_backend = resolve_backend(compute_backend)
 
     # --- standby ------------------------------------------------------------
 
@@ -97,28 +109,53 @@ class LeakageAnalyzer:
             result = sim.evaluate(input_vector, state, standby=True)
             net_values = result.net_values
 
+        entries = [(name, *self._classify(self.netlist.instances[name],
+                                          net_values))
+                   for name in sorted(self.netlist.instances)]
+        if self.compute_backend == "numpy":
+            return self._summed_numpy(entries)
         breakdown = LeakageBreakdown()
-        for inst in self.netlist.instances.values():
-            cell = self.library.cell(inst.cell_name)
-            if cell.kind == CellKind.SWITCH:
-                breakdown.add("switch_nw", inst.name, cell.default_leakage_nw)
-            elif cell.kind == CellKind.HOLDER:
-                breakdown.add("holder_nw", inst.name, cell.default_leakage_nw)
-            elif cell.is_conventional_mt:
-                breakdown.add("conventional_mt_nw", inst.name,
-                              cell.default_leakage_nw)
-            elif cell.is_improved_mt:
-                breakdown.add("mt_residual_nw", inst.name,
-                              cell.default_leakage_nw)
-            elif cell.is_sequential:
-                breakdown.add("sequential_nw", inst.name,
-                              self._powered_leakage(inst, cell, net_values))
-            elif cell.vth_class.value == "high":
-                breakdown.add("hvt_logic_nw", inst.name,
-                              self._powered_leakage(inst, cell, net_values))
-            else:
-                breakdown.add("lvt_logic_nw", inst.name,
-                              self._powered_leakage(inst, cell, net_values))
+        for name, category, value in entries:
+            breakdown.add(category, name, value)
+        return breakdown
+
+    def _classify(self, inst, net_values) -> tuple[str, float]:
+        """(category, value) of one instance's standby contribution."""
+        cell = self.library.cell(inst.cell_name)
+        if cell.kind == CellKind.SWITCH:
+            return "switch_nw", cell.default_leakage_nw
+        if cell.kind == CellKind.HOLDER:
+            return "holder_nw", cell.default_leakage_nw
+        if cell.is_conventional_mt:
+            return "conventional_mt_nw", cell.default_leakage_nw
+        if cell.is_improved_mt:
+            return "mt_residual_nw", cell.default_leakage_nw
+        if cell.is_sequential:
+            return "sequential_nw", self._powered_leakage(
+                inst, cell, net_values)
+        if cell.vth_class.value == "high":
+            return "hvt_logic_nw", self._powered_leakage(
+                inst, cell, net_values)
+        return "lvt_logic_nw", self._powered_leakage(inst, cell, net_values)
+
+    def _summed_numpy(self, entries) -> LeakageBreakdown:
+        """Array-summed breakdown over the index-sorted entries."""
+        import numpy as np
+
+        from repro.compute.kernels import category_sums
+
+        categories = LeakageBreakdown.CATEGORIES
+        category_index = {name: i for i, name in enumerate(categories)}
+        values = np.array([value for _n, _c, value in entries], dtype=float)
+        codes = [category_index[category] for _n, category, _v in entries]
+        sums = category_sums(values, codes, len(categories))
+        breakdown = LeakageBreakdown()
+        for category, total in zip(categories, sums.tolist()):
+            setattr(breakdown, category, total)
+        breakdown.total_nw = float(values.sum())
+        breakdown.instance_count = len(entries)
+        breakdown.per_instance = {name: value
+                                  for name, _c, value in entries}
         return breakdown
 
     def _powered_leakage(self, inst, cell, net_values) -> float:
@@ -148,9 +185,12 @@ class LeakageAnalyzer:
         MT variants leak like their LVT siblings because the switch
         connects their virtual ground; switches themselves are on
         (negligible subthreshold); holders are inert but still powered.
+        Accumulated in the same stable index-sorted order as the
+        standby breakdown.
         """
         total = 0.0
-        for inst in self.netlist.instances.values():
+        for name in sorted(self.netlist.instances):
+            inst = self.netlist.instances[name]
             cell = self.library.cell(inst.cell_name)
             if cell.kind == CellKind.SWITCH:
                 continue  # conducting, no subthreshold contribution

@@ -79,6 +79,9 @@ class JobOutcome:
     holders: int
     elapsed_s: float
     error: str | None = None
+    #: The compute backend the job actually ran on (after the graceful
+    #: numpy-missing fallback in the worker process).
+    compute_backend: str = "python"
 
     @property
     def ok(self) -> bool:
@@ -109,13 +112,17 @@ def _worker_init(library: Library | None):
 
 def run_flow_job(job: FlowJob, library: Library | None = None) -> JobOutcome:
     """Execute one job; never raises (errors land in the outcome)."""
+    from repro.compute import resolve_backend
+
     started = time.perf_counter()
     library = library or _process_library()
+    backend = "python"
     try:
+        config = job.resolved_config()
+        backend = resolve_backend(config.compute_backend)
         netlist = job.netlist if job.netlist is not None \
             else load_circuit(job.circuit)
-        flow = SelectiveMtFlow(netlist, library, job.technique,
-                               job.resolved_config())
+        flow = SelectiveMtFlow(netlist, library, job.technique, config)
         result = flow.run()
         mt, switches, holders = count_cell_kinds(result.netlist, library)
         return JobOutcome(
@@ -126,14 +133,16 @@ def run_flow_job(job: FlowJob, library: Library | None = None) -> JobOutcome:
             wns=result.timing.wns,
             hold_wns=result.timing.hold_wns,
             mt_cells=mt, switches=switches, holders=holders,
-            elapsed_s=time.perf_counter() - started)
+            elapsed_s=time.perf_counter() - started,
+            compute_backend=backend)
     except Exception:
         return JobOutcome(
             circuit=job.circuit, technique=job.technique,
             area_um2=0.0, leakage_nw=0.0, wns=0.0, hold_wns=0.0,
             mt_cells=0, switches=0, holders=0,
             elapsed_s=time.perf_counter() - started,
-            error=traceback.format_exc())
+            error=traceback.format_exc(),
+            compute_backend=backend)
 
 
 def _map_call(fn, item):

@@ -19,7 +19,11 @@ hooks); :meth:`report` then re-propagates only the affected region:
 When the dirty region exceeds ``full_threshold`` of the combinational
 instances the session falls back to a full propagation over the cached
 structures — incremental STA must never be slower than the rebuild it
-replaces.
+replaces.  With ``compute_backend="numpy"`` that full-propagation path
+runs on the vectorized array kernels of :mod:`repro.compute` (the
+scalar cone-limited path composes with it unchanged, reading the node
+store the kernels materialize); see ARCHITECTURE.md "Compute
+backends" for the equivalence and invalidation contracts.
 
 **Exactness contract**: the report produced after any tracked edit
 sequence is bit-identical (not approximately equal) to the report a
@@ -53,6 +57,7 @@ from repro.timing.sta import (
     INF,
     NodeTiming,
     TimingReport,
+    cell_constraint_value,
 )
 
 
@@ -91,7 +96,10 @@ class TimingSession:
                  derates: Mapping[str, float] | None = None,
                  clock_arrivals: Mapping[str, float] | None = None,
                  net_model: NetModel | None = None,
-                 full_threshold: float = 0.5):
+                 full_threshold: float = 0.5,
+                 compute_backend: str | None = None):
+        from repro.compute import resolve_backend
+
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
@@ -100,6 +108,12 @@ class TimingSession:
         self.derates = dict(derates or {})
         self.clock_arrivals = dict(clock_arrivals or {})
         self.full_threshold = full_threshold
+        #: Which engine runs full propagations ("python" | "numpy").
+        #: Incremental cone re-propagation is always scalar; the numpy
+        #: backend accelerates the full-run path (the expensive case:
+        #: fresh analyses and whole-design derate updates).
+        self.compute_backend = resolve_backend(compute_backend)
+        self._view = None
         self.stats = SessionStats()
         self._order: list[Instance] | None = None
         self._membership: set[str] = set()
@@ -149,6 +163,8 @@ class TimingSession:
             if pin.net is not None:
                 self.touch_net(pin.net)
         self._mark_instance(inst)
+        if self._view is not None:
+            self._view.touch_instance(inst.name)
         return inst
 
     def insert_buffer(self, net: Net, buffer_cell: str,
@@ -195,6 +211,8 @@ class TimingSession:
                 return
             inst = found
         self._mark_instance(inst)
+        if self._view is not None:
+            self._view.touch_instance(inst.name)
 
     def touch_net(self, net: Net | str):
         """Mark a net's load as changed (sinks / keepers / pin caps)."""
@@ -204,6 +222,8 @@ class TimingSession:
                 return
             net = found
         self.net_model.invalidate(net)
+        if self._view is not None:
+            self._view.touch_net(net.name)
         if net.driver is not None:
             self._mark_instance(net.driver.instance)
 
@@ -242,6 +262,8 @@ class TimingSession:
         if self._report is not None and not self.dirty:
             self.stats.cached_reports += 1
             return self._report
+        if self._structural and self._view is not None:
+            self._view.touch_structural()
         if self._structural or self._order is None:
             self._build_structure()
         if self._full_needed or self._report is None:
@@ -316,7 +338,44 @@ class TimingSession:
 
     # --- full propagation -------------------------------------------------
 
+    def _ensure_view(self):
+        """The numpy array view for this session (built lazily).
+
+        Returns None — permanently downgrading to the scalar backend —
+        if numpy turns out to be unusable at runtime.
+        """
+        if self._view is not None:
+            return self._view
+        try:
+            from repro.compute.view import NetlistArrayView
+        except ImportError:
+            self.compute_backend = "python"
+            return None
+        self._view = NetlistArrayView(
+            self.netlist, self.library, self.constraints, self.net_model,
+            clock_arrivals=self.clock_arrivals)
+        return self._view
+
     def _full_run(self) -> TimingReport:
+        if self.compute_backend == "numpy":
+            report = self._full_run_numpy()
+            if report is not None:
+                return report
+        return self._full_run_python()
+
+    def _full_run_numpy(self) -> TimingReport | None:
+        view = self._ensure_view()
+        if view is None:
+            return None
+        from repro.compute.sta import run_full
+
+        self.stats.full_runs += 1
+        self.stats.forward_instances += self._comb_count
+        nodes, checks = run_full(view, self.derates)
+        self._nodes = nodes
+        return self._summarize(checks, nodes)
+
+    def _full_run_python(self) -> TimingReport:
         self.stats.full_runs += 1
         self.stats.forward_instances += self._comb_count
         nodes: dict[str, NodeTiming] = {}
@@ -694,10 +753,4 @@ class TimingSession:
             critical_endpoint=critical)
 
     def _constraint_value(self, cell, which: str) -> float:
-        d_pin = cell.pins.get("D")
-        if d_pin is None:
-            return 0.0
-        for arc in d_pin.timing_arcs:
-            if arc.timing_type.startswith(which):
-                return arc.constraint(self.constraints.input_slew)
-        return 0.0
+        return cell_constraint_value(cell, which, self.constraints.input_slew)

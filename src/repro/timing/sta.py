@@ -33,6 +33,21 @@ from repro.timing.delay import NetModel
 INF = math.inf
 
 
+def cell_constraint_value(cell, which: str, input_slew: float) -> float:
+    """Worst ``which`` ("setup"/"hold") constraint of a cell's D pin.
+
+    Shared by the scalar session and the array view so both backends
+    evaluate flip-flop endpoint constraints with the very same rule.
+    """
+    d_pin = cell.pins.get("D")
+    if d_pin is None:
+        return 0.0
+    for arc in d_pin.timing_arcs:
+        if arc.timing_type.startswith(which):
+            return arc.constraint(input_slew)
+    return 0.0
+
+
 @dataclasses.dataclass
 class NodeTiming:
     """Timing state at a net (measured at its driver pin)."""
@@ -125,13 +140,15 @@ class TimingAnalyzer:
                  constraints: Constraints,
                  parasitics: Mapping[str, object] | None = None,
                  derates: Mapping[str, float] | None = None,
-                 clock_arrivals: Mapping[str, float] | None = None):
+                 clock_arrivals: Mapping[str, float] | None = None,
+                 compute_backend: str | None = None):
         self.netlist = netlist
         self.library = library
         self.constraints = constraints
         self.net_model = NetModel(netlist, library, constraints, parasitics)
         self.derates = dict(derates or {})
         self.clock_arrivals = dict(clock_arrivals or {})
+        self.compute_backend = compute_backend
 
     def run(self) -> TimingReport:
         from repro.timing.session import TimingSession
@@ -139,5 +156,6 @@ class TimingAnalyzer:
         session = TimingSession(
             self.netlist, self.library, self.constraints,
             derates=self.derates, clock_arrivals=self.clock_arrivals,
-            net_model=self.net_model)
+            net_model=self.net_model,
+            compute_backend=self.compute_backend)
         return session.report()

@@ -146,7 +146,8 @@ class McChunkOutcome:
 
 
 def build_engine(result: FlowResult, library: Library, mc: McConfig,
-                 corner_name: str | None = None) -> MonteCarloEngine:
+                 corner_name: str | None = None,
+                 compute_backend: str | None = None) -> MonteCarloEngine:
     """A Monte-Carlo engine over a finished flow result.
 
     With a corner name, the evaluation library (and the bounce derates
@@ -168,7 +169,8 @@ def build_engine(result: FlowResult, library: Library, mc: McConfig,
     return MonteCarloEngine(
         result.netlist, eval_library, config=mc,
         constraints=result.constraints, parasitics=result.parasitics,
-        derates=derates, clock_arrivals=clock_arrivals)
+        derates=derates, clock_arrivals=clock_arrivals,
+        compute_backend=compute_backend)
 
 
 def run_mc_job(job: McJob, library: Library) -> McChunkOutcome:
@@ -179,7 +181,8 @@ def run_mc_job(job: McJob, library: Library) -> McChunkOutcome:
         flow = SelectiveMtFlow(netlist, library, job.technique,
                                job.resolved_config())
         result = flow.run()
-        engine = build_engine(result, library, job.mc, job.corner)
+        engine = build_engine(result, library, job.mc, job.corner,
+                              compute_backend=job.config.compute_backend)
         count = job.count or job.mc.samples
         samples = engine.run(start=job.start, count=count)
         return McChunkOutcome(

@@ -157,10 +157,14 @@ class MonteCarloEngine:
                  constraints: Constraints | None = None,
                  parasitics: Mapping[str, object] | None = None,
                  derates: Mapping[str, float] | None = None,
-                 clock_arrivals: Mapping[str, float] | None = None):
+                 clock_arrivals: Mapping[str, float] | None = None,
+                 compute_backend: str | None = None):
+        from repro.compute import resolve_backend
+
         self.netlist = netlist
         self.library = library
         self.config = config or McConfig()
+        self.compute_backend = resolve_backend(compute_backend)
         self.tech = library.tech
         if self.tech is None:
             raise FlowError("Monte-Carlo needs a library with a technology")
@@ -168,7 +172,9 @@ class MonteCarloEngine:
         self.base_derates = dict(derates or {})
         # Per-instance standby leakage and timing sensitivity basis, in
         # sorted-name order so sampling is iteration-order independent.
-        breakdown = LeakageAnalyzer(netlist, library).standby_leakage()
+        breakdown = LeakageAnalyzer(
+            netlist, library,
+            compute_backend=self.compute_backend).standby_leakage()
         self.nominal_leakage_nw = breakdown.total_nw
         self._basis = []
         for name in sorted(breakdown.per_instance):
@@ -177,16 +183,55 @@ class MonteCarloEngine:
                    else self.tech.vth_low)
             self._basis.append((name, breakdown.per_instance[name], vth))
         self._session: TimingSession | None = None
-        if self.config.timing:
-            if constraints is None:
-                raise FlowError(
-                    "timing-enabled Monte-Carlo needs constraints")
+        self._view = None
+        self._arrays = None
+        if self.config.timing and constraints is None:
+            raise FlowError("timing-enabled Monte-Carlo needs constraints")
+        if self.compute_backend == "numpy":
+            self._init_numpy(parasitics, clock_arrivals)
+        if self.config.timing and self.compute_backend == "python":
             self._session = TimingSession(
                 netlist, library, constraints, parasitics=parasitics,
-                derates=self.base_derates, clock_arrivals=clock_arrivals)
+                derates=self.base_derates, clock_arrivals=clock_arrivals,
+                compute_backend=self.compute_backend)
         self.nominal_wns: float | None = None
         if self._session is not None:
             self.nominal_wns = self._session.report().wns
+        elif self._view is not None:
+            from repro.compute.kernels import setup_wns
+
+            base = self._arrays["base_derate"]
+            self.nominal_wns = float(setup_wns(self._view, base[None, :])[0])
+
+    def _init_numpy(self, parasitics, clock_arrivals):
+        """Lower the sampling basis into arrays; build the STA view.
+
+        Falls back to the scalar engine if numpy is unavailable (the
+        resolve step normally catches this; an import race downgrades
+        here too).
+        """
+        try:
+            import numpy as np
+
+            from repro.compute.view import NetlistArrayView
+        except ImportError:
+            self.compute_backend = "python"
+            return
+        self._arrays = {
+            "base_nw": np.array([nw for _n, nw, _v in self._basis]),
+            "vth": np.array([vth for _n, _nw, vth in self._basis]),
+            "base_derate": np.array(
+                [self.base_derates.get(name, 1.0)
+                 for name, _nw, _v in self._basis]),
+        }
+        if self.config.timing:
+            from repro.timing.delay import NetModel
+
+            net_model = NetModel(self.netlist, self.library,
+                                 self.constraints, parasitics)
+            self._view = NetlistArrayView(
+                self.netlist, self.library, self.constraints, net_model,
+                clock_arrivals=clock_arrivals)
 
     @property
     def session_stats(self):
@@ -197,6 +242,8 @@ class MonteCarloEngine:
 
     def sample(self, index: int) -> McSample:
         """Evaluate sampled die ``index`` (pure in (seed, index))."""
+        if self.compute_backend == "numpy":
+            return self._run_batch(index, 1)[0]
         rng = self._rng(index)
         global_dvth = rng.gauss(0.0, self.config.sigma_global_v)
         total_nw = 0.0
@@ -220,4 +267,68 @@ class MonteCarloEngine:
         """Evaluate samples ``start .. start + count - 1`` in order."""
         if count is None:
             count = self.config.samples
+        if self.compute_backend == "numpy":
+            return self._run_batch(start, count)
         return [self.sample(index) for index in range(start, start + count)]
+
+    #: Memory bound for one batched tile: samples-per-tile is chosen so
+    #: the (samples x instances) work arrays stay around this many
+    #: elements, keeping peak memory flat in the requested sample count.
+    _TILE_ELEMENTS = 2_000_000
+
+    def _run_batch(self, start: int, count: int) -> list[McSample]:
+        """Batched ``(samples x instances)`` array passes over the chunk.
+
+        The Vth draws come from the *same* seeded scalar RNG as the
+        reference path (sample ``k`` stays a pure function of
+        ``(seed, k)`` on every backend); the per-instance exponential
+        leakage scaling, the alpha-power delay derates and the
+        per-sample STA all evaluate as batched array kernels.  The
+        sample axis is tiled to ``_TILE_ELEMENTS`` so memory stays
+        bounded for arbitrarily large chunks — per-sample purity makes
+        tiling invisible in the results.
+        """
+        tile = max(1, self._TILE_ELEMENTS // max(len(self._basis), 1))
+        if count > tile:
+            samples: list[McSample] = []
+            for tile_start in range(start, start + count, tile):
+                tile_count = min(tile, start + count - tile_start)
+                samples.extend(self._run_batch(tile_start, tile_count))
+            return samples
+        import numpy as np
+
+        from repro.compute.kernels import (
+            local_delay_factors,
+            local_leakage_factors,
+            setup_wns,
+        )
+        from repro.variation.scaling import OVERDRIVE_FLOOR
+
+        n = len(self._basis)
+        sigma_local = self.config.sigma_local_v
+        dvth = np.empty((count, n))
+        global_dvth = np.empty(count)
+        for row, index in enumerate(range(start, start + count)):
+            rng = self._rng(index)
+            gauss = rng.gauss
+            shift = gauss(0.0, self.config.sigma_global_v)
+            global_dvth[row] = shift
+            dvth[row] = [shift + gauss(0.0, sigma_local)
+                         for _ in range(n)]
+        factors = local_leakage_factors(dvth, self.tech.subthreshold_swing())
+        leakage = (self._arrays["base_nw"] * factors).sum(axis=1)
+        wns_values = None
+        if self._view is not None:
+            derates = self._arrays["base_derate"] * local_delay_factors(
+                dvth, self._arrays["vth"], self.tech.vdd, self.tech.alpha,
+                OVERDRIVE_FLOOR)
+            wns_values = setup_wns(self._view, derates)
+        return [
+            McSample(
+                index=start + row,
+                global_dvth_v=float(global_dvth[row]),
+                leakage_nw=float(leakage[row]),
+                wns=(float(wns_values[row])
+                     if wns_values is not None else None))
+            for row in range(count)
+        ]

@@ -61,12 +61,14 @@ def evaluate_corner(netlist: Netlist, library: Library, corner: PvtCorner,
                     parasitics: Mapping[str, object] | None = None,
                     network=None,
                     clock_arrivals: Mapping[str, float] | None = None,
-                    keep_breakdown: bool = False) -> CornerResult:
+                    keep_breakdown: bool = False,
+                    compute_backend: str | None = None) -> CornerResult:
     """One corner: derive the library, run leakage + STA on the design.
 
     Mirrors the flow's final STA setup (VGND-bounce derates, CTS clock
     arrivals), so the ``tt_nom`` corner reproduces the single-point
-    result bit-identically.
+    result bit-identically.  ``compute_backend`` selects the numeric
+    engine for both the STA and the leakage summation.
     """
     corner_library = derive_corner_library(library, corner)
     derates = None
@@ -77,8 +79,11 @@ def evaluate_corner(netlist: Netlist, library: Library, corner: PvtCorner,
         derates = network.derates(netlist, corner_library, assumed)
     report = TimingAnalyzer(netlist, corner_library, constraints,
                             parasitics=parasitics, derates=derates,
-                            clock_arrivals=clock_arrivals).run()
-    breakdown = LeakageAnalyzer(netlist, corner_library).standby_leakage()
+                            clock_arrivals=clock_arrivals,
+                            compute_backend=compute_backend).run()
+    breakdown = LeakageAnalyzer(
+        netlist, corner_library,
+        compute_backend=compute_backend).standby_leakage()
     scales = corner_scales(library.tech, corner)
     return CornerResult(
         corner=corner,
@@ -96,7 +101,8 @@ def evaluate_corners(netlist: Netlist, library: Library,
                      corner_names, constraints: Constraints,
                      parasitics: Mapping[str, object] | None = None,
                      network=None,
-                     clock_arrivals: Mapping[str, float] | None = None
+                     clock_arrivals: Mapping[str, float] | None = None,
+                     compute_backend: str | None = None
                      ) -> dict[str, CornerResult]:
     """Evaluate a list of corner names, preserving input order."""
     results: dict[str, CornerResult] = {}
@@ -104,5 +110,6 @@ def evaluate_corners(netlist: Netlist, library: Library,
         corner = resolve_corner(name, library.tech)
         results[name] = evaluate_corner(
             netlist, library, corner, constraints, parasitics=parasitics,
-            network=network, clock_arrivals=clock_arrivals)
+            network=network, clock_arrivals=clock_arrivals,
+            compute_backend=compute_backend)
     return results

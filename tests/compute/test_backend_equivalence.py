@@ -1,0 +1,234 @@
+"""Cross-backend property suite: python vs numpy on random circuits.
+
+The equivalence contract of :mod:`repro.compute`: for randomized
+generated circuits and randomized tracked edit scripts (variant swaps,
+derate updates, buffer insertions), the two compute backends agree on
+
+* every endpoint slack, WNS/TNS (setup and hold) to 1e-9 relative,
+* total standby leakage to 1e-9 relative,
+* report ordering **bit-identically** (endpoint check list and
+  node-timing dict insertion order).
+
+Three session flavors are compared against the scalar reference: a
+numpy session left to its own full/incremental policy (numpy full
+runs composed with scalar dirty-cone re-propagation) and a numpy
+session forced to full-run every report (``full_threshold=0`` — every
+step exercises the array kernels and the view invalidation).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.liberty.library import VARIANT_HVT, VARIANT_LVT
+from repro.netlist.techmap import technology_map
+from repro.power.leakage import LeakageAnalyzer
+from repro.timing.constraints import Constraints
+from repro.timing.session import TimingSession
+from repro.timing.sta import TimingAnalyzer
+from repro.variation.montecarlo import McConfig, MonteCarloEngine
+
+REL = 1e-9
+
+
+def close(a: float, b: float) -> bool:
+    if a == b:
+        return True
+    return abs(a - b) <= REL * max(1.0, abs(a), abs(b))
+
+
+def assert_reports_equivalent(reference, candidate, context: str,
+                              node_order: bool = False):
+    assert [(c.endpoint, c.kind) for c in reference.endpoint_checks] \
+        == [(c.endpoint, c.kind) for c in candidate.endpoint_checks], \
+        f"endpoint ordering diverged ({context})"
+    if node_order:
+        # Fresh full runs produce the canonical insertion order on both
+        # backends.  (Incremental sessions keep historical order, so
+        # this is only asserted fresh-vs-fresh.)
+        assert list(reference.node_timing) == list(candidate.node_timing), \
+            f"node ordering diverged ({context})"
+    else:
+        assert set(reference.node_timing) == set(candidate.node_timing), \
+            f"node domain diverged ({context})"
+    for name, node in reference.node_timing.items():
+        other = candidate.node_timing[name]
+        assert close(node.slack, other.slack) \
+            and close(node.arrival, other.arrival), \
+            f"node {name} diverged ({context})"
+    for ref, cand in zip(reference.endpoint_checks,
+                         candidate.endpoint_checks):
+        assert close(ref.slack, cand.slack), \
+            f"slack {ref.endpoint}/{ref.kind}: {ref.slack} vs " \
+            f"{cand.slack} ({context})"
+    for field in ("wns", "tns", "hold_wns", "hold_tns"):
+        assert close(getattr(reference, field), getattr(candidate, field)), \
+            f"{field} diverged ({context})"
+    assert reference.critical_endpoint == candidate.critical_endpoint, context
+
+
+def _mapped_circuit(config: GeneratorConfig, library):
+    netlist = generate_circuit(f"prop_{config.style}_{config.seed}", config)
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+CIRCUITS = [
+    GeneratorConfig(n_gates=300, n_inputs=12, n_outputs=8, n_ffs=6,
+                    depth=10, style="layered", seed=21),
+    GeneratorConfig(n_gates=400, n_inputs=16, n_outputs=8, n_ffs=0,
+                    depth=14, style="tapered", seed=22),
+    GeneratorConfig(n_gates=360, n_inputs=20, n_outputs=6, n_ffs=8,
+                    depth=12, style="grid", seed=23),
+]
+
+
+@pytest.mark.parametrize("config", CIRCUITS,
+                         ids=[c.style for c in CIRCUITS])
+def test_random_edit_scripts_agree(config, library):
+    """Swaps/derates/buffers: every report equivalent on both backends."""
+    reference_netlist = _mapped_circuit(config, library)
+    constraints = Constraints(clock_period=2.0)
+    scalar = TimingSession(reference_netlist, library, constraints,
+                           compute_backend="python")
+    mixed = TimingSession(reference_netlist.clone(), library, constraints,
+                          compute_backend="numpy")
+    forced = TimingSession(reference_netlist.clone(), library, constraints,
+                           compute_backend="numpy", full_threshold=0.0)
+    sessions = (scalar, mixed, forced)
+    rng = random.Random(config.seed * 7)
+    instance_names = sorted(reference_netlist.instances)
+
+    for step in range(20):
+        roll = rng.random()
+        if roll < 0.45:
+            name = rng.choice(instance_names)
+            variant = rng.choice([VARIANT_LVT, VARIANT_HVT])
+            for session in sessions:
+                inst = session.netlist.instances.get(name)
+                if inst is None:
+                    continue
+                cell = library.cell(inst.cell_name)
+                if cell.is_sequential or not library.has_variant(
+                        cell, variant):
+                    continue
+                session.swap_variant(inst, variant)
+        elif roll < 0.75:
+            derates = {rng.choice(instance_names): 1.0 + rng.random() * 0.25
+                       for _ in range(6)}
+            for session in sessions:
+                session.set_derates(dict(derates))
+        else:
+            nets = sorted(name for name, net
+                          in scalar.netlist.nets.items() if net.sinks)
+            name = rng.choice(nets)
+            for session in sessions:
+                session.insert_buffer(session.netlist.nets[name],
+                                      "BUF_X4_LVT")
+        reference = scalar.report()
+        assert_reports_equivalent(reference, mixed.report(),
+                                  f"{config.style} step {step} mixed")
+        assert_reports_equivalent(reference, forced.report(),
+                                  f"{config.style} step {step} forced")
+
+    # The forced session must have exercised the numpy kernels (some
+    # reports are served from cache when an edit was a no-op).
+    assert forced.stats.full_runs >= 10
+    assert forced.stats.incremental_runs == 0
+    # Editing composed with the view: at least one in-place patch or
+    # rebuild happened beyond the initial build.
+    view = forced._view
+    assert view is not None and (view.rebuilds + view.patches) >= 2
+
+    # And a from-scratch analysis agrees on both backends, including
+    # the canonical node insertion order.
+    fresh_scalar = TimingAnalyzer(scalar.netlist, library, constraints,
+                                  derates=scalar.derates,
+                                  compute_backend="python").run()
+    fresh_vector = TimingAnalyzer(scalar.netlist, library, constraints,
+                                  derates=scalar.derates,
+                                  compute_backend="numpy").run()
+    assert_reports_equivalent(fresh_scalar, fresh_vector,
+                              "fresh-vs-fresh", node_order=True)
+    assert_reports_equivalent(fresh_scalar, scalar.report(),
+                              "fresh-vs-scalar")
+    assert_reports_equivalent(fresh_scalar, forced.report(),
+                              "fresh-vs-forced")
+
+
+@pytest.mark.parametrize("config", CIRCUITS,
+                         ids=[c.style for c in CIRCUITS])
+def test_leakage_totals_agree(config, library):
+    """Total + per-category leakage equivalent after random swaps."""
+    netlist = _mapped_circuit(config, library)
+    rng = random.Random(config.seed)
+    for name in rng.sample(sorted(netlist.instances),
+                           len(netlist.instances) // 3):
+        inst = netlist.instances[name]
+        cell = library.cell(inst.cell_name)
+        if not cell.is_sequential and library.has_variant(cell, VARIANT_HVT):
+            from repro.netlist.transform import swap_variant
+
+            swap_variant(netlist, inst, library, VARIANT_HVT)
+    scalar = LeakageAnalyzer(netlist, library,
+                             compute_backend="python").standby_leakage()
+    vector = LeakageAnalyzer(netlist, library,
+                             compute_backend="numpy").standby_leakage()
+    assert close(scalar.total_nw, vector.total_nw)
+    for category in scalar.CATEGORIES:
+        assert close(getattr(scalar, category), getattr(vector, category))
+    assert scalar.instance_count == vector.instance_count
+    assert list(scalar.per_instance) == list(vector.per_instance)
+    assert scalar.per_instance == vector.per_instance
+
+
+def test_montecarlo_chunks_agree(library):
+    """One batched (samples x instances) pass == k scalar samples."""
+    config = GeneratorConfig(n_gates=250, n_inputs=10, n_outputs=6,
+                             n_ffs=5, depth=9, seed=31)
+    netlist = _mapped_circuit(config, library)
+    constraints = Constraints(clock_period=2.2)
+    mc = McConfig(samples=10, seed=9, timing=True)
+    scalar = MonteCarloEngine(netlist, library, mc, constraints=constraints,
+                              compute_backend="python")
+    vector = MonteCarloEngine(netlist.clone(), library, mc,
+                              constraints=constraints,
+                              compute_backend="numpy")
+    assert close(scalar.nominal_wns, vector.nominal_wns)
+    assert close(scalar.nominal_leakage_nw, vector.nominal_leakage_nw)
+    scalar_samples = scalar.run()
+    vector_samples = vector.run()
+    for a, b in zip(scalar_samples, vector_samples):
+        assert a.index == b.index
+        # Identical seeded draws on both backends — exact equality.
+        assert a.global_dvth_v == b.global_dvth_v
+        assert close(a.leakage_nw, b.leakage_nw)
+        assert close(a.wns, b.wns)
+    # Chunking invariance on the vector path (start offsets line up).
+    tail = vector.run(start=4, count=3)
+    assert [s.index for s in tail] == [4, 5, 6]
+    for a, b in zip(vector_samples[4:7], tail):
+        assert a.leakage_nw == b.leakage_nw and a.wns == b.wns
+
+
+def test_single_sample_dispatch(library):
+    """engine.sample() routes through the batch kernel on numpy."""
+    config = GeneratorConfig(n_gates=120, n_inputs=8, n_outputs=4,
+                             depth=8, seed=41)
+    netlist = _mapped_circuit(config, library)
+    mc = McConfig(samples=4, seed=3, timing=False)
+    scalar = MonteCarloEngine(netlist, library, mc,
+                              compute_backend="python")
+    vector = MonteCarloEngine(netlist, library, mc,
+                              compute_backend="numpy")
+    a = scalar.sample(2)
+    b = vector.sample(2)
+    assert a.index == b.index == 2
+    assert a.global_dvth_v == b.global_dvth_v
+    assert close(a.leakage_nw, b.leakage_nw)
+    assert a.wns is None and b.wns is None

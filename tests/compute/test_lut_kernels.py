@@ -1,0 +1,86 @@
+"""LutStore / lut_lookup bit-equivalence with the scalar Lut.lookup.
+
+The vectorized table lookup must reproduce the scalar bilinear
+interpolation *exactly* — same segment choice, same expressions — over
+the characterized window, under linear extrapolation beyond it, and on
+degenerate (singleton-axis, constant) tables.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.compute.kernels import lut_lookup
+from repro.compute.view import LutStore
+from repro.liberty.library import Lut
+
+
+def random_lut(rng: random.Random) -> Lut:
+    shape = rng.choice([(1, 1), (1, 4), (4, 1), (3, 3), (4, 4), (2, 5)])
+    rows, cols = shape
+    axis1 = sorted(rng.uniform(0.001, 0.5) for _ in range(rows))
+    axis2 = sorted(rng.uniform(0.0001, 0.05) for _ in range(cols))
+    values = [[rng.uniform(0.01, 2.0) for _ in range(cols)]
+              for _ in range(rows)]
+    return Lut(axis1, axis2, values)
+
+
+def test_lookup_matches_scalar_bitwise():
+    rng = random.Random(17)
+    luts = [random_lut(rng) for _ in range(40)]
+    luts.append(Lut.constant(0.125))
+    store = LutStore()
+    ids = [store.register(lut) for lut in luts]
+    probes = []
+    for lut in luts:
+        lo1, hi1 = lut.index_1[0], lut.index_1[-1]
+        lo2, hi2 = lut.index_2[0], lut.index_2[-1]
+        # Inside, on-grid, and extrapolating on both sides.
+        probes.append((rng.uniform(lo1, hi1), rng.uniform(lo2, hi2)))
+        probes.append((lo1, hi2))
+        probes.append((hi1 * 1.7 + 0.01, hi2 * 2.3 + 0.01))
+        probes.append((max(lo1 - 0.1, 0.0) - 0.05, lo2 * 0.5))
+    id_vec, x1_vec, x2_vec, expected = [], [], [], []
+    for lut, lut_id in zip(luts, ids):
+        for slew, load in probes:
+            id_vec.append(lut_id)
+            x1_vec.append(slew)
+            x2_vec.append(load)
+            expected.append(lut.lookup(slew, load))
+    got = lut_lookup(store.arrays(), np.array(id_vec),
+                     np.array(x1_vec), np.array(x2_vec))
+    assert got.tolist() == expected  # bit-identical, not approx
+
+
+def test_missing_table_is_zero():
+    store = LutStore()
+    store.register(Lut.constant(3.0))
+    got = lut_lookup(store.arrays(), np.array([-1, 0]),
+                     np.array([0.1, 0.1]), np.array([0.01, 0.01]))
+    assert got.tolist() == [0.0, 3.0]
+
+
+def test_register_deduplicates_by_identity():
+    store = LutStore()
+    lut = Lut.constant(1.0)
+    assert store.register(lut) == store.register(lut)
+    assert store.register(None) == -1
+    assert len(store) == 1
+
+
+def test_store_grows_after_arrays_built():
+    """Registering after a lookup pass (variant-swap patch) works."""
+    rng = random.Random(3)
+    store = LutStore()
+    first = random_lut(rng)
+    store.register(first)
+    store.arrays()
+    second = random_lut(rng)
+    new_id = store.register(second)
+    got = lut_lookup(store.arrays(), np.array([new_id]),
+                     np.array([0.02]), np.array([0.004]))
+    assert got.tolist() == [second.lookup(0.02, 0.004)]

@@ -1,0 +1,109 @@
+"""Array-view invalidation: patches vs rebuilds, load refreshes.
+
+The view must stay consistent with the netlist through the session's
+edit taxonomy, and must take the cheap path when it is sound: a
+variant swap between same-base siblings patches LUT ids in place; a
+structural edit rebuilds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.compute.sta import run_full
+from repro.compute.view import NetlistArrayView
+from repro.liberty.library import VARIANT_HVT, VARIANT_LVT
+from repro.netlist import transform
+from repro.timing.constraints import Constraints
+from repro.timing.delay import NetModel
+from repro.timing.sta import TimingAnalyzer
+
+
+def make_view(netlist, library, constraints):
+    net_model = NetModel(netlist, library, constraints)
+    return NetlistArrayView(netlist, library, constraints, net_model)
+
+
+def reference_wns(netlist, library, constraints, view):
+    nodes, checks = run_full(view, {})
+    fresh = TimingAnalyzer(netlist, library, constraints,
+                           compute_backend="python").run()
+    got = min(c.slack for c in checks if c.kind in ("output", "setup"))
+    assert got == fresh.wns
+    return got
+
+
+def test_swap_patches_in_place(c17, library):
+    constraints = Constraints(clock_period=2.0)
+    view = make_view(c17, library, constraints)
+    view.ensure()
+    assert view.rebuilds == 1
+    name = sorted(c17.instances)[0]
+    inst = c17.instances[name]
+    transform.swap_variant(c17, inst, library, VARIANT_HVT)
+    view.touch_instance(name)
+    for pin in inst.pins.values():
+        if pin.net is not None:
+            view.net_model.invalidate(pin.net)
+            view.touch_net(pin.net.name)
+    view.ensure()
+    assert view.rebuilds == 1        # no rebuild...
+    assert view.patches >= 1         # ...the swap was patched in place
+    reference_wns(c17, library, constraints, view)
+
+
+def test_structural_edit_rebuilds(c17, library):
+    constraints = Constraints(clock_period=2.0)
+    view = make_view(c17, library, constraints)
+    view.ensure()
+    net = next(net for net in c17.nets.values() if net.sinks)
+    transform.insert_buffer(c17, net, "BUF_X4_LVT")
+    view.touch_structural()
+    view.net_model.invalidate()
+    view.ensure()
+    assert view.rebuilds == 2
+    reference_wns(c17, library, constraints, view)
+
+
+def test_unknown_dirty_instance_forces_rebuild(c17, library):
+    constraints = Constraints(clock_period=2.0)
+    view = make_view(c17, library, constraints)
+    view.ensure()
+    view.touch_instance("no_such_instance")
+    view.ensure()
+    assert view.rebuilds == 2
+
+
+def test_load_refresh_without_rebuild(half_adder, library):
+    constraints = Constraints(clock_period=1.0)
+    view = make_view(half_adder, library, constraints)
+    view.ensure()
+    loads_before = view.loads.copy()
+    # Output load constraint change on a sink port net.
+    constraints.output_loads["s"] = 0.02
+    net = half_adder.nets["s"]
+    view.net_model.invalidate(net)
+    view.touch_net("s")
+    view.ensure()
+    assert view.rebuilds == 1
+    idx = view.node_index["s"]
+    assert view.loads[idx] != loads_before[idx]
+    assert view.loads[idx] == view.net_model.total_load(net)
+
+
+def test_session_derate_updates_do_not_rebuild(c17, library):
+    from repro.timing.session import TimingSession
+
+    constraints = Constraints(clock_period=2.0)
+    session = TimingSession(c17, library, constraints,
+                            compute_backend="numpy")
+    session.report()
+    view = session._view
+    assert view is not None and view.rebuilds == 1
+    for round_index in range(4):
+        session.set_derates({name: 1.0 + 0.01 * round_index
+                             for name in c17.instances})
+        session.report()
+    assert view.rebuilds == 1 and view.patches == 0

@@ -1,0 +1,88 @@
+"""Golden regression fixtures: both backends reproduce frozen numbers.
+
+``scripts/make_golden.py`` froze one Table 1 comparison (c432, s298)
+and one Monte-Carlo percentile set (c432) as produced by the python
+reference backend.  These tests assert that *both* compute backends
+keep reproducing them, so a kernel change that silently drifts the
+paper's numbers fails CI instead of shipping.
+
+Tolerance: 1e-9 relative on continuous quantities (the cross-backend
+equivalence contract); integer structure counts (MT-cells, switches,
+holders) must match exactly — a drifted slack that flips an assignment
+decision changes those first.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.benchcircuits.suite import load_circuit
+from repro.compute import numpy_available
+from repro.config import FlowConfig
+from repro.core.compare import compare_techniques
+from repro.liberty.library import VARIANT_LVT
+from repro.netlist.techmap import technology_map
+from repro.timing.constraints import Constraints
+from repro.variation.montecarlo import McConfig, MonteCarloEngine, summarize
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+BACKENDS = ["python"] + (["numpy"] if numpy_available() else [])
+
+#: Must mirror scripts/make_golden.py.
+TABLE1_CONFIG = dict(timing_margin=0.12, placement_seed=1)
+MC_CLOCK_PERIOD_NS = 1.8
+MC_CONFIG = dict(samples=48, seed=7, sigma_global_v=0.03,
+                 sigma_local_v=0.015, timing=True)
+
+
+def load_golden(name: str) -> dict:
+    return json.loads((GOLDEN_DIR / name).read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("circuit", ["c432", "s298"])
+def test_table1_golden(circuit, backend, library):
+    golden = load_golden("table1_c432_s298.json")[circuit]
+    comparison = compare_techniques(
+        load_circuit(circuit), library,
+        FlowConfig(compute_backend=backend, **TABLE1_CONFIG),
+        circuit_name=circuit)
+    for row in comparison.rows:
+        expected = golden[row.technique.value]
+        for field in ("area_um2", "leakage_nw", "area_pct", "leakage_pct"):
+            assert getattr(row, field) == pytest.approx(
+                expected[field], rel=1e-9), \
+                f"{circuit}/{row.technique.value}/{field} drifted " \
+                f"on {backend}"
+        for field in ("mt_cells", "switches", "holders"):
+            assert getattr(row, field) == expected[field], \
+                f"{circuit}/{row.technique.value}/{field} drifted " \
+                f"on {backend}"
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_mc_percentiles_golden(backend, library):
+    golden = load_golden("mc_percentiles_c432.json")
+    netlist = load_circuit(golden["circuit"])
+    technology_map(netlist, library, VARIANT_LVT)
+    engine = MonteCarloEngine(
+        netlist, library, McConfig(**MC_CONFIG),
+        constraints=Constraints(clock_period=MC_CLOCK_PERIOD_NS),
+        compute_backend=backend)
+    assert engine.nominal_leakage_nw == pytest.approx(
+        golden["nominal_leakage_nw"], rel=1e-9)
+    assert engine.nominal_wns == pytest.approx(
+        golden["nominal_wns"], rel=1e-9)
+    stats = summarize(engine.run(),
+                      leakage_budget_nw=2.0 * engine.nominal_leakage_nw)
+    for key, expected in golden["statistics"].items():
+        got = stats.as_dict()[key]
+        if key == "samples":
+            assert got == expected
+        else:
+            assert got == pytest.approx(expected, rel=1e-9), \
+                f"MC statistic {key} drifted on {backend}"

@@ -1,0 +1,89 @@
+"""Accumulation-order stability of LeakageBreakdown totals.
+
+Regression for the latent float-accumulation-order hazard: totals used
+to be accumulated in netlist insertion order, so two logically
+identical netlists built in different orders could report totals
+differing in the last ulps — enough to flip equality-based comparisons
+between flows.  Both backends now sum in stable index-sorted
+(instance-name) order, so totals are a pure function of the design.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchcircuits.generator import GeneratorConfig, generate_circuit
+from repro.liberty.library import VARIANT_LVT
+from repro.netlist.core import Netlist
+from repro.netlist.techmap import technology_map
+from repro.power.leakage import LeakageAnalyzer
+
+
+def shuffled_clone(netlist: Netlist, seed: int) -> Netlist:
+    """A logically identical netlist built in shuffled insertion order."""
+    rng = random.Random(seed)
+    clone = Netlist(f"{netlist.name}_shuffled{seed}")
+    for port in netlist.ports.values():
+        clone.add_port(port.name, port.direction)
+    names = list(netlist.instances)
+    rng.shuffle(names)
+    for name in names:
+        inst = netlist.instances[name]
+        clone.add_instance(name, inst.cell_name).attributes = \
+            dict(inst.attributes)
+    for name in names:
+        inst = netlist.instances[name]
+        new_inst = clone.instances[name]
+        for pin in inst.pins.values():
+            if pin.net is None:
+                continue
+            clone.connect(new_inst, pin.name, pin.net.name, pin.direction,
+                          keeper=pin in pin.net.keepers)
+    return clone
+
+
+@pytest.fixture(scope="module")
+def big_circuit(library):
+    config = GeneratorConfig(n_gates=10_000, n_inputs=64, n_outputs=32,
+                             n_ffs=32, depth=25, seed=6)
+    netlist = generate_circuit("leak10k", config)
+    technology_map(netlist, library, VARIANT_LVT)
+    return netlist
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_totals_independent_of_insertion_order(big_circuit, library,
+                                               backend):
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    analyzer = LeakageAnalyzer(big_circuit, library,
+                               compute_backend=backend)
+    baseline = analyzer.standby_leakage()
+    assert baseline.instance_count == len(big_circuit.instances)
+    for seed in (1, 2):
+        shuffled = shuffled_clone(big_circuit, seed)
+        other = LeakageAnalyzer(shuffled, library,
+                                compute_backend=backend).standby_leakage()
+        # Bit-identical, not approximately equal: the sort fixed the
+        # accumulation order.
+        assert other.total_nw == baseline.total_nw
+        assert other.category_values() == baseline.category_values()
+        assert list(other.per_instance) == list(baseline.per_instance)
+
+
+def test_backends_agree_on_big_circuit(big_circuit, library):
+    pytest.importorskip("numpy")
+    scalar = LeakageAnalyzer(big_circuit, library,
+                             compute_backend="python").standby_leakage()
+    vector = LeakageAnalyzer(big_circuit, library,
+                             compute_backend="numpy").standby_leakage()
+    assert vector.total_nw == pytest.approx(scalar.total_nw, rel=1e-9)
+    for category, value in scalar.category_values().items():
+        assert getattr(vector, category) == pytest.approx(value, rel=1e-9)
+
+
+def test_per_instance_order_is_sorted(c17, library):
+    breakdown = LeakageAnalyzer(c17, library).standby_leakage()
+    assert list(breakdown.per_instance) == sorted(breakdown.per_instance)
