@@ -45,6 +45,15 @@ def compute_json_path() -> Path:
     return Path(__file__).resolve().parent / "BENCH_compute.json"
 
 
+def api_json_path() -> Path:
+    """Trajectory file for the facade/service benchmarks
+    (``BENCH_api.json``, override with ``BENCH_API_JSON``)."""
+    override = os.environ.get("BENCH_API_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_api.json"
+
+
 def record(section: str, metrics: dict, path: Path | None = None) -> Path:
     """Merge one section's metrics into the bench JSON; returns the path."""
     path = path or bench_json_path()

@@ -1,0 +1,70 @@
+"""Quickstart for the `repro.api` Workspace/Design facade.
+
+Usage::
+
+    python examples/api_quickstart.py [circuit_name]
+
+Demonstrates the whole capability surface through one cached handle —
+analyze, optimize, corner signoff, Monte-Carlo, technique sweep — and
+then round-trips a result through the schema registry and a local
+job-service instance (submit -> poll -> result over real HTTP).
+"""
+
+import sys
+import threading
+
+from repro.api import ServiceClient, Workspace, schemas, serve
+from repro.config import FlowConfig
+
+
+def main() -> int:
+    circuit = sys.argv[1] if len(sys.argv) > 1 else "c432"
+
+    # --- the three-line facade -------------------------------------------
+    ws = Workspace(config=FlowConfig(timing_margin=0.12))
+    design = ws.design(circuit)
+    print(design.optimize(technique="improved_smt"))
+
+    baseline = design.analyze()
+    print(f"\nbaseline (all-LVT): {baseline.leakage_nw:.2f} nW leakage, "
+          f"clock {baseline.clock_period_ns:.3f} ns")
+
+    signoff = design.signoff(corners=("tt_nom", "ss_1.08v_125c"))
+    for row in signoff.rows:
+        print(f"  {row.corner:<14} leak {row.leakage_nw:10.2f} nW  "
+              f"wns {row.wns:+.4f}")
+
+    mc = design.montecarlo(samples=16, seed=1)
+    print(f"Monte-Carlo p95: {mc.statistics.p95_nw:.2f} nW "
+          f"(nominal {mc.nominal_leakage_nw:.2f})")
+
+    print()
+    print(design.sweep().render())
+
+    # Typed results round-trip through the schema registry.
+    payload = schemas.check_round_trip(signoff)
+    print(f"\nserialized as {payload['schema']} "
+          f"v{payload['schema_version']}")
+
+    # --- the same design through the job service --------------------------
+    server = serve(port=0)  # ephemeral port, workers running
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    client = ServiceClient(server.address)
+    job_id = client.submit("optimize", circuit,
+                           config={"timing_margin": 0.12})
+    status = client.wait(job_id)
+    result = client.result(job_id)
+    print(f"\nservice {server.address}: job {job_id} -> "
+          f"{status['status']}, leakage {result.leakage_nw:.2f} nW")
+    print("cache stats:", client.health()["cache_stats"].get("flow"))
+    server.shutdown()
+    server.service.close()
+
+    # All caches are warm now: these are lookups, not re-compiles.
+    assert design.optimize(technique="improved_smt") is not None
+    print("\nworkspace cache stats:", ws.cache_stats().get("flow"))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

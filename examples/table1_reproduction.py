@@ -8,16 +8,16 @@ rows.
 This is the headline experiment; expect a couple of minutes.
 """
 
+from repro.api import Workspace
+from repro.api.studies import table1_study
 from repro.config import Technique
-from repro.experiments import run_table1
-from repro.liberty.synth import build_default_library
 
 
 def main() -> int:
     print("Synthesizing library and running 6 flows (2 circuits x 3 "
           "techniques)...\n")
-    library = build_default_library()
-    result = run_table1(library)
+    workspace = Workspace()
+    result = table1_study(workspace)
     print(result.render())
 
     print("\nHeadline claims (improved vs conventional):")

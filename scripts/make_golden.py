@@ -20,9 +20,10 @@ import sys
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
                        / "src"))
 
+from repro.api import Workspace
+from repro.api.studies import technique_comparison
 from repro.benchcircuits.suite import load_circuit
 from repro.config import FlowConfig
-from repro.core.compare import compare_techniques
 from repro.liberty.library import VARIANT_LVT
 from repro.liberty.synth import build_default_library
 from repro.netlist.techmap import technology_map
@@ -43,12 +44,12 @@ MC_CONFIG = dict(samples=48, seed=7, sigma_global_v=0.03,
 
 def table1_payload(library) -> dict:
     payload = {}
+    workspace = Workspace(library=library)
     for circuit in TABLE1_CIRCUITS:
-        netlist = load_circuit(circuit)
-        comparison = compare_techniques(
-            netlist, library,
+        comparison = technique_comparison(
+            workspace.netlist(circuit), library,
             FlowConfig(compute_backend="python", **TABLE1_CONFIG),
-            circuit_name=circuit)
+            circuit_name=circuit, workspace=workspace)
         payload[circuit] = {
             row.technique.value: {
                 "area_um2": row.area_um2,

@@ -1,0 +1,144 @@
+"""CI smoke test for the job-service mode.
+
+Starts a real ``repro-smt serve`` subprocess, drives it over HTTP with
+the stdlib :class:`repro.api.ServiceClient`, and asserts the results
+match the frozen golden fixtures in ``tests/golden/``:
+
+1. a c432 flow job (``optimize``, improved SMT, the golden Table 1
+   config) — area / leakage / structure counts must match the golden
+   row to 1e-9 relative;
+2. a full three-technique ``sweep`` job on c432 — every golden row;
+3. a 3-corner ``signoff`` job — the ``tt_nom`` corner must reproduce
+   the nominal (golden) leakage bit-for-bit, and the warm flow cache
+   must have been hit (the signoff reuses the optimize job's flow).
+
+Run from the repo root (CI runs it once per compute backend)::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import socket
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.api import ServiceClient  # noqa: E402
+from repro.api.requests import (  # noqa: E402
+    OptimizeRequest,
+    SignoffRequest,
+    SweepRequest,
+)
+from repro.config import Technique  # noqa: E402
+from repro.errors import ServiceError  # noqa: E402
+
+#: The golden Table 1 knobs (tests/golden + scripts/make_golden.py).
+CIRCUIT = "c432"
+CONFIG = {"timing_margin": 0.12, "placement_seed": 1}
+CORNERS = ("tt_nom", "ff_1.32v_125c", "ss_1.08v_125c")
+REL_TOL = 1e-9
+
+
+def close_enough(a: float, b: float) -> bool:
+    return abs(a - b) <= REL_TOL * max(abs(a), abs(b), 1e-30)
+
+
+def check(label: str, ok: bool):
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not ok:
+        raise SystemExit(f"service smoke failed: {label}")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def wait_for_health(client: ServiceClient, deadline_s: float = 60.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            if client.health()["status"] == "ok":
+                return
+        except (ServiceError, OSError):
+            pass
+        time.sleep(0.2)
+    raise SystemExit("service never became healthy")
+
+
+def main() -> int:
+    golden = json.loads(
+        (REPO / "tests" / "golden" / "table1_c432_s298.json")
+        .read_text(encoding="utf-8"))[CIRCUIT]
+    port = free_port()
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port)],
+        cwd=REPO, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
+    try:
+        wait_for_health(client)
+        print(f"service healthy on port {port}")
+
+        print("flow job: optimize improved_smt on c432")
+        improved = golden["improved_smt"]
+        result = client.run(
+            "optimize", CIRCUIT,
+            request=OptimizeRequest(technique=Technique.IMPROVED_SMT),
+            config=CONFIG)
+        check("area matches golden",
+              close_enough(result.area_um2, improved["area_um2"]))
+        check("leakage matches golden",
+              close_enough(result.leakage_nw, improved["leakage_nw"]))
+        check("structure counts match golden",
+              (result.mt_cells, result.switches, result.holders)
+              == (improved["mt_cells"], improved["switches"],
+                  improved["holders"]))
+
+        print("sweep job: all three techniques on c432")
+        sweep = client.run("sweep", CIRCUIT, request=SweepRequest(),
+                           config=CONFIG)
+        for row in sweep.rows:
+            expected = golden[row.technique.value]
+            for field in ("area_um2", "leakage_nw", "area_pct",
+                          "leakage_pct"):
+                check(f"sweep {row.technique.value} {field}",
+                      close_enough(getattr(row, field), expected[field]))
+
+        print(f"signoff job: {len(CORNERS)} corners on c432")
+        signoff = client.run(
+            "signoff", CIRCUIT,
+            request=SignoffRequest(technique=Technique.IMPROVED_SMT,
+                                   corners=CORNERS),
+            config=CONFIG)
+        check("all corners signed off",
+              tuple(row.corner for row in signoff.rows) == CORNERS)
+        check("tt_nom reproduces the golden nominal leakage exactly",
+              signoff.row("tt_nom").leakage_nw == result.leakage_nw)
+        check("nominal leakage matches golden",
+              close_enough(signoff.nominal_leakage_nw,
+                           improved["leakage_nw"]))
+
+        stats = client.health()["cache_stats"]
+        check("signoff hit the warm flow cache",
+              stats.get("flow", {}).get("hits", 0) >= 1)
+        print("cache stats:", json.dumps(stats, sort_keys=True))
+        print("service smoke: all checks passed")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,15 @@ flow rides on: device models, a multi-Vth Liberty library, netlist
 database, logic simulation, STA, placement, routing/extraction, CTS and
 the virtual-ground (CoolPower-style) switch optimizer.
 
-Quickstart::
+Quickstart (the :mod:`repro.api` facade caches all compiled state)::
+
+    from repro.api import Workspace
+
+    ws = Workspace()
+    design = ws.design("c880")
+    print(design.optimize(technique="improved_smt").leakage_nw)
+
+or, driving the flow engine directly::
 
     from repro import (build_default_library, load_circuit,
                        SelectiveMtFlow, Technique)

@@ -1,0 +1,115 @@
+"""Minimal stdlib client for the job service.
+
+Speaks the :mod:`repro.api.service` JSON protocol over
+``urllib.request`` — used by the test suite, the CI smoke script and
+any script that wants typed results back from a remote service.  The
+client itself does no computation: the only heavy work it triggers is
+the one-time import of the :mod:`repro.api` package (for the schema
+registry that decodes result payloads).
+
+:meth:`ServiceClient.run` is the convenience loop: submit, poll until
+terminal, decode the result payload back into the typed result object
+via the schema registry.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.api import schemas
+from repro.errors import ServiceError
+
+
+class ServiceClient:
+    """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8731")``."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # --- HTTP plumbing ------------------------------------------------------
+
+    def _call(self, method: str, path: str, body: dict | None = None):
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+                message = payload["error"]["message"]
+            except Exception:  # noqa: BLE001 — non-JSON error body
+                message = str(exc)
+            raise ServiceError(message, status=exc.code) from None
+
+    # --- protocol -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._call("GET", "/v1/health")
+
+    def schema_names(self) -> list[str]:
+        return self._call("GET", "/v1/schemas")["schemas"]
+
+    def submit(self, kind: str, circuit: str, request=None,
+               config: dict | None = None) -> str:
+        """Submit a job; returns its id.
+
+        ``request`` may be a typed request object (encoded via the
+        schema registry) or an already encoded payload dict.
+        """
+        body: dict = {"kind": kind, "circuit": circuit}
+        if request is not None:
+            if not isinstance(request, dict):
+                request = schemas.to_dict(request)
+            body["request"] = request
+        if config:
+            body["config"] = config
+        return self._call("POST", "/v1/jobs", body)["job_id"]
+
+    def status(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        return self._call("GET", "/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> dict:
+        return self._call("POST", f"/v1/jobs/{job_id}/cancel", body={})
+
+    def result_payload(self, job_id: str) -> dict:
+        return self._call("GET", f"/v1/jobs/{job_id}/result")
+
+    def result(self, job_id: str):
+        """The typed result object (decoded via the schema registry)."""
+        return schemas.from_dict(self.result_payload(job_id))
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_s: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["status"] not in ("queued", "running"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out waiting for job {job_id} "
+                    f"(last status: {status['status']})", status=409)
+            time.sleep(poll_s)
+
+    def run(self, kind: str, circuit: str, request=None,
+            config: dict | None = None, timeout: float = 300.0):
+        """Submit, wait, and return the typed result object."""
+        job_id = self.submit(kind, circuit, request=request, config=config)
+        status = self.wait(job_id, timeout=timeout)
+        if status["status"] != "done":
+            raise ServiceError(
+                f"job {job_id} ended {status['status']}: "
+                f"{status.get('error')}", status=409)
+        return self.result(job_id)

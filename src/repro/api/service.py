@@ -1,0 +1,425 @@
+"""Persistent job-service mode (``repro-smt serve``).
+
+A :class:`JobService` wraps one long-lived
+:class:`~repro.api.Workspace` behind a submit/status/result/cancel
+queue, and :class:`ServiceServer` exposes it over plain HTTP + JSON
+(stdlib ``http.server`` — no new runtime dependencies).  Because the
+workspace persists across requests, repeated jobs against the same
+design hit the compiled-state caches (library, netlists, flow results,
+timing sessions) instead of cold-starting — the whole point of serving
+the facade instead of forking the CLI per request.
+
+Endpoints (all payloads JSON)::
+
+    GET  /v1/health              -> {"status": "ok", "jobs": N,
+                                     "cache_stats": {...}}
+    GET  /v1/schemas             -> {"schemas": [...]}
+    POST /v1/jobs                -> {"job_id": "..."}   (submit)
+    GET  /v1/jobs                -> {"jobs": [status...]}
+    GET  /v1/jobs/<id>           -> job status
+    GET  /v1/jobs/<id>/result    -> the typed result payload
+    POST /v1/jobs/<id>/cancel    -> job status
+
+A submission body names a job kind, a circuit, and optionally a typed
+request payload plus flow-config overrides::
+
+    {"kind": "signoff", "circuit": "c432",
+     "request": {"schema": "signoff_request", "schema_version": 1,
+                 "technique": "improved_smt",
+                 "corners": ["tt_nom", "ss_1.08v_125c"]},
+     "config": {"timing_margin": 0.12}}
+
+Errors come back as ``{"error": {"message": ..., "status": ...}}``
+with the matching HTTP status (400 malformed, 404 unknown job, 409
+conflicting state).  Grid fan-out inside a job (Monte-Carlo chunking,
+sweep grids) rides the existing
+:class:`~repro.runner.ExperimentRunner` process pool via the
+workspace's ``jobs`` knob.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+import queue
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.api import schemas
+from repro.api.requests import (
+    AnalyzeRequest,
+    MonteCarloRequest,
+    OptimizeRequest,
+    SignoffRequest,
+    SweepRequest,
+)
+from repro.api.workspace import Workspace
+from repro.config import FlowConfig
+from repro.errors import ReproError, ServiceError
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: Job kind -> request dataclass.
+JOB_KINDS = {
+    "analyze": AnalyzeRequest,
+    "optimize": OptimizeRequest,
+    "signoff": SignoffRequest,
+    "montecarlo": MonteCarloRequest,
+    "sweep": SweepRequest,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class JobStatus:
+    """One job's externally visible state."""
+
+    job_id: str
+    kind: str
+    circuit: str
+    status: str
+    error: str | None = None
+
+
+schemas.dataclass_schema("job_status", 1, JobStatus)
+
+
+class _Job:
+    """Internal mutable job record (lock-protected by the service)."""
+
+    def __init__(self, job_id: str, kind: str, circuit: str, request,
+                 config: FlowConfig):
+        self.job_id = job_id
+        self.kind = kind
+        self.circuit = circuit
+        self.request = request
+        self.config = config
+        self.status = QUEUED
+        self.result_payload: dict | None = None
+        self.error: str | None = None
+
+    def snapshot(self) -> JobStatus:
+        return JobStatus(job_id=self.job_id, kind=self.kind,
+                         circuit=self.circuit, status=self.status,
+                         error=self.error)
+
+
+def parse_submission(payload) -> tuple[str, str, object, FlowConfig]:
+    """Validate a submit body -> (kind, circuit, request, config).
+
+    Raises :class:`ServiceError` (400) on anything malformed; the
+    message names what is wrong so clients can fix the body.
+    """
+    if not isinstance(payload, dict):
+        raise ServiceError("submission body must be a JSON object")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ServiceError(
+            f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}")
+    circuit = payload.get("circuit")
+    if not isinstance(circuit, str) or not circuit:
+        raise ServiceError("submission needs a non-empty 'circuit' name")
+    from repro.benchcircuits.suite import available_circuits
+
+    if circuit not in available_circuits():
+        raise ServiceError(f"unknown circuit {circuit!r}")
+    request_payload = payload.get("request")
+    request_cls = JOB_KINDS[kind]
+    if request_payload is None:
+        request = request_cls()
+    else:
+        try:
+            request = schemas.from_dict(request_payload)
+        except ReproError as exc:
+            raise ServiceError(f"bad request payload: {exc}") from exc
+        if not isinstance(request, request_cls):
+            raise ServiceError(
+                f"request payload is a "
+                f"{schemas.entry_for(request).name!r}, but job kind "
+                f"{kind!r} needs a "
+                f"{schemas.entry_for(request_cls).name!r}")
+    overrides = payload.get("config") or {}
+    if not isinstance(overrides, dict):
+        raise ServiceError("'config' must be an object of FlowConfig "
+                           "field overrides")
+    try:
+        config = FlowConfig(**overrides)
+    except TypeError as exc:
+        raise ServiceError(f"bad config override: {exc}") from exc
+    except ReproError as exc:
+        raise ServiceError(f"bad config override: {exc}") from exc
+    return kind, circuit, request, config
+
+
+class JobService:
+    """A persistent job queue over one warm :class:`Workspace`.
+
+    ``workers`` is the number of in-process worker threads draining
+    the queue (jobs on the same workspace share its caches; the
+    CPU-heavy grid fan-out inside a job uses the process pool, so one
+    worker thread is usually right).
+    """
+
+    #: Default cap on retained *finished* job records (results
+    #: included); the oldest finished jobs are evicted past it, so a
+    #: long-lived service does not grow without bound.
+    DEFAULT_RETAIN = 1000
+
+    def __init__(self, workspace: Workspace | None = None, jobs: int = 1,
+                 workers: int = 1, retain: int | None = None):
+        self.workspace = workspace or Workspace(jobs=jobs)
+        self.retain = self.DEFAULT_RETAIN if retain is None \
+            else max(1, int(retain))
+        self._jobs: dict[str, _Job] = {}
+        self._order: list[str] = []
+        self._queue: queue.Queue[str | None] = queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._workers = [
+            threading.Thread(target=self._work, daemon=True,
+                             name=f"repro-api-worker-{index}")
+            for index in range(max(1, int(workers)))
+        ]
+        self._started = False
+        self._closed = False
+
+    # --- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "JobService":
+        if not self._started:
+            self._started = True
+            for worker in self._workers:
+                worker.start()
+        return self
+
+    def close(self):
+        """Stop accepting work and unblock the worker threads."""
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(None)
+
+    # --- the queue ----------------------------------------------------------
+
+    def submit(self, payload: dict) -> JobStatus:
+        if self._closed:
+            raise ServiceError("service is shutting down", status=409)
+        kind, circuit, request, config = parse_submission(payload)
+        with self._lock:
+            job_id = f"job-{next(self._ids)}"
+            job = _Job(job_id, kind, circuit, request, config)
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._evict_finished()
+        self._queue.put(job_id)
+        return job.snapshot()
+
+    def _evict_finished(self):
+        """Drop the oldest finished jobs past the retention cap.
+
+        Called with the lock held.  Queued/running jobs are never
+        evicted, so the cap bounds memory without losing live work.
+        """
+        terminal = (DONE, FAILED, CANCELLED)
+        finished = [job_id for job_id in self._order
+                    if self._jobs[job_id].status in terminal]
+        for job_id in finished[:max(0, len(finished) - self.retain)]:
+            del self._jobs[job_id]
+            self._order.remove(job_id)
+
+    def _get(self, job_id: str) -> _Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def status(self, job_id: str) -> JobStatus:
+        with self._lock:
+            return self._get(job_id).snapshot()
+
+    def jobs(self) -> list[JobStatus]:
+        with self._lock:
+            return [self._jobs[job_id].snapshot()
+                    for job_id in self._order]
+
+    def result(self, job_id: str) -> dict:
+        with self._lock:
+            job = self._get(job_id)
+            if job.status in (QUEUED, RUNNING):
+                raise ServiceError(
+                    f"job {job_id} is still {job.status}", status=409)
+            if job.status == CANCELLED:
+                raise ServiceError(f"job {job_id} was cancelled",
+                                   status=409)
+            if job.status == FAILED:
+                raise ServiceError(
+                    f"job {job_id} failed: {job.error}", status=409)
+            return dict(job.result_payload)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Cancel a queued job; running/finished jobs are a conflict."""
+        with self._lock:
+            job = self._get(job_id)
+            if job.status == QUEUED:
+                job.status = CANCELLED
+                return job.snapshot()
+            raise ServiceError(
+                f"job {job_id} is {job.status}; only queued jobs can be "
+                f"cancelled", status=409)
+
+    # --- execution ----------------------------------------------------------
+
+    def _work(self):
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            with self._lock:
+                job = self._jobs[job_id]
+                if job.status != QUEUED:
+                    continue  # cancelled while queued
+                job.status = RUNNING
+            try:
+                result = self._execute(job)
+                payload = schemas.check_round_trip(result)
+                with self._lock:
+                    job.result_payload = payload
+                    job.status = DONE
+            except Exception as exc:  # noqa: BLE001 — jobs never kill
+                #                       the worker; errors land on the job
+                with self._lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = FAILED
+
+    def _execute(self, job: _Job):
+        design = self.workspace.design(job.circuit, job.config)
+        if job.kind == "analyze":
+            return design.analyze(job.request)
+        if job.kind == "optimize":
+            return design.optimize(job.request)
+        if job.kind == "signoff":
+            return design.signoff(job.request)
+        if job.kind == "montecarlo":
+            return design.montecarlo(job.request)
+        if job.kind == "sweep":
+            return design.sweep(job.request)
+        raise ServiceError(f"unhandled job kind {job.kind!r}")
+
+
+def _error_payload(error: ServiceError) -> dict:
+    return {"error": {"message": str(error), "status": error.status}}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the /v1 endpoints onto the owning :class:`JobService`."""
+
+    server: "ServiceServer"
+    protocol_version = "HTTP/1.1"
+
+    # --- plumbing -----------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if self.server.verbose:
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: dict):
+        # allow_nan=False keeps the wire strict JSON: non-finite floats
+        # must have been string-encoded by the schema layer.
+        body = json.dumps(payload, sort_keys=True,
+                          allow_nan=False).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self):
+        if not self._body:
+            raise ServiceError("request body must be JSON")
+        try:
+            return json.loads(self._body)
+        except json.JSONDecodeError as exc:
+            raise ServiceError(f"request body is not valid JSON: "
+                               f"{exc}") from exc
+
+    def _dispatch(self, method: str):
+        # Always drain the body up front: a route that ignores it
+        # (e.g. cancel) must not leave bytes on a keep-alive
+        # connection, where they would corrupt the next request.
+        length = int(self.headers.get("Content-Length") or 0)
+        self._body = self.rfile.read(length) if length else b""
+        service = self.server.service
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        try:
+            if parts[:1] != ["v1"]:
+                raise ServiceError(f"unknown path {self.path!r}",
+                                   status=404)
+            rest = parts[1:]
+            if method == "GET" and rest == ["health"]:
+                self._send(200, {
+                    "status": "ok",
+                    "jobs": len(service.jobs()),
+                    "cache_stats": service.workspace.cache_stats(),
+                })
+            elif method == "GET" and rest == ["schemas"]:
+                self._send(200, {"schemas": list(schemas.schema_names())})
+            elif method == "POST" and rest == ["jobs"]:
+                status = service.submit(self._read_json())
+                self._send(202, schemas.to_dict(status))
+            elif method == "GET" and rest == ["jobs"]:
+                self._send(200, {"jobs": [schemas.to_dict(s)
+                                          for s in service.jobs()]})
+            elif method == "GET" and len(rest) == 2 and rest[0] == "jobs":
+                self._send(200, schemas.to_dict(service.status(rest[1])))
+            elif method == "GET" and len(rest) == 3 \
+                    and rest[0] == "jobs" and rest[2] == "result":
+                self._send(200, service.result(rest[1]))
+            elif method == "POST" and len(rest) == 3 \
+                    and rest[0] == "jobs" and rest[2] == "cancel":
+                self._send(200, schemas.to_dict(service.cancel(rest[1])))
+            else:
+                raise ServiceError(f"unknown path {self.path!r}",
+                                   status=404)
+        except ServiceError as error:
+            self._send(error.status, _error_payload(error))
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """The HTTP front of a :class:`JobService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: JobService, host: str = "127.0.0.1",
+                 port: int = 0, verbose: bool = False):
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, jobs: int = 1,
+          workers: int = 1, workspace: Workspace | None = None,
+          retain: int | None = None,
+          verbose: bool = False) -> ServiceServer:
+    """Build and start a service (worker threads + HTTP listener).
+
+    Returns the running server; call ``serve_forever()`` to block, or
+    use it programmatically (tests drive it from a background thread).
+    """
+    service = JobService(workspace=workspace, jobs=jobs,
+                         workers=workers, retain=retain).start()
+    return ServiceServer(service, host=host, port=port, verbose=verbose)

@@ -1,23 +1,29 @@
-"""Command-line interface.
+"""Command-line interface — a thin client of :mod:`repro.api`.
+
+Every subcommand builds one :class:`~repro.api.Workspace` and drives
+the facade; ``--json`` outputs all come from the schema registry
+(stamped with ``schema``/``schema_version`` and checked to round-trip
+through ``from_dict(to_dict(x)) == x`` before they are written).
 
 Examples::
 
     repro-smt list
     repro-smt flow --circuit c880 --technique improved_smt
     repro-smt compare --circuit circuitA --margin 0.12
+    repro-smt corners --circuits c432 --corners tt_nom,ss_1.08v_125c
+    repro-smt serve --port 8731
     repro-smt library --out my.lib
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.benchcircuits.suite import available_circuits, load_circuit
+from repro.api import Workspace, schemas
+from repro.benchcircuits.suite import available_circuits
 from repro.config import FlowConfig, Technique
-from repro.core.compare import compare_techniques
-from repro.core.flow import SelectiveMtFlow
-from repro.liberty.synth import build_default_library
 from repro.liberty.writer import write_liberty
 from repro.power.report import render_leakage_table
 from repro import units
@@ -61,6 +67,25 @@ def _config_from(args) -> FlowConfig:
     return FlowConfig(**kwargs)
 
 
+def _workspace(args, jobs: int | None = None) -> Workspace:
+    return Workspace(config=_config_from(args),
+                     jobs=jobs if jobs is not None
+                     else getattr(args, "jobs", 1))
+
+
+def _emit_json(result, path: str | None):
+    """Write a registered result as JSON (round-trip checked)."""
+    if not path:
+        return
+    payload = schemas.check_round_trip(result)
+    with open(path, "w", encoding="utf-8") as handle:
+        # allow_nan=False: non-finite floats are string-encoded by the
+        # schema layer, so reports stay strict JSON.
+        json.dump(payload, handle, indent=2, sort_keys=True,
+                  allow_nan=False)
+    print(f"wrote JSON report to {path}")
+
+
 def cmd_list(_args) -> int:
     for name in available_circuits():
         print(name)
@@ -68,11 +93,11 @@ def cmd_list(_args) -> int:
 
 
 def cmd_flow(args) -> int:
-    library = build_default_library()
-    netlist = load_circuit(args.circuit)
+    workspace = _workspace(args)
+    design = workspace.design(args.circuit)
     technique = Technique(args.technique)
-    flow = SelectiveMtFlow(netlist, library, technique, _config_from(args))
-    result = flow.run()
+    result = design.flow_result(technique)
+    library = workspace.library
     print(result.render_stages())
     print()
     print(render_leakage_table(result.leakage))
@@ -92,6 +117,8 @@ def cmd_flow(args) -> int:
         status = "verified clean" if not problems else \
             f"PROBLEMS: {problems}"
         print(f"\nexported design database to {args.export} ({status})")
+    if args.json:
+        _emit_json(design.optimize(technique=technique), args.json)
     return 0
 
 
@@ -99,40 +126,38 @@ def cmd_stats(args) -> int:
     from repro.netlist.stats import design_stats
     from repro.netlist.techmap import technology_map
 
-    library = build_default_library()
-    netlist = load_circuit(args.circuit)
+    workspace = Workspace()
+    library = workspace.library
+    netlist = workspace.netlist(args.circuit).clone()
     technology_map(netlist, library)
     print(design_stats(netlist, library).render())
     return 0
 
 
 def cmd_compare(args) -> int:
-    library = build_default_library()
-    netlist = load_circuit(args.circuit)
-    comparison = compare_techniques(netlist, library, _config_from(args),
-                                    jobs=args.jobs)
-    print(comparison.render())
+    design = _workspace(args).design(args.circuit)
+    result = design.sweep(jobs=args.jobs)
+    print(result.render())
+    _emit_json(result, args.json)
     return 0
 
 
 def cmd_sweep(args) -> int:
-    from repro.runner import ALL_TECHNIQUES, render_sweep, run_sweep
-
     circuits = [name.strip() for name in args.circuits.split(",")
                 if name.strip()]
     if not circuits:
         print("no circuits given", file=sys.stderr)
         return 2
     try:
-        techniques = _parse_techniques(args.techniques) or ALL_TECHNIQUES
+        techniques = _parse_techniques(args.techniques)
     except _CliArgError as error:
         print(error, file=sys.stderr)
         return 2
-    library = build_default_library()
-    comparisons = run_sweep(circuits, config=_config_from(args),
-                            techniques=techniques,
-                            jobs=args.jobs, library=library)
-    print(render_sweep(comparisons))
+    workspace = _workspace(args)
+    result = workspace.sweep(circuits, techniques=techniques,
+                             jobs=args.jobs)
+    print(result.render())
+    _emit_json(result, args.json)
     return 0
 
 
@@ -155,24 +180,15 @@ def _parse_techniques(text: str | None):
             f"unknown technique in {text!r}; valid: {valid}") from None
 
 
-def _emit_json(payload: dict, path: str | None):
-    if not path:
-        return
-    import json
-
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    print(f"wrote JSON report to {path}")
-
-
 def cmd_corners(args) -> int:
-    from repro.experiments import run_table1_corners
+    from repro.api.studies import corner_signoff_study
     from repro.variation.corners import (
         default_signoff_corners,
         standard_corners,
     )
 
-    library = build_default_library()
+    workspace = _workspace(args)
+    library = workspace.library
     circuits = tuple(name.strip() for name in args.circuits.split(",")
                      if name.strip())
     if not circuits:
@@ -196,19 +212,20 @@ def cmd_corners(args) -> int:
         print(f"unknown corner(s) {unknown}; "
               f"known: {', '.join(sorted(known))}", file=sys.stderr)
         return 2
-    result = run_table1_corners(
-        circuits=circuits, techniques=techniques, corners=corners,
-        config=_config_from(args), library=library, jobs=args.jobs)
+    result = corner_signoff_study(
+        workspace, circuits=circuits, techniques=techniques,
+        corners=corners, config=_config_from(args), jobs=args.jobs)
     print(result.render())
-    _emit_json(result.as_dict(), args.json)
+    _emit_json(result, args.json)
     return 0
 
 
 def cmd_montecarlo(args) -> int:
-    from repro.experiments import run_montecarlo
+    from repro.api.studies import montecarlo_study
     from repro.variation.corners import standard_corners
 
-    library = build_default_library()
+    workspace = _workspace(args)
+    library = workspace.library
     if args.corner and args.corner not in standard_corners(library.tech):
         print(f"unknown corner {args.corner!r}; "
               f"known: {', '.join(sorted(standard_corners(library.tech)))}",
@@ -219,19 +236,20 @@ def cmd_montecarlo(args) -> int:
     except _CliArgError as error:
         print(error, file=sys.stderr)
         return 2
-    study = run_montecarlo(
-        circuit=args.circuit, techniques=techniques, samples=args.samples,
-        seed=args.mc_seed, sigma_global_v=args.sigma_global,
-        sigma_local_v=args.sigma_local, timing=not args.no_timing,
-        corner=args.corner, leakage_budget_nw=args.leakage_budget,
-        config=_config_from(args), library=library, jobs=args.jobs)
+    study = montecarlo_study(
+        workspace, circuit=args.circuit, techniques=techniques,
+        samples=args.samples, seed=args.mc_seed,
+        sigma_global_v=args.sigma_global, sigma_local_v=args.sigma_local,
+        timing=not args.no_timing, corner=args.corner,
+        leakage_budget_nw=args.leakage_budget,
+        config=_config_from(args), jobs=args.jobs)
     print(study.render())
-    _emit_json(study.as_dict(), args.json)
+    _emit_json(study, args.json)
     return 0
 
 
 def cmd_library(args) -> int:
-    library = build_default_library()
+    library = Workspace().library
     text = write_liberty(library)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -239,6 +257,25 @@ def cmd_library(args) -> int:
         print(f"wrote {len(library)} cells to {args.out}")
     else:
         sys.stdout.write(text)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.api.service import serve
+
+    server = serve(host=args.host, port=args.port, jobs=args.jobs,
+                   workers=args.workers, retain=args.retain,
+                   verbose=args.verbose)
+    print(f"repro-smt job service listening on {server.address} "
+          f"(workers={args.workers}, pool jobs={args.jobs})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.shutdown()
+        server.service.close()
     return 0
 
 
@@ -260,6 +297,9 @@ def build_parser() -> argparse.ArgumentParser:
     flow_parser.add_argument(
         "--export", metavar="DIR",
         help="write the design database (.v/.def/.spef/.sdc/.lib) here")
+    flow_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the optimize result as JSON")
     flow_parser.set_defaults(func=cmd_flow)
 
     stats_parser = sub.add_parser("stats",
@@ -273,6 +313,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser.add_argument(
         "--jobs", type=int, default=1,
         help="process-pool width (1 = in-process)")
+    compare_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the comparison as JSON")
     compare_parser.set_defaults(func=cmd_compare)
 
     sweep_parser = sub.add_parser(
@@ -289,6 +332,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="process-pool width (1 = in-process; results are "
              "identical either way)")
+    sweep_parser.add_argument(
+        "--json", metavar="PATH", help="also write the sweep as JSON")
     _add_config_options(sweep_parser)
     sweep_parser.set_defaults(func=cmd_sweep)
 
@@ -354,6 +399,28 @@ def build_parser() -> argparse.ArgumentParser:
         "library", help="emit the synthesized multi-Vth library")
     library_parser.add_argument("--out", help="output .lib path")
     library_parser.set_defaults(func=cmd_library)
+
+    serve_parser = sub.add_parser(
+        "serve", help="persistent job-service mode: submit / status / "
+                      "result / cancel over HTTP+JSON, one warm "
+                      "Workspace behind every request")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8731,
+                              help="TCP port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="process-pool width for grid fan-out inside jobs")
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker threads draining the job queue")
+    serve_parser.add_argument(
+        "--retain", type=int, default=None,
+        help="finished job records kept before the oldest are "
+             "evicted (default 1000)")
+    serve_parser.add_argument("--verbose", action="store_true",
+                              help="log every HTTP request")
+    serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -10,7 +10,7 @@ import dataclasses
 import enum
 
 from repro.compute import BACKENDS, default_backend
-from repro.errors import FlowError
+from repro.errors import ConfigError
 
 
 class Technique(enum.Enum):
@@ -82,12 +82,25 @@ class FlowConfig:
 
     def __post_init__(self):
         if self.timing_margin < 0:
-            raise FlowError("timing margin must be non-negative")
+            raise ConfigError(
+                "timing_margin",
+                f"must be non-negative, got {self.timing_margin!r}")
+        if self.clock_period_ns is not None and self.clock_period_ns <= 0:
+            raise ConfigError(
+                "clock_period_ns",
+                f"must be positive, got {self.clock_period_ns!r}")
+        if not 0.0 < self.utilization <= 1.0:
+            raise ConfigError(
+                "utilization",
+                f"must be in (0, 1], got {self.utilization!r}")
         if not 0.0 < self.bounce_limit_fraction < 0.5:
-            raise FlowError("bounce limit fraction must be in (0, 0.5)")
+            raise ConfigError(
+                "bounce_limit_fraction",
+                f"must be in (0, 0.5), got {self.bounce_limit_fraction!r}")
         if self.compute_backend not in BACKENDS:
-            raise FlowError(
-                f"unknown compute backend {self.compute_backend!r}; "
+            raise ConfigError(
+                "compute_backend",
+                f"unknown backend {self.compute_backend!r}; "
                 f"known: {BACKENDS}")
 
     def bounce_limit_v(self, vdd: float) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.config import FlowConfig, Technique
-from repro.core.flow import FlowResult, SelectiveMtFlow
+from repro.core.flow import FlowResult
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist
 
@@ -85,51 +85,27 @@ def compare_techniques(netlist: Netlist, library: Library,
                        jobs: int = 1) -> TechniqueComparison:
     """Run the requested techniques and normalize to Dual-Vth.
 
+    .. deprecated:: shim over
+        :func:`repro.api.studies.technique_comparison` — identical
+        rows and ``results`` dict, but each call compiles a fresh
+        workspace; hold a :class:`repro.api.Workspace` to reuse flow
+        results across calls.
+
     ``jobs > 1`` fans the techniques out over the process-pool
     experiment runner; the rows are bit-identical to the serial path,
     but the heavyweight per-technique ``results`` dict stays empty
     (full :class:`FlowResult` objects do not cross process
     boundaries).
     """
-    config = config or FlowConfig()
-    circuit_name = circuit_name or netlist.name
-    if jobs > 1:
-        from repro.runner import (
-            ExperimentRunner,
-            FlowJob,
-            comparison_from_outcomes,
-        )
+    import warnings
 
-        flow_jobs = [FlowJob(circuit=circuit_name, technique=technique,
-                             config=config, netlist=netlist)
-                     for technique in techniques]
-        outcomes = ExperimentRunner(jobs=jobs, library=library).run(flow_jobs)
-        return comparison_from_outcomes(circuit_name, outcomes)
-    results: dict[Technique, FlowResult] = {}
-    for technique in techniques:
-        flow = SelectiveMtFlow(netlist, library, technique, config)
-        results[technique] = flow.run()
+    warnings.warn(
+        "repro.core.compare.compare_techniques() is deprecated; use "
+        "repro.api (Workspace.design(...).sweep() or "
+        "repro.api.studies.technique_comparison)",
+        DeprecationWarning, stacklevel=2)
+    from repro.api.studies import technique_comparison
 
-    # Normalize to Dual-Vth when present; otherwise the first
-    # requested technique becomes the 100 % reference (so a subset
-    # comparison still prints meaningful relative numbers).
-    baseline = results.get(Technique.DUAL_VTH)
-    if baseline is None and techniques:
-        baseline = results[techniques[0]]
-    base_area = baseline.total_area if baseline else 1.0
-    base_leak = baseline.leakage_nw if baseline else 1.0
-
-    rows = []
-    for technique in techniques:
-        result = results[technique]
-        mt, switches, holders = count_cell_kinds(result.netlist, library)
-        rows.append(ComparisonRow(
-            circuit=circuit_name,
-            technique=technique,
-            area_um2=result.total_area,
-            leakage_nw=result.leakage_nw,
-            area_pct=100.0 * result.total_area / base_area,
-            leakage_pct=100.0 * result.leakage_nw / base_leak,
-            mt_cells=mt, switches=switches, holders=holders))
-    return TechniqueComparison(circuit=circuit_name, rows=rows,
-                               results=results)
+    return technique_comparison(netlist, library, config=config,
+                                circuit_name=circuit_name,
+                                techniques=techniques, jobs=jobs)

@@ -76,5 +76,36 @@ class FlowError(ReproError):
     """Selective-MT flow orchestration failure."""
 
 
+class ConfigError(FlowError):
+    """A configuration dataclass rejected a field value.
+
+    Subclasses :class:`FlowError` so existing ``except FlowError``
+    call sites keep working; carries the offending field name so
+    callers (and the job service's 400-equivalent payloads) can point
+    at exactly what to fix.
+    """
+
+    def __init__(self, field: str, message: str):
+        self.field = field
+        super().__init__(f"invalid {field}: {message}")
+
+
+class SchemaError(ReproError):
+    """A typed payload failed schema encoding, decoding or round-trip."""
+
+
+class ServiceError(ReproError):
+    """A job-service request was invalid or cannot be satisfied.
+
+    ``status`` mirrors HTTP semantics: 400 malformed request, 404
+    unknown job, 409 conflicting state (e.g. cancelling a finished
+    job).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = status
+        super().__init__(message)
+
+
 class EquivalenceError(ReproError):
     """Two netlists expected to be equivalent are not."""

@@ -4,17 +4,23 @@ Everything the benchmark harness needs to regenerate Table 1 lives
 here: the per-circuit flow configurations (margins chosen so circuit A
 is timing-tight and circuit B looser, as Table 1 implies) and the
 paper's published numbers for comparison.
+
+.. deprecated::
+    The ``run_*`` entry points are deprecation shims over
+    :mod:`repro.api` — same signatures, same numbers, but each call
+    builds a fresh :class:`~repro.api.Workspace`.  Hold a workspace
+    (or run ``repro-smt serve``) to keep compiled state warm across
+    calls.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 from repro.config import FlowConfig, Technique
-from repro.core.compare import TechniqueComparison, compare_techniques
+from repro.core.compare import TechniqueComparison
 from repro.liberty.library import Library
-from repro.liberty.synth import build_default_library
-from repro.benchcircuits.suite import load_circuit
 
 #: Paper Table 1 values, percent of the Dual-Vth baseline.
 PAPER_TABLE1 = {
@@ -69,41 +75,35 @@ class Table1Result:
         return "\n".join(lines)
 
 
+def _deprecated(name: str):
+    warnings.warn(
+        f"repro.experiments.{name}() is deprecated; use the repro.api "
+        f"Workspace/Design facade (which caches compiled state across "
+        f"calls) instead", DeprecationWarning, stacklevel=3)
+
+
+def _workspace(library: Library | None = None):
+    from repro.api import Workspace
+
+    return Workspace(library=library)
+
+
 def run_table1(library: Library | None = None,
                circuits: tuple[str, ...] = ("A", "B"),
                jobs: int = 1) -> Table1Result:
     """Run the full Table 1 experiment (three flows per circuit).
+
+    .. deprecated:: delegates to :func:`repro.api.studies.table1_study`.
 
     ``jobs > 1`` routes the whole circuit x technique grid through the
     process-pool experiment runner (identical numbers, parallel
     wall-clock; comparisons then carry rows only, not the full
     per-technique flow results).
     """
-    library = library or build_default_library()
-    comparisons: dict[str, TechniqueComparison] = {}
-    if jobs > 1:
-        from repro.runner import (
-            ALL_TECHNIQUES,
-            ExperimentRunner,
-            FlowJob,
-            comparison_from_outcomes,
-        )
+    _deprecated("run_table1")
+    from repro.api.studies import table1_study
 
-        flow_jobs = [FlowJob(circuit=f"circuit{short}", technique=technique,
-                             config=table1_config(short))
-                     for short in circuits for technique in ALL_TECHNIQUES]
-        outcomes = ExperimentRunner(jobs=jobs, library=library).run(flow_jobs)
-        per_circuit = len(ALL_TECHNIQUES)
-        for index, short in enumerate(circuits):
-            chunk = outcomes[index * per_circuit:(index + 1) * per_circuit]
-            comparisons[short] = comparison_from_outcomes(short, chunk)
-        return Table1Result(comparisons=comparisons)
-    for short in circuits:
-        name = f"circuit{short}"
-        netlist = load_circuit(name)
-        comparisons[short] = compare_techniques(
-            netlist, library, table1_config(short), circuit_name=short)
-    return Table1Result(comparisons=comparisons)
+    return table1_study(_workspace(library), circuits=circuits, jobs=jobs)
 
 
 def _resolve_circuit(short: str) -> str:
@@ -132,21 +132,9 @@ class CornerSignoffResult:
         return self.outcomes[(circuit, technique)]
 
     def as_dict(self) -> dict:
-        return {
-            "corners": list(self.corners),
-            "results": [
-                {
-                    "circuit": circuit,
-                    "technique": technique.value,
-                    "area_um2": outcome.area_um2,
-                    "nominal_leakage_nw": outcome.nominal_leakage_nw,
-                    "nominal_wns": outcome.nominal_wns,
-                    "corners": [dataclasses.asdict(row)
-                                for row in outcome.rows],
-                }
-                for (circuit, technique), outcome in self.outcomes.items()
-            ],
-        }
+        from repro.api import schemas  # lazy: loads the registry
+
+        return schemas.to_dict(self)
 
     def render(self) -> str:
         lines = [
@@ -172,37 +160,19 @@ def run_table1_corners(circuits: tuple[str, ...] = ("A", "B"),
                        jobs: int = 1) -> CornerSignoffResult:
     """Table 1 under PVT corners: every technique signed off per corner.
 
+    .. deprecated:: delegates to
+        :func:`repro.api.studies.corner_signoff_study`.
+
     The grid is ``circuits x techniques`` (one flow each, corners are
     evaluated inside the job), fanned out through the experiment
     runner; results are deterministic for any ``jobs``.
     """
-    from repro.runner import ALL_TECHNIQUES, ExperimentRunner
-    from repro.variation.corners import default_signoff_corners
-    from repro.variation.jobs import CornerJob, run_corner_job
+    _deprecated("run_table1_corners")
+    from repro.api.studies import corner_signoff_study
 
-    library = library or build_default_library()
-    techniques = tuple(techniques or ALL_TECHNIQUES)
-    corners = tuple(corners or default_signoff_corners(library.tech))
-    labeled_grid = [
-        (short, CornerJob(circuit=_resolve_circuit(short),
-                          technique=technique,
-                          config=_circuit_config(short, config),
-                          corners=corners))
-        for short in circuits for technique in techniques]
-    grid = [job for _, job in labeled_grid]
-    outcomes = ExperimentRunner(jobs=jobs, library=library).map(
-        run_corner_job, grid)
-    failed = [o for o in outcomes if not o.ok]
-    if failed:
-        from repro.errors import FlowError
-
-        first = failed[0]
-        raise FlowError(
-            f"{len(failed)} corner job(s) failed "
-            f"({first.circuit}/{first.technique.value}):\n{first.error}")
-    keyed = {(short, job.technique): outcome
-             for (short, job), outcome in zip(labeled_grid, outcomes)}
-    return CornerSignoffResult(corners=corners, outcomes=keyed)
+    return corner_signoff_study(
+        _workspace(library), circuits=circuits, techniques=techniques,
+        corners=corners, config=config, jobs=jobs)
 
 
 @dataclasses.dataclass
@@ -220,21 +190,9 @@ class MonteCarloStudy:
         return self.results[technique]
 
     def as_dict(self) -> dict:
-        return {
-            "circuit": self.circuit,
-            "samples": self.samples,
-            "seed": self.seed,
-            "corner": self.corner,
-            "results": {
-                technique.value: {
-                    "nominal_leakage_nw": res.nominal_leakage_nw,
-                    "nominal_wns": res.nominal_wns,
-                    "area_um2": res.area_um2,
-                    "statistics": res.statistics.as_dict(),
-                }
-                for technique, res in self.results.items()
-            },
-        }
+        from repro.api import schemas  # lazy: loads the registry
+
+        return schemas.to_dict(self)
 
     def render(self) -> str:
         where = f" @ {self.corner}" if self.corner else ""
@@ -265,7 +223,11 @@ class McTechniqueResult:
     nominal_wns: float | None
     area_um2: float
     statistics: "McStatistics"
-    samples: list
+    #: Per-die samples, for in-process consumers; excluded from
+    #: equality (and from serialized payloads) — the statistics are
+    #: the result's identity, and sample ``k`` is reproducible from
+    #: ``(seed, k)`` anyway.
+    samples: list = dataclasses.field(default_factory=list, compare=False)
 
 
 def run_montecarlo(circuit: str = "A",
@@ -282,53 +244,20 @@ def run_montecarlo(circuit: str = "A",
                    jobs: int = 1) -> MonteCarloStudy:
     """Monte-Carlo leakage/timing study across techniques.
 
+    .. deprecated:: delegates to
+        :func:`repro.api.studies.montecarlo_study`.
+
     Samples are chunked across the experiment runner; since sample
     ``k`` is a pure function of ``(seed, k)``, the merged statistics
     are identical for any ``jobs`` setting.  The leakage-yield budget
     defaults to ``McConfig.budget_factor`` x each technique's own
     nominal leakage.
     """
-    from repro.runner import ALL_TECHNIQUES, ExperimentRunner
-    from repro.variation.jobs import McJob, run_mc_job
-    from repro.variation.montecarlo import McConfig, summarize
+    _deprecated("run_montecarlo")
+    from repro.api.studies import montecarlo_study
 
-    library = library or build_default_library()
-    techniques = tuple(techniques or ALL_TECHNIQUES)
-    mc = McConfig(samples=samples, seed=seed,
-                  sigma_global_v=sigma_global_v,
-                  sigma_local_v=sigma_local_v, timing=timing,
-                  leakage_budget_nw=leakage_budget_nw)
-    flow_config = _circuit_config(circuit, config)
-    resolved = _resolve_circuit(circuit)
-    chunks = min(max(1, jobs), samples)
-    bounds = [(index * samples // chunks,
-               (index + 1) * samples // chunks) for index in range(chunks)]
-    grid = [McJob(circuit=resolved, technique=technique, config=flow_config,
-                  mc=mc, corner=corner, start=start, count=stop - start)
-            for technique in techniques for (start, stop) in bounds]
-    outcomes = ExperimentRunner(jobs=jobs, library=library).map(
-        run_mc_job, grid)
-    failed = [o for o in outcomes if not o.ok]
-    if failed:
-        from repro.errors import FlowError
-
-        first = failed[0]
-        raise FlowError(
-            f"{len(failed)} Monte-Carlo job(s) failed "
-            f"({first.circuit}/{first.technique.value}):\n{first.error}")
-    results: dict[Technique, McTechniqueResult] = {}
-    per_technique = len(bounds)
-    for index, technique in enumerate(techniques):
-        chunk = outcomes[index * per_technique:(index + 1) * per_technique]
-        merged = [sample for outcome in chunk for sample in outcome.samples]
-        budget = mc.leakage_budget_nw
-        if budget is None:
-            budget = mc.budget_factor * chunk[0].nominal_leakage_nw
-        results[technique] = McTechniqueResult(
-            nominal_leakage_nw=chunk[0].nominal_leakage_nw,
-            nominal_wns=chunk[0].nominal_wns,
-            area_um2=chunk[0].area_um2,
-            statistics=summarize(merged, leakage_budget_nw=budget),
-            samples=merged)
-    return MonteCarloStudy(circuit=resolved, samples=samples, seed=seed,
-                           corner=corner, results=results)
+    return montecarlo_study(
+        _workspace(library), circuit=circuit, techniques=techniques,
+        samples=samples, seed=seed, sigma_global_v=sigma_global_v,
+        sigma_local_v=sigma_local_v, timing=timing, corner=corner,
+        leakage_budget_nw=leakage_budget_nw, config=config, jobs=jobs)

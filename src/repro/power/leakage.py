@@ -63,13 +63,11 @@ class LeakageBreakdown:
                 for category, value in self.category_values().items()}
 
     def as_dict(self) -> dict[str, float | int | dict[str, float]]:
-        """Self-describing summary: totals, count and per-category shares."""
-        return {
-            "total_nw": self.total_nw,
-            **self.category_values(),
-            "instance_count": self.instance_count,
-            "shares_pct": self.shares_pct(),
-        }
+        """Self-describing summary via the schema registry: totals,
+        count, per-category shares and the per-instance map."""
+        from repro.api import schemas  # lazy: loads the registry
+
+        return schemas.to_dict(self)
 
 
 class LeakageAnalyzer:

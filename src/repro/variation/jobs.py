@@ -26,6 +26,7 @@ from repro.benchcircuits.suite import load_circuit
 from repro.config import FlowConfig, Technique
 from repro.core.flow import FlowResult, SelectiveMtFlow
 from repro.liberty.library import Library
+from repro.netlist.core import Netlist
 from repro.variation.corners import resolve_corner, derive_corner_library
 from repro.variation.montecarlo import McConfig, McSample, MonteCarloEngine
 
@@ -67,7 +68,9 @@ class CornerOutcome:
     nominal_leakage_nw: float
     nominal_wns: float
     rows: list[CornerRow]
-    elapsed_s: float
+    #: Wall-clock, not part of the result's identity (so serial and
+    #: parallel runs of the same grid compare equal).
+    elapsed_s: float = dataclasses.field(compare=False, default=0.0)
     error: str | None = None
 
     @property
@@ -120,6 +123,10 @@ class McJob:
     corner: str | None = None
     start: int = 0
     count: int = 0
+    #: In-memory netlist override (pickled to workers) for circuits
+    #: that are not loadable by registry name (adopted ad-hoc
+    #: designs); ``circuit`` then only labels the outcome.
+    netlist: Netlist | None = None
 
     def resolved_config(self) -> FlowConfig:
         return self.config
@@ -177,7 +184,8 @@ def run_mc_job(job: McJob, library: Library) -> McChunkOutcome:
     """Execute one Monte-Carlo chunk; never raises."""
     started = time.perf_counter()
     try:
-        netlist = load_circuit(job.circuit)
+        netlist = job.netlist if job.netlist is not None \
+            else load_circuit(job.circuit)
         flow = SelectiveMtFlow(netlist, library, job.technique,
                                job.resolved_config())
         result = flow.run()

@@ -27,7 +27,7 @@ import math
 import random
 from typing import Mapping, Sequence
 
-from repro.errors import FlowError
+from repro.errors import ConfigError, FlowError
 from repro.liberty.library import Library, VthClass
 from repro.netlist.core import Netlist
 from repro.power.leakage import LeakageAnalyzer
@@ -55,9 +55,17 @@ class McConfig:
 
     def __post_init__(self):
         if self.samples < 1:
-            raise FlowError("Monte-Carlo needs at least one sample")
-        if self.sigma_global_v < 0 or self.sigma_local_v < 0:
-            raise FlowError("Vth sigmas must be non-negative")
+            raise ConfigError(
+                "samples",
+                f"Monte-Carlo needs at least one sample, got {self.samples}")
+        if self.sigma_global_v < 0:
+            raise ConfigError(
+                "sigma_global_v",
+                f"must be non-negative, got {self.sigma_global_v!r}")
+        if self.sigma_local_v < 0:
+            raise ConfigError(
+                "sigma_local_v",
+                f"must be non-negative, got {self.sigma_local_v!r}")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,7 +98,9 @@ class McStatistics:
     timing_yield: float | None = None
 
     def as_dict(self) -> dict[str, float | int | None]:
-        return dataclasses.asdict(self)
+        from repro.api import schemas  # lazy: loads the registry
+
+        return schemas.to_dict(self)
 
 
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:

@@ -41,19 +41,9 @@ class CornerResult:
     leakage: LeakageBreakdown | None = None
 
     def as_dict(self) -> dict[str, Any]:
-        return {
-            "corner": self.corner.name,
-            "process": self.corner.process,
-            "vdd": self.corner.vdd,
-            "temperature_c": self.corner.temperature_c,
-            "leakage_nw": self.leakage_nw,
-            "wns": self.wns,
-            "hold_wns": self.hold_wns,
-            "delay_scale_low": self.delay_scale_low,
-            "delay_scale_high": self.delay_scale_high,
-            "leakage_scale_low": self.leakage_scale_low,
-            "leakage_scale_high": self.leakage_scale_high,
-        }
+        from repro.api import schemas  # lazy: loads the registry
+
+        return schemas.to_dict(self)
 
 
 def evaluate_corner(netlist: Netlist, library: Library, corner: PvtCorner,
@@ -62,15 +52,21 @@ def evaluate_corner(netlist: Netlist, library: Library, corner: PvtCorner,
                     network=None,
                     clock_arrivals: Mapping[str, float] | None = None,
                     keep_breakdown: bool = False,
-                    compute_backend: str | None = None) -> CornerResult:
+                    compute_backend: str | None = None,
+                    corner_library: Library | None = None) -> CornerResult:
     """One corner: derive the library, run leakage + STA on the design.
 
     Mirrors the flow's final STA setup (VGND-bounce derates, CTS clock
     arrivals), so the ``tt_nom`` corner reproduces the single-point
     result bit-identically.  ``compute_backend`` selects the numeric
-    engine for both the STA and the leakage summation.
+    engine for both the STA and the leakage summation.  A pre-derived
+    ``corner_library`` (e.g. from the
+    :class:`~repro.api.Workspace` corner-library cache) skips the
+    per-call derivation; results are identical either way because
+    :func:`derive_corner_library` is a pure function.
     """
-    corner_library = derive_corner_library(library, corner)
+    if corner_library is None:
+        corner_library = derive_corner_library(library, corner)
     derates = None
     if network is not None:
         assumed = corner_library.mt_assumed_bounce_v
@@ -102,14 +98,20 @@ def evaluate_corners(netlist: Netlist, library: Library,
                      parasitics: Mapping[str, object] | None = None,
                      network=None,
                      clock_arrivals: Mapping[str, float] | None = None,
-                     compute_backend: str | None = None
+                     compute_backend: str | None = None,
+                     corner_libraries: Mapping[str, Library] | None = None
                      ) -> dict[str, CornerResult]:
-    """Evaluate a list of corner names, preserving input order."""
+    """Evaluate a list of corner names, preserving input order.
+
+    ``corner_libraries`` optionally supplies pre-derived libraries by
+    corner name (cache pass-through); missing names derive on the fly.
+    """
     results: dict[str, CornerResult] = {}
     for name in corner_names:
         corner = resolve_corner(name, library.tech)
+        derived = corner_libraries.get(name) if corner_libraries else None
         results[name] = evaluate_corner(
             netlist, library, corner, constraints, parasitics=parasitics,
             network=network, clock_arrivals=clock_arrivals,
-            compute_backend=compute_backend)
+            compute_backend=compute_backend, corner_library=derived)
     return results

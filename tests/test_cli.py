@@ -150,3 +150,72 @@ def test_sweep_tolerates_trailing_comma_in_techniques(capsys):
     output = capsys.readouterr().out
     assert "dual_vth" in output
     assert "improved_smt" not in output
+
+
+def _load_checked_payload(path):
+    """Every --json emission is schema-stamped and round-trips."""
+    import json
+
+    from repro.api import schemas
+
+    payload = json.loads(path.read_text())
+    assert payload[schemas.SCHEMA_KEY] in schemas.schema_names()
+    assert isinstance(payload[schemas.VERSION_KEY], int)
+    rebuilt = schemas.from_dict(payload)
+    assert schemas.to_dict(rebuilt) == payload
+    return payload
+
+
+def test_flow_command_json(tmp_path, capsys):
+    out = tmp_path / "flow.json"
+    assert main(["flow", "--circuit", "c17", "--margin", "0.2",
+                 "--json", str(out)]) == 0
+    payload = _load_checked_payload(out)
+    assert payload["schema"] == "optimize_result"
+    assert payload["technique"] == "improved_smt"
+    assert payload["circuit"] == "c17"
+    assert payload["area_um2"] > 0
+
+
+def test_compare_command_json(tmp_path, capsys):
+    out = tmp_path / "compare.json"
+    assert main(["compare", "--circuit", "c17", "--margin", "0.2",
+                 "--json", str(out)]) == 0
+    payload = _load_checked_payload(out)
+    assert payload["schema"] == "sweep_result"
+    assert len(payload["rows"]) == 3
+
+
+def test_sweep_command_json(tmp_path, capsys):
+    out = tmp_path / "sweep.json"
+    assert main(["sweep", "--circuits", "c17", "--margin", "0.2",
+                 "--techniques", "dual_vth", "--json", str(out)]) == 0
+    payload = _load_checked_payload(out)
+    assert payload["schema"] == "sweep_result"
+    assert payload["rows"][0]["circuit"] == "c17"
+
+
+def test_corners_json_is_schema_stamped(tmp_path, capsys):
+    out = tmp_path / "corners.json"
+    assert main(["corners", "--circuits", "c17", "--margin", "0.2",
+                 "--techniques", "dual_vth", "--corners", "tt_nom",
+                 "--json", str(out)]) == 0
+    payload = _load_checked_payload(out)
+    assert payload["schema"] == "corner_signoff_report"
+
+
+def test_montecarlo_json_is_schema_stamped(tmp_path, capsys):
+    out = tmp_path / "mc.json"
+    assert main(["montecarlo", "--circuit", "c17", "--margin", "0.2",
+                 "--samples", "3", "--no-timing",
+                 "--techniques", "dual_vth", "--json", str(out)]) == 0
+    payload = _load_checked_payload(out)
+    assert payload["schema"] == "montecarlo_study"
+    assert payload["results"]["dual_vth"]["statistics"]["samples"] == 3
+
+
+def test_serve_command_registered():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--port", "0"])
+    assert args.port == 0
+    assert args.workers == 1

@@ -30,3 +30,61 @@ def test_parse_error_partial_location():
 def test_single_catch_point():
     with pytest.raises(errors.ReproError):
         raise errors.SizingError("nope")
+
+
+def test_config_error_hierarchy_and_field():
+    assert issubclass(errors.ConfigError, errors.FlowError)
+    err = errors.ConfigError("timing_margin", "must be non-negative")
+    assert err.field == "timing_margin"
+    assert str(err) == "invalid timing_margin: must be non-negative"
+
+
+def test_flow_config_validation_raises_typed_config_error():
+    from repro.config import FlowConfig
+
+    cases = {
+        "timing_margin": dict(timing_margin=-0.1),
+        "clock_period_ns": dict(clock_period_ns=0.0),
+        "utilization": dict(utilization=1.5),
+        "bounce_limit_fraction": dict(bounce_limit_fraction=0.9),
+        "compute_backend": dict(compute_backend="fortran"),
+    }
+    for field, kwargs in cases.items():
+        with pytest.raises(errors.ConfigError) as excinfo:
+            FlowConfig(**kwargs)
+        assert excinfo.value.field == field
+        assert field in str(excinfo.value)
+    # Still catchable as the historical FlowError.
+    with pytest.raises(errors.FlowError):
+        FlowConfig(timing_margin=-1)
+
+
+def test_mc_config_validation_raises_typed_config_error():
+    from repro.variation.montecarlo import McConfig
+
+    for field, kwargs in {
+        "samples": dict(samples=0),
+        "sigma_global_v": dict(sigma_global_v=-0.1),
+        "sigma_local_v": dict(sigma_local_v=-0.1),
+    }.items():
+        with pytest.raises(errors.ConfigError) as excinfo:
+            McConfig(**kwargs)
+        assert excinfo.value.field == field
+
+
+def test_api_request_validation_raises_typed_config_error():
+    from repro.api.requests import AnalyzeRequest, SweepRequest
+
+    with pytest.raises(errors.ConfigError) as excinfo:
+        AnalyzeRequest(variant="mvt")
+    assert excinfo.value.field == "variant"
+    with pytest.raises(errors.ConfigError) as excinfo:
+        SweepRequest(techniques=())
+    assert excinfo.value.field == "techniques"
+
+
+def test_service_error_carries_status():
+    err = errors.ServiceError("nope", status=404)
+    assert err.status == 404
+    assert issubclass(errors.ServiceError, errors.ReproError)
+    assert issubclass(errors.SchemaError, errors.ReproError)
