@@ -54,6 +54,15 @@ def api_json_path() -> Path:
     return Path(__file__).resolve().parent / "BENCH_api.json"
 
 
+def standby_json_path() -> Path:
+    """Trajectory file for the standby-engine benchmarks
+    (``BENCH_standby.json``, override with ``BENCH_STANDBY_JSON``)."""
+    override = os.environ.get("BENCH_STANDBY_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_standby.json"
+
+
 def record(section: str, metrics: dict, path: Path | None = None) -> Path:
     """Merge one section's metrics into the bench JSON; returns the path."""
     path = path or bench_json_path()

@@ -1,52 +1,64 @@
 """Scratch calibration script: scan timing margins and report the
-LVT/MT fractions each produces (used to pick Table 1 experiment
-margins; not part of the library)."""
+fast/slow fractions each produces (used to pick Table 1 experiment
+margins; not part of the library).
+
+Runs through the :mod:`repro.api` Workspace facade, so the library,
+netlist and every per-(margin, technique) flow result are compiled
+once and cached — rerunning a margin is free.
+
+Usage::
+
+    PYTHONPATH=src python scripts/scan_margins.py \
+        [circuit] [margin,margin,...] [technique]
+"""
 
 import sys
 
-import repro
-from repro.core.dual_vth import DualVthAssigner
-from repro.liberty.library import VARIANT_HVT, VARIANT_LVT, VARIANT_MT
-from repro.netlist.techmap import technology_map
-from repro.placement.legalize import legalize
-from repro.placement.placer import GlobalPlacer
-from repro.routing.extract import PreRouteEstimator
-from repro.timing.constraints import Constraints
-from repro.timing.sta import TimingAnalyzer
+from repro.api import Workspace
+from repro.config import FlowConfig, Technique
+from repro.errors import ReproError
+
+#: Legacy aliases from the pre-facade script (fast-variant names).
+TECHNIQUE_ALIASES = {
+    "LVT": Technique.DUAL_VTH,
+    "MT": Technique.IMPROVED_SMT,
+    "CMT": Technique.CONVENTIONAL_SMT,
+}
 
 
-def scan(circuit_name, margins, fast_variant):
-    lib = repro.build_default_library()
-    base = repro.load_circuit(circuit_name)
+def scan(circuit_name, margins, technique):
+    workspace = Workspace()
     for margin in margins:
-        nl = base.clone()
-        technology_map(nl, lib, VARIANT_LVT)
-        placement = GlobalPlacer(nl, lib).run()
-        legalize(placement, nl, lib)
-        pre = PreRouteEstimator(nl, placement, lib).extract()
-        probe = Constraints(clock_period=1000.0)
-        rep = TimingAnalyzer(nl, lib, probe, parasitics=pre).run()
-        min_period = 1000.0 - rep.wns
-        period = min_period * (1 + margin) * 0.98
-        cons = Constraints(clock_period=period)
-        assigner = DualVthAssigner(nl, lib, cons, parasitics=pre,
-                                   fast_variant=fast_variant,
-                                   slow_variant=VARIANT_HVT, rounds=4)
+        # assignment_guardband mirrors the 2 % period tightening the
+        # pre-facade script applied by hand.
+        config = FlowConfig(timing_margin=margin,
+                            assignment_guardband=0.02)
+        design = workspace.design(circuit_name, config)
         try:
-            res = assigner.run()
-        except Exception as exc:
-            print(f"{circuit_name} margin={margin} fast={fast_variant}: "
-                  f"INFEASIBLE ({exc})")
+            result = design.flow_result(technique)
+        except ReproError as exc:
+            print(f"{circuit_name} margin={margin} "
+                  f"technique={technique.value}: INFEASIBLE ({exc})")
             continue
-        total = res.fast_count + res.slow_count
-        print(f"{circuit_name} margin={margin} fast={fast_variant}: "
-              f"fast={res.fast_count}/{total} "
-              f"({100 * res.fast_fraction:.1f}%) wns={res.final_report.wns:+.4f}")
+        assignment = result.assignment
+        total = assignment.fast_count + assignment.slow_count
+        print(f"{circuit_name} margin={margin} "
+              f"technique={technique.value}: "
+              f"fast={assignment.fast_count}/{total} "
+              f"({100 * assignment.fast_fraction:.1f}%) "
+              f"wns={result.timing.wns:+.4f}")
+
+
+def parse_technique(text: str) -> Technique:
+    if text in TECHNIQUE_ALIASES:
+        return TECHNIQUE_ALIASES[text]
+    return Technique(text)
 
 
 if __name__ == "__main__":
     circuit = sys.argv[1] if len(sys.argv) > 1 else "circuitA"
     margins = [float(m) for m in sys.argv[2].split(",")] \
         if len(sys.argv) > 2 else [0.08, 0.10, 0.12, 0.15]
-    variant = sys.argv[3] if len(sys.argv) > 3 else VARIANT_LVT
-    scan(circuit, margins, variant)
+    technique = parse_technique(sys.argv[3]) if len(sys.argv) > 3 \
+        else Technique.DUAL_VTH
+    scan(circuit, margins, technique)

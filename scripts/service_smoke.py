@@ -10,7 +10,10 @@ match the frozen golden fixtures in ``tests/golden/``:
 2. a full three-technique ``sweep`` job on c432 — every golden row;
 3. a 3-corner ``signoff`` job — the ``tt_nom`` corner must reproduce
    the nominal (golden) leakage bit-for-bit, and the warm flow cache
-   must have been hit (the signoff reuses the optimize job's flow).
+   must have been hit (the signoff reuses the optimize job's flow);
+4. a 3-corner ``standby`` job — the scheduler must respect its rush
+   budget, beat the serial daisy-chain, and reuse the corner-library
+   cache the signoff populated.
 
 Run from the repo root (CI runs it once per compute backend)::
 
@@ -33,6 +36,7 @@ from repro.api import ServiceClient  # noqa: E402
 from repro.api.requests import (  # noqa: E402
     OptimizeRequest,
     SignoffRequest,
+    StandbyRequest,
     SweepRequest,
 )
 from repro.config import Technique  # noqa: E402
@@ -126,9 +130,31 @@ def main() -> int:
               close_enough(signoff.nominal_leakage_nw,
                            improved["leakage_nw"]))
 
+        print(f"standby job: wake/rush/break-even at {len(CORNERS)} "
+              f"corners on c432")
+        standby = client.run(
+            "standby", CIRCUIT,
+            request=StandbyRequest(scenarios=("mostly_idle",
+                                              "always_on"),
+                                   corners=CORNERS),
+            config=CONFIG)
+        check("standby evaluated every corner",
+              standby.corners == CORNERS)
+        check("scheduler respected the rush budget",
+              standby.schedule.peak_aggregate_ma
+              <= standby.schedule.budget_ma * (1.0 + 1e-9))
+        check("staged wake-up no slower than the serial daisy-chain",
+              standby.schedule.total_latency_ns
+              <= standby.schedule.serial_latency_ns + 1e-9)
+        check("deep idle pays, back-to-back bursts do not",
+              standby.outcome("mostly_idle", "tt_nom").worthwhile
+              and not standby.outcome("always_on", "tt_nom").worthwhile)
+
         stats = client.health()["cache_stats"]
         check("signoff hit the warm flow cache",
               stats.get("flow", {}).get("hits", 0) >= 1)
+        check("standby reused the cached corner libraries",
+              stats.get("corner_library", {}).get("hits", 0) >= 1)
         print("cache stats:", json.dumps(stats, sort_keys=True))
         print("service smoke: all checks passed")
         return 0

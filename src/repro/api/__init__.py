@@ -34,6 +34,7 @@ from repro.api.requests import (
     MonteCarloRequest,
     OptimizeRequest,
     SignoffRequest,
+    StandbyRequest,
     SweepRequest,
 )
 from repro.api.results import (
@@ -46,6 +47,7 @@ from repro.api.results import (
     SweepRow,
 )
 from repro.api.workspace import Design, Workspace, netlist_fingerprint
+from repro.standby.engine import StandbyResult
 from repro.api import registry as _registry  # noqa: F401  (registers the
 #                                             legacy payload schemas)
 from repro.api import studies
@@ -66,6 +68,8 @@ __all__ = [
     "SignoffCornerRow",
     "SignoffRequest",
     "SignoffResult",
+    "StandbyRequest",
+    "StandbyResult",
     "SweepRequest",
     "SweepResult",
     "SweepRow",

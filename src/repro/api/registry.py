@@ -37,7 +37,8 @@ from repro.variation.montecarlo import McSample
 from repro.variation.signoff import CornerResult
 
 schemas.dataclass_schema("flow_config", 1, FlowConfig,
-                         signoff_corners=schemas.TUPLE)
+                         signoff_corners=schemas.TUPLE,
+                         standby_scenarios=schemas.TUPLE)
 
 schemas.dataclass_schema("export_manifest", 1, ExportManifest)
 

@@ -104,6 +104,41 @@ class MonteCarloRequest:
 
 
 @dataclasses.dataclass(frozen=True)
+class StandbyRequest:
+    """Standby-transition study of one technique's finished design.
+
+    Empty ``scenarios`` means every built-in power-mode scenario
+    (:func:`repro.standby.scenario.standard_scenarios`); empty
+    ``corners`` means the technology's default signoff set, so wake
+    latency and rush current are checked where they are worst.
+    ``rush_budget_ma=None`` derives the default di/dt budget.
+    """
+
+    technique: Technique = Technique.IMPROVED_SMT
+    scenarios: tuple[str, ...] = ()
+    corners: tuple[str, ...] = ()
+    rush_budget_ma: float | None = None
+    settle_fraction: float = 0.05
+
+    def __post_init__(self):
+        if not all(isinstance(s, str) and s for s in self.scenarios):
+            raise ConfigError(
+                "scenarios",
+                f"must be non-empty names, got {self.scenarios!r}")
+        if not all(isinstance(c, str) and c for c in self.corners):
+            raise ConfigError(
+                "corners", f"must be non-empty names, got {self.corners!r}")
+        if self.rush_budget_ma is not None and self.rush_budget_ma <= 0:
+            raise ConfigError(
+                "rush_budget_ma",
+                f"must be positive when set, got {self.rush_budget_ma!r}")
+        if not 0.0 < self.settle_fraction < 0.5:
+            raise ConfigError(
+                "settle_fraction",
+                f"must be in (0, 0.5), got {self.settle_fraction!r}")
+
+
+@dataclasses.dataclass(frozen=True)
 class SweepRequest:
     """Compare techniques on the design (one Table 1 row group)."""
 
@@ -121,5 +156,8 @@ schemas.dataclass_schema("signoff_request", 1, SignoffRequest,
                          technique=TECHNIQUE, corners=schemas.TUPLE)
 schemas.dataclass_schema("montecarlo_request", 1, MonteCarloRequest,
                          technique=TECHNIQUE)
+schemas.dataclass_schema("standby_request", 1, StandbyRequest,
+                         technique=TECHNIQUE, scenarios=schemas.TUPLE,
+                         corners=schemas.TUPLE)
 schemas.dataclass_schema("sweep_request", 1, SweepRequest,
                          techniques=schemas.seq(TECHNIQUE))

@@ -20,6 +20,14 @@ import dataclasses
 from repro.api import schemas
 from repro.api.requests import TECHNIQUE
 from repro.config import Technique
+from repro.standby.engine import (
+    ScenarioOutcome,
+    StandbyCornerRow,
+    StandbyResult,
+)
+from repro.standby.scenario import PowerModeScenario
+from repro.standby.schedule import WakeupEvent, WakeupSchedule
+from repro.standby.transient import ClusterTransient
 from repro.variation.montecarlo import McSample, McStatistics
 
 
@@ -177,3 +185,28 @@ schemas.dataclass_schema("mc_statistics", 1, McStatistics,
                          mean_wns=schemas.opt(schemas.FLOAT),
                          std_wns=schemas.opt(schemas.FLOAT),
                          worst_wns=schemas.opt(schemas.FLOAT))
+
+# --- standby-transition payloads (repro.standby) ----------------------------
+# Registered here — not in repro.standby — so the engine stays free of
+# api imports; the dataclasses' as_dict() methods delegate lazily,
+# exactly like the legacy types in repro.api.registry.
+
+schemas.dataclass_schema("cluster_transient", 1, ClusterTransient,
+                         tau_sleep_ns=schemas.FLOAT,
+                         sleep_latency_ns=schemas.FLOAT)
+schemas.dataclass_schema("wakeup_event", 1, WakeupEvent)
+schemas.dataclass_schema("wakeup_schedule", 1, WakeupSchedule,
+                         events=schemas.seq(schemas.NESTED))
+schemas.dataclass_schema("standby_scenario", 1, PowerModeScenario)
+schemas.dataclass_schema("scenario_outcome", 1, ScenarioOutcome,
+                         break_even_ns=schemas.FLOAT)
+schemas.dataclass_schema("standby_corner_row", 1, StandbyCornerRow,
+                         break_even_ns=schemas.FLOAT)
+schemas.dataclass_schema("standby_result", 1, StandbyResult,
+                         technique=TECHNIQUE,
+                         scenarios=schemas.TUPLE,
+                         corners=schemas.TUPLE,
+                         transients=schemas.seq(schemas.NESTED),
+                         schedule=schemas.NESTED,
+                         corner_rows=schemas.seq(schemas.NESTED),
+                         outcomes=schemas.seq(schemas.NESTED))

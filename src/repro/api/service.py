@@ -52,6 +52,7 @@ from repro.api.requests import (
     MonteCarloRequest,
     OptimizeRequest,
     SignoffRequest,
+    StandbyRequest,
     SweepRequest,
 )
 from repro.api.workspace import Workspace
@@ -71,6 +72,7 @@ JOB_KINDS = {
     "optimize": OptimizeRequest,
     "signoff": SignoffRequest,
     "montecarlo": MonteCarloRequest,
+    "standby": StandbyRequest,
     "sweep": SweepRequest,
 }
 
@@ -131,7 +133,9 @@ def parse_submission(payload) -> tuple[str, str, object, FlowConfig]:
     request_payload = payload.get("request")
     request_cls = JOB_KINDS[kind]
     if request_payload is None:
-        request = request_cls()
+        # No payload -> the facade builds the default request, so
+        # config-derived defaults (e.g. FlowConfig.standby_*) apply.
+        request = None
     else:
         try:
             request = schemas.from_dict(request_payload)
@@ -305,6 +309,8 @@ class JobService:
             return design.signoff(job.request)
         if job.kind == "montecarlo":
             return design.montecarlo(job.request)
+        if job.kind == "standby":
+            return design.standby(job.request)
         if job.kind == "sweep":
             return design.sweep(job.request)
         raise ServiceError(f"unhandled job kind {job.kind!r}")

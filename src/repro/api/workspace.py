@@ -43,6 +43,7 @@ from repro.api.requests import (
     MonteCarloRequest,
     OptimizeRequest,
     SignoffRequest,
+    StandbyRequest,
     SweepRequest,
 )
 from repro.api.results import (
@@ -54,6 +55,7 @@ from repro.api.results import (
     SweepResult,
     SweepRow,
 )
+from repro.standby.engine import StandbyResult
 from repro.benchcircuits.suite import load_circuit
 from repro.config import FlowConfig, Technique
 from repro.core.compare import count_cell_kinds
@@ -315,6 +317,18 @@ class Workspace:
             rows.extend(design.sweep(request, jobs=1).rows)
         return SweepResult(rows=tuple(rows))
 
+    def standby(self, circuit: str,
+                request: "StandbyRequest | None" = None,
+                config: FlowConfig | None = None,
+                **kwargs) -> "StandbyResult":
+        """Standby-transition study of one circuit (facade shortcut).
+
+        Equivalent to ``workspace.design(circuit).standby(...)`` — the
+        cached flow result, corner libraries and compiled library are
+        all reused.
+        """
+        return self.design(circuit, config).standby(request, **kwargs)
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
         return self.stats.as_dict()
 
@@ -365,6 +379,7 @@ class Design:
         self._signoffs: dict[SignoffRequest, SignoffResult] = {}
         self._montecarlos: dict[MonteCarloRequest, MonteCarloResult] = {}
         self._sweeps: dict[tuple[SweepRequest, int], SweepResult] = {}
+        self._standbys: dict[StandbyRequest, StandbyResult] = {}
 
     @classmethod
     def load(cls, circuit: str, config: FlowConfig | None = None,
@@ -581,6 +596,103 @@ class Design:
             nominal_wns=flow.timing.wns,
             rows=rows)
         self._signoffs[request] = result
+        return result
+
+    # --- standby ------------------------------------------------------------
+
+    @_locked
+    def standby(self, request: StandbyRequest | None = None, *,
+                technique: Technique | str | None = None,
+                scenarios=None, corners=None,
+                rush_budget_ma: float | None = None,
+                settle_fraction: float | None = None) -> StandbyResult:
+        """Standby-transition study of one technique's finished design.
+
+        The flow result comes from the optimize cache; corner-derived
+        libraries come from the workspace corner-library cache; the
+        post-route parasitics the flow extracted refine the VGND rail
+        capacitances.  Only the improved technique builds the
+        shared-switch network this analysis characterizes — the others
+        raise :class:`~repro.errors.FlowError`.
+
+        Field defaults come from the design's :class:`FlowConfig`
+        (``standby_scenarios``, ``standby_rush_budget_ma``,
+        ``standby_settle_fraction``, ``signoff_corners``) with the
+        same fallbacks as the flow's ``standby_signoff`` stage (all
+        built-in scenarios, the default signoff corner set), so for
+        any configuration with ``standby_scenarios`` set the facade
+        answer equals — and is simply reused from — the stage's
+        ``FlowResult.standby``.  An explicit request object is taken
+        verbatim.
+        """
+        self._request_or_kwargs(request, {
+            "technique": technique, "scenarios": scenarios,
+            "corners": corners, "rush_budget_ma": rush_budget_ma,
+            "settle_fraction": settle_fraction})
+        request = request or StandbyRequest(
+            technique=Technique(technique) if technique is not None
+            else Technique.IMPROVED_SMT,
+            scenarios=tuple(scenarios) if scenarios is not None
+            else self.config.standby_scenarios,
+            corners=tuple(corners) if corners is not None
+            else self.config.signoff_corners,
+            rush_budget_ma=rush_budget_ma
+            if rush_budget_ma is not None
+            else self.config.standby_rush_budget_ma,
+            settle_fraction=settle_fraction
+            if settle_fraction is not None
+            else self.config.standby_settle_fraction)
+        if request in self._standbys:
+            self._stats().hit("standby")
+            return self._standbys[request]
+        self._stats().miss("standby")
+        from repro.standby.engine import StandbyEngine
+        from repro.standby.scenario import (
+            resolve_scenario,
+            standard_scenarios,
+        )
+        from repro.variation.corners import default_signoff_corners
+
+        library = self.library
+        flow = self.flow_result(request.technique)
+        if flow.network is None or not flow.network.clusters:
+            raise FlowError(
+                f"technique {request.technique.value!r} builds no "
+                f"shared-switch VGND network; standby-transition "
+                f"analysis needs improved_smt")
+        scenario_names = request.scenarios \
+            or tuple(standard_scenarios())
+        scenario_objs = [resolve_scenario(name)
+                         for name in scenario_names]
+        corner_names = request.corners \
+            or default_signoff_corners(library.tech)
+        # The standby_signoff stage may have computed exactly this
+        # analysis during the flow run — reuse it instead of running
+        # the engine a second time.
+        stage_result = flow.standby
+        if stage_result is not None \
+                and stage_result.circuit == self.circuit \
+                and stage_result.scenarios == tuple(scenario_names) \
+                and stage_result.corners == tuple(corner_names) \
+                and stage_result.settle_fraction \
+                == request.settle_fraction \
+                and request.rush_budget_ma \
+                == self.config.standby_rush_budget_ma:
+            self._standbys[request] = stage_result
+            return stage_result
+        corner_libraries = {name: self.workspace.corner_library(name)
+                            for name in corner_names}
+        engine = StandbyEngine(
+            flow.netlist, library, flow.network, scenario_objs,
+            corners=tuple(corner_names),
+            settle_fraction=request.settle_fraction,
+            rush_budget_ma=request.rush_budget_ma,
+            parasitics=flow.parasitics,
+            compute_backend=self.config.compute_backend,
+            corner_libraries=corner_libraries,
+            circuit=self.circuit, technique=request.technique)
+        result = engine.run()
+        self._standbys[request] = result
         return result
 
     # --- Monte-Carlo --------------------------------------------------------

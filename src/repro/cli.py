@@ -248,6 +248,42 @@ def cmd_montecarlo(args) -> int:
     return 0
 
 
+def cmd_standby(args) -> int:
+    from repro.api.requests import StandbyRequest
+    from repro.standby.scenario import standard_scenarios
+    from repro.variation.corners import standard_corners
+    from repro.vgnd.report import render_standby_table
+
+    workspace = _workspace(args)
+    library = workspace.library
+    scenarios = tuple(name.strip() for name in
+                      (args.scenarios or "").split(",") if name.strip())
+    known_scenarios = standard_scenarios()
+    unknown = [name for name in scenarios if name not in known_scenarios]
+    if unknown:
+        print(f"unknown scenario(s) {unknown}; "
+              f"known: {', '.join(known_scenarios)}", file=sys.stderr)
+        return 2
+    corners = tuple(name.strip() for name in
+                    (args.corners or "").split(",") if name.strip())
+    known_corners = standard_corners(library.tech)
+    unknown = [name for name in corners if name not in known_corners]
+    if unknown:
+        print(f"unknown corner(s) {unknown}; "
+              f"known: {', '.join(sorted(known_corners))}",
+              file=sys.stderr)
+        return 2
+    request = StandbyRequest(
+        technique=Technique(args.technique),
+        scenarios=scenarios, corners=corners,
+        rush_budget_ma=args.rush_budget,
+        settle_fraction=args.settle_fraction)
+    result = workspace.standby(args.circuit, request)
+    print(render_standby_table(result))
+    _emit_json(result, args.json)
+    return 0
+
+
 def cmd_library(args) -> int:
     library = Workspace().library
     text = write_liberty(library)
@@ -394,6 +430,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="PATH", help="also write the report as JSON")
     _add_config_options(mc_parser)
     mc_parser.set_defaults(func=cmd_montecarlo)
+
+    standby_parser = sub.add_parser(
+        "standby", help="standby-transition signoff: wake-up "
+                        "transients, staged rush-current schedule and "
+                        "power-mode break-even analysis")
+    standby_parser.add_argument("--circuit", required=True,
+                                help="circuit name (see `list`)")
+    standby_parser.add_argument(
+        "--technique", default="improved_smt",
+        choices=[t.value for t in Technique],
+        help="only improved_smt builds the shared-switch network")
+    standby_parser.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated power-mode scenario names "
+             "(default: every built-in scenario)")
+    standby_parser.add_argument(
+        "--corners", default=None,
+        help="comma-separated PVT corner names (default: nominal + "
+             "worst leakage + worst timing)")
+    standby_parser.add_argument(
+        "--rush-budget", type=float, default=None,
+        help="aggregate wake-up rush-current budget in mA (default: "
+             "half the simultaneous-enable rush)")
+    standby_parser.add_argument(
+        "--settle-fraction", type=float, default=0.05,
+        help="VGND settle threshold as a fraction of Vdd")
+    standby_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the standby result as JSON")
+    _add_config_options(standby_parser)
+    standby_parser.set_defaults(func=cmd_standby)
 
     library_parser = sub.add_parser(
         "library", help="emit the synthesized multi-Vth library")

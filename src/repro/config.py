@@ -11,6 +11,7 @@ import enum
 
 from repro.compute import BACKENDS, default_backend
 from repro.errors import ConfigError
+from repro.vgnd.bounce import SIMULTANEITY_EXPONENT, SIMULTANEITY_FLOOR
 
 
 class Technique(enum.Enum):
@@ -80,6 +81,25 @@ class FlowConfig:
     # a no-op and the flow behaves exactly as single-point.
     signoff_corners: tuple[str, ...] = ()
 
+    # Standby-transition signoff: power-mode scenario names from
+    # repro.standby.scenario.standard_scenarios().  Empty = the
+    # standby_signoff stage is a no-op.  Wake latencies are evaluated
+    # at signoff_corners (nominal only when none are set).
+    standby_scenarios: tuple[str, ...] = ()
+    # Aggregate rush-current (di/dt) budget for the staged wake-up
+    # scheduler, in mA; None derives the default (half the
+    # simultaneous-enable rush, floored at the largest cluster peak).
+    standby_rush_budget_ma: float | None = None
+    # VGND settle threshold as a fraction of Vdd: wake-up counts as
+    # finished once the rail is below it.
+    standby_settle_fraction: float = 0.05
+
+    # Simultaneity model of the VGND cluster current (overrides the
+    # repro.vgnd.bounce defaults): the fraction of summed member peak
+    # current flowing at once is max(n^-exponent, floor).
+    simultaneity_exponent: float = SIMULTANEITY_EXPONENT
+    simultaneity_floor: float = SIMULTANEITY_FLOOR
+
     def __post_init__(self):
         if self.timing_margin < 0:
             raise ConfigError(
@@ -102,6 +122,25 @@ class FlowConfig:
                 "compute_backend",
                 f"unknown backend {self.compute_backend!r}; "
                 f"known: {BACKENDS}")
+        if self.standby_rush_budget_ma is not None \
+                and self.standby_rush_budget_ma <= 0:
+            raise ConfigError(
+                "standby_rush_budget_ma",
+                f"must be positive when set, got "
+                f"{self.standby_rush_budget_ma!r}")
+        if not 0.0 < self.standby_settle_fraction < 0.5:
+            raise ConfigError(
+                "standby_settle_fraction",
+                f"must be in (0, 0.5), got "
+                f"{self.standby_settle_fraction!r}")
+        if not 0.0 <= self.simultaneity_exponent <= 1.0:
+            raise ConfigError(
+                "simultaneity_exponent",
+                f"must be in [0, 1], got {self.simultaneity_exponent!r}")
+        if not 0.0 < self.simultaneity_floor <= 1.0:
+            raise ConfigError(
+                "simultaneity_floor",
+                f"must be in (0, 1], got {self.simultaneity_floor!r}")
 
     def bounce_limit_v(self, vdd: float) -> float:
         return self.bounce_limit_fraction * vdd

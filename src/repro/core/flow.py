@@ -41,6 +41,7 @@ from repro.netlist.core import Netlist
 from repro.placement.placer import Placement
 from repro.power.leakage import LeakageBreakdown
 from repro.routing.extract import NetParasitics
+from repro.standby.engine import StandbyResult
 from repro.timing.constraints import Constraints
 from repro.timing.sta import TimingReport
 from repro.variation.signoff import CornerResult
@@ -78,6 +79,10 @@ class FlowResult:
     #: ``FlowConfig.signoff_corners`` was set).
     corners: dict[str, "CornerResult"] = dataclasses.field(
         default_factory=dict)
+    #: Standby-transition signoff (None unless
+    #: ``FlowConfig.standby_scenarios`` was set and the technique
+    #: built a shared-switch VGND network).
+    standby: "StandbyResult | None" = None
 
     @property
     def leakage_nw(self) -> float:
@@ -123,7 +128,8 @@ class FlowResult:
             total_area=ctx.total_area,
             stages=list(ctx.stages),
             sta_stats=dict(ctx.sta_stats),
-            corners=dict(ctx.corners))
+            corners=dict(ctx.corners),
+            standby=ctx.standby)
 
 
 class SelectiveMtFlow:

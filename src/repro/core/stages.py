@@ -58,6 +58,8 @@ from repro.routing.extract import (
     PreRouteEstimator,
 )
 from repro.routing.steiner import build_mst
+from repro.standby.engine import StandbyEngine, StandbyResult
+from repro.standby.scenario import resolve_scenario
 from repro.timing.constraints import Constraints
 from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer, TimingReport
@@ -114,6 +116,11 @@ class FlowContext:
     total_area: float = 0.0
     corners: dict[str, CornerResult] = dataclasses.field(
         default_factory=dict)
+    #: Corner-derived libraries shared by the signoff stages (derived
+    #: at most once per corner per flow run).
+    corner_libraries: dict[str, Library] = dataclasses.field(
+        default_factory=dict)
+    standby: "StandbyResult | None" = None
 
     # Improved-SMT intermediates (between replacement and the switch
     # structure construction).
@@ -229,6 +236,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "routing_cts_mte",
         "eco_and_sta",
         "corner_signoff",
+        "standby_signoff",
         "finalize",
     ),
     Technique.CONVENTIONAL_SMT: (
@@ -240,6 +248,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "routing_cts_mte",
         "eco_and_sta",
         "corner_signoff",
+        "standby_signoff",
         "finalize",
     ),
     Technique.IMPROVED_SMT: (
@@ -254,6 +263,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "spef_reoptimization",
         "eco_and_sta",
         "corner_signoff",
+        "standby_signoff",
         "finalize",
     ),
 }
@@ -392,7 +402,9 @@ def stage_improved_smt_assignment(ctx: FlowContext) -> dict[str, Any]:
     cluster_config = ClusterConfig(
         bounce_limit_v=config.bounce_limit_v(ctx.tech.vdd),
         max_rail_length_um=config.max_rail_length_um,
-        max_cells_per_switch=config.max_cells_per_switch)
+        max_cells_per_switch=config.max_cells_per_switch,
+        simultaneity_exponent=config.simultaneity_exponent,
+        simultaneity_floor=config.simultaneity_floor)
     session = ctx._make_session(constraints)
     builder = ImprovedSmtBuilder(
         ctx.netlist, ctx.library, constraints, ctx.placement,
@@ -543,7 +555,9 @@ def stage_spef_reoptimization(ctx: FlowContext) -> dict[str, Any] | None:
         # extracted rails show to be un-sizeable.
         splits = repair_unsizeable(
             netlist, ctx.library, placement, network, sizer,
-            outcome.unsizeable_clusters)
+            outcome.unsizeable_clusters,
+            simultaneity_exponent=ctx.config.simultaneity_exponent,
+            simultaneity_floor=ctx.config.simultaneity_floor)
         outcome = sizer.size_network(network)
     # Apply changed switch cells to the netlist instances.
     changed = 0
@@ -719,12 +733,23 @@ def stage_corner_signoff(ctx: FlowContext) -> dict[str, Any] | None:
     if not names:
         return None
     ctx.require("netlist", "constraints")
+    from repro.variation.corners import (
+        derive_corner_library,
+        resolve_corner,
+    )
+
+    for name in names:
+        if name not in ctx.corner_libraries:
+            corner = resolve_corner(name, ctx.tech)
+            ctx.corner_libraries[name] = derive_corner_library(
+                ctx.library, corner)
     clock_arrivals = ctx.cts.clock_arrivals if ctx.cts else None
     ctx.corners = evaluate_corners(
         ctx.netlist, ctx.library, names, ctx.constraints,
         parasitics=ctx.parasitics, network=ctx.network,
         clock_arrivals=clock_arrivals,
-        compute_backend=ctx.config.compute_backend)
+        compute_backend=ctx.config.compute_backend,
+        corner_libraries=ctx.corner_libraries)
     worst_leak = max(ctx.corners.values(), key=lambda r: r.leakage_nw)
     worst_wns = min(ctx.corners.values(), key=lambda r: r.wns)
     return {
@@ -733,6 +758,55 @@ def stage_corner_signoff(ctx: FlowContext) -> dict[str, Any] | None:
         "worst_leakage_corner": worst_leak.corner.name,
         "worst_wns": round(worst_wns.wns, 4),
         "worst_wns_corner": worst_wns.corner.name,
+    }
+
+
+@flow_stage("standby_signoff")
+def stage_standby_signoff(ctx: FlowContext) -> dict[str, Any] | None:
+    """Standby-transition signoff (repro.standby).
+
+    Characterizes the VGND network's sleep/wake transients, builds the
+    rush-current-bounded wake-up schedule and evaluates every
+    power-mode scenario named in ``FlowConfig.standby_scenarios`` —
+    at each signoff corner when corners are configured, at the
+    technology's default signoff set otherwise (the same fallback
+    ``Design.standby()`` uses, so the two entry points agree for any
+    configuration).  Invisible (no report) with no scenarios
+    configured, and for techniques without a shared-switch network
+    (Dual-Vth and the conventional SMT have nothing to schedule).
+    """
+    names = ctx.config.standby_scenarios
+    if not names:
+        return None
+    network = ctx.network
+    if network is None or not network.clusters:
+        return None
+    ctx.require("netlist")
+    from repro.variation.corners import default_signoff_corners
+
+    scenarios = [resolve_scenario(name) for name in names]
+    corners = ctx.config.signoff_corners \
+        or default_signoff_corners(ctx.tech)
+    engine = StandbyEngine(
+        ctx.netlist, ctx.library, network, scenarios, corners=corners,
+        settle_fraction=ctx.config.standby_settle_fraction,
+        rush_budget_ma=ctx.config.standby_rush_budget_ma,
+        parasitics=ctx.parasitics,
+        compute_backend=ctx.config.compute_backend,
+        corner_libraries=ctx.corner_libraries,
+        circuit=ctx.source_netlist.name, technique=ctx.technique)
+    result = engine.run()
+    ctx.standby = result
+    first = result.corner_rows[0]
+    return {
+        "scenarios": len(result.scenarios),
+        "corners": len(result.corners),
+        "corner": first.corner,   # the corner the numbers below are at
+        "wake_latency_ns": round(first.wake_latency_ns, 4),
+        "peak_rush_ma": round(first.peak_rush_ma, 3),
+        "break_even_ns": (round(first.break_even_ns, 1)
+                          if first.break_even_ns != float("inf")
+                          else "inf"),
     }
 
 

@@ -72,6 +72,11 @@ class SizingError(VgndError):
     """No switch size satisfies the voltage-bounce constraint."""
 
 
+class StandbyError(VgndError):
+    """Standby-transition analysis failure (unsized cluster, infeasible
+    rush-current budget, unknown power-mode scenario)."""
+
+
 class FlowError(ReproError):
     """Selective-MT flow orchestration failure."""
 

@@ -23,11 +23,13 @@ import dataclasses
 import statistics
 
 from repro.device.mosfet import MosfetModel
-from repro.errors import VgndError
+from repro.errors import ConfigError, VgndError
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist
 from repro.placement.placer import Placement
 from repro.vgnd.bounce import (
+    SIMULTANEITY_EXPONENT,
+    SIMULTANEITY_FLOOR,
     cluster_bounce,
     cluster_current,
     rail_resistance_far,
@@ -43,6 +45,11 @@ class ClusterConfig:
     max_rail_length_um: float = 400.0     # crosstalk cap
     max_cells_per_switch: int = 64        # EM cap
     row_band_height_um: float | None = None   # defaults to 2 rows
+    # Simultaneity model of the cluster current: the fraction of the
+    # summed member peak current flowing at once is
+    # max(n^-exponent, floor).
+    simultaneity_exponent: float = SIMULTANEITY_EXPONENT
+    simultaneity_floor: float = SIMULTANEITY_FLOOR
 
     def __post_init__(self):
         if self.bounce_limit_v <= 0:
@@ -51,6 +58,14 @@ class ClusterConfig:
             raise VgndError("rail length cap must be positive")
         if self.max_cells_per_switch < 1:
             raise VgndError("cells-per-switch cap must be at least 1")
+        if not 0.0 <= self.simultaneity_exponent <= 1.0:
+            raise ConfigError(
+                "simultaneity_exponent",
+                f"must be in [0, 1], got {self.simultaneity_exponent!r}")
+        if not 0.0 < self.simultaneity_floor <= 1.0:
+            raise ConfigError(
+                "simultaneity_floor",
+                f"must be in (0, 1], got {self.simultaneity_floor!r}")
 
 
 class MtClusterer:
@@ -173,10 +188,16 @@ class MtClusterer:
         if rail > config.max_rail_length_um:
             return False
         # Even the largest switch must keep the bounce legal.
-        current = cluster_current(members, self.netlist, self.library)
+        current = self._cluster_current(members)
         rail_res = rail_resistance_far(rail, self.library.tech)
         bounce = cluster_bounce(current, self._largest_ron, rail_res)
         return bounce <= config.bounce_limit_v
+
+    def _cluster_current(self, members: list[str]) -> float:
+        return cluster_current(
+            members, self.netlist, self.library,
+            exponent=self.config.simultaneity_exponent,
+            floor=self.config.simultaneity_floor)
 
     def _make_cluster(self, index: int, members: list[str]) -> VgndCluster:
         xs = []
@@ -191,5 +212,5 @@ class MtClusterer:
             net_name=f"vgnd_{index}",
             centroid=(statistics.fmean(xs), statistics.fmean(ys)),
             rail_length_um=self._rail_length(members),
-            current_ma=cluster_current(members, self.netlist, self.library),
+            current_ma=self._cluster_current(members),
         )

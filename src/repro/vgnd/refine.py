@@ -16,20 +16,29 @@ from repro.errors import VgndError
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist, PinDirection
 from repro.placement.placer import Placement, place_incremental
-from repro.vgnd.bounce import cluster_current
+from repro.vgnd.bounce import (
+    SIMULTANEITY_EXPONENT,
+    SIMULTANEITY_FLOOR,
+    cluster_current,
+)
 from repro.vgnd.network import VgndCluster, VgndNetwork
 from repro.vgnd.sizing import SwitchSizer
 
 
 def split_cluster(netlist: Netlist, library: Library, placement: Placement,
                   network: VgndNetwork, cluster: VgndCluster,
-                  mte_net_name: str = "MTE") -> tuple[VgndCluster, VgndCluster]:
+                  mte_net_name: str = "MTE",
+                  simultaneity_exponent: float = SIMULTANEITY_EXPONENT,
+                  simultaneity_floor: float = SIMULTANEITY_FLOOR
+                  ) -> tuple[VgndCluster, VgndCluster]:
     """Split one cluster in two along its longer placement axis.
 
     The original cluster keeps its index and one half of the members;
     the second half becomes a new cluster appended to the network.
     Both halves get fresh switch instances (unsized — callers run the
-    sizer afterwards).
+    sizer afterwards).  The simultaneity overrides must match the ones
+    the clusterer used, or the halves would be rebuilt under a
+    different current model than the designer configured.
     """
     if cluster.size < 2:
         raise VgndError(
@@ -48,9 +57,11 @@ def split_cluster(netlist: Netlist, library: Library, placement: Placement,
 
     new_index = max(c.index for c in network.clusters) + 1
     first = _build_cluster(netlist, library, placement, cluster.index,
-                           first_members, mte_net_name)
+                           first_members, mte_net_name,
+                           simultaneity_exponent, simultaneity_floor)
     second = _build_cluster(netlist, library, placement, new_index,
-                            second_members, mte_net_name)
+                            second_members, mte_net_name,
+                            simultaneity_exponent, simultaneity_floor)
     network.clusters[network.clusters.index(cluster)] = first
     network.clusters.append(second)
     return first, second
@@ -87,8 +98,10 @@ def _rail_length(placement: Placement, members: list[str]) -> float:
 
 
 def _build_cluster(netlist: Netlist, library: Library, placement: Placement,
-                   index: int, members: list[str],
-                   mte_net_name: str) -> VgndCluster:
+                   index: int, members: list[str], mte_net_name: str,
+                   simultaneity_exponent: float = SIMULTANEITY_EXPONENT,
+                   simultaneity_floor: float = SIMULTANEITY_FLOOR
+                   ) -> VgndCluster:
     """Create rail net, switch instance and cluster record (unsized)."""
     xs = []
     ys = []
@@ -102,7 +115,9 @@ def _build_cluster(netlist: Netlist, library: Library, placement: Placement,
         net_name=f"vgnd_{index}",
         centroid=(statistics.fmean(xs), statistics.fmean(ys)),
         rail_length_um=_rail_length(placement, members),
-        current_ma=cluster_current(members, netlist, library),
+        current_ma=cluster_current(members, netlist, library,
+                                   exponent=simultaneity_exponent,
+                                   floor=simultaneity_floor),
     )
     vgnd_net = netlist.get_or_create_net(cluster.net_name)
     mte_net = netlist.get_or_create_net(mte_net_name)
@@ -129,7 +144,10 @@ def repair_unsizeable(netlist: Netlist, library: Library,
                       placement: Placement, network: VgndNetwork,
                       sizer: SwitchSizer, unsizeable: list[int],
                       mte_net_name: str = "MTE",
-                      max_passes: int = 6) -> int:
+                      max_passes: int = 6,
+                      simultaneity_exponent: float = SIMULTANEITY_EXPONENT,
+                      simultaneity_floor: float = SIMULTANEITY_FLOOR
+                      ) -> int:
     """Split clusters until every one can be sized; returns split count.
 
     Raises :class:`~repro.errors.VgndError` if a single-member cluster
@@ -150,8 +168,9 @@ def repair_unsizeable(netlist: Netlist, library: Library,
                 raise VgndError(
                     f"cluster {index} is a single cell and still cannot "
                     f"meet the bounce limit")
-            first, second = split_cluster(netlist, library, placement,
-                                          network, cluster, mte_net_name)
+            first, second = split_cluster(
+                netlist, library, placement, network, cluster,
+                mte_net_name, simultaneity_exponent, simultaneity_floor)
             splits += 1
             for half in (first, second):
                 try:

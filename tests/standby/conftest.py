@@ -1,0 +1,42 @@
+"""Shared fixtures for the standby-transition suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.liberty.library import VARIANT_MTV
+from repro.netlist.techmap import technology_map
+from repro.netlist.transform import swap_variant
+from repro.placement.legalize import legalize
+from repro.placement.placer import GlobalPlacer
+from repro.vgnd.cluster import ClusterConfig, MtClusterer
+from repro.vgnd.sizing import SwitchSizer
+
+
+@pytest.fixture(scope="session")
+def standby_design(library):
+    """A placed c432 with every cell MTV, clustered and sized.
+
+    Session-scoped (the solver and scheduler never mutate it): the
+    many-cluster network real scheduler/engine tests need, without
+    re-running placement per test.
+    """
+    from repro.benchcircuits.suite import load_circuit
+
+    netlist = load_circuit("c432")
+    technology_map(netlist, library)
+    placement = GlobalPlacer(netlist, library).run()
+    legalize(placement, netlist, library)
+    mt_names = []
+    for inst in list(netlist.instances.values()):
+        cell = library.cell(inst.cell_name)
+        if library.has_variant(cell, VARIANT_MTV):
+            swap_variant(netlist, inst, library, VARIANT_MTV)
+            mt_names.append(inst.name)
+    config = ClusterConfig(max_cells_per_switch=16,
+                           max_rail_length_um=220.0)
+    network = MtClusterer(netlist, library, placement,
+                          config).build(mt_names)
+    SwitchSizer(library, config.bounce_limit_v).size_network(network)
+    assert len(network.clusters) >= 4  # the suite needs a real grid
+    return netlist, network

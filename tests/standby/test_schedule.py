@@ -1,0 +1,154 @@
+"""Rush-current scheduler invariants.
+
+The three contract properties (checked on synthetic transient sets,
+hypothesis-generated ones and the real c432 network):
+
+* the aggregate rush current never exceeds the budget at any enable
+  instant (the suprema of the decaying aggregate);
+* the schedule is a deterministic function of the transient set;
+* the staged makespan is never worse than the serial daisy-chain.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import StandbyError
+from repro.standby.schedule import (
+    RushScheduler,
+    aggregate_rush_ma,
+    default_rush_budget_ma,
+)
+from repro.standby.transient import ClusterTransient, TransientSolver
+
+
+def make_transient(index: int, peak: float, tau: float,
+                   latency: float) -> ClusterTransient:
+    """A synthetic transient carrying only what the scheduler reads."""
+    return ClusterTransient(
+        cluster_index=index, members=1, switch_cell="SWITCH_X4",
+        capacitance_pf=1.0, ron_kohm=1.0, rail_res_kohm=0.0,
+        v_standby_v=peak, tau_wake_ns=tau, tau_sleep_ns=tau,
+        peak_rush_ma=peak, wake_latency_ns=latency,
+        sleep_latency_ns=latency, energy_per_cycle_pj=1.0,
+        sleep_leakage_nw=1.0, active_leakage_nw=2.0)
+
+
+def check_invariants(transients, schedule):
+    budget = schedule.budget_ma
+    # Every cluster scheduled exactly once.
+    assert sorted(e.cluster_index for e in schedule.events) \
+        == sorted(tr.cluster_index for tr in transients)
+    # Budget respected at every enable instant (aggregate decays
+    # between them, so these are the suprema).
+    for event in schedule.events:
+        total = aggregate_rush_ma(transients, schedule, event.enable_ns)
+        assert total <= budget * (1.0 + 1e-9) + 1e-12
+    assert schedule.peak_aggregate_ma <= budget * (1.0 + 1e-9) + 1e-12
+    # Never worse than the serial daisy-chain.
+    serial = sum(tr.wake_latency_ns for tr in transients)
+    assert schedule.total_latency_ns <= serial + 1e-9
+    assert schedule.serial_latency_ns == pytest.approx(serial)
+
+
+class TestScheduler:
+    def test_generous_budget_is_one_simultaneous_bin(self):
+        transients = [make_transient(i, 2.0, 1.0, 3.0)
+                      for i in range(5)]
+        schedule = RushScheduler(transients, budget_ma=100.0).schedule()
+        assert schedule.bins == 1
+        assert all(e.enable_ns == 0.0 for e in schedule.events)
+        assert schedule.total_latency_ns == pytest.approx(3.0)
+        check_invariants(transients, schedule)
+
+    def test_tight_budget_serializes(self):
+        transients = [make_transient(i, 5.0, 1.0, 4.0)
+                      for i in range(4)]
+        schedule = RushScheduler(transients, budget_ma=5.0).schedule()
+        assert schedule.bins == 4
+        enables = sorted(e.enable_ns for e in schedule.events)
+        assert all(b > a for a, b in zip(enables, enables[1:]))
+        check_invariants(transients, schedule)
+
+    def test_faster_than_serial_with_headroom(self):
+        """With 2x headroom, pairs switch together: half the makespan."""
+        transients = [make_transient(i, 5.0, 1.0, 4.0)
+                      for i in range(4)]
+        schedule = RushScheduler(transients, budget_ma=10.0).schedule()
+        assert schedule.bins == 2
+        assert schedule.total_latency_ns \
+            < schedule.serial_latency_ns - 1e-9
+        check_invariants(transients, schedule)
+
+    def test_deterministic_and_order_independent(self):
+        transients = [make_transient(i, 1.0 + 0.3 * i, 0.5 + 0.1 * i,
+                                     2.0 + 0.2 * i)
+                      for i in range(8)]
+        budget = 4.0
+        first = RushScheduler(transients, budget).schedule()
+        again = RushScheduler(transients, budget).schedule()
+        reversed_in = RushScheduler(list(reversed(transients)),
+                                    budget).schedule()
+        assert first == again
+        assert sorted(first.events, key=lambda e: e.cluster_index) \
+            == sorted(reversed_in.events, key=lambda e: e.cluster_index)
+
+    def test_single_cluster_over_budget_is_infeasible(self):
+        transients = [make_transient(0, 10.0, 1.0, 2.0)]
+        with pytest.raises(StandbyError):
+            RushScheduler(transients, budget_ma=5.0).schedule()
+
+    def test_empty_network(self):
+        schedule = RushScheduler([], budget_ma=1.0).schedule()
+        assert schedule.events == ()
+        assert schedule.total_latency_ns == 0.0
+
+    def test_default_budget_floors_at_worst_cluster(self):
+        transients = [make_transient(0, 9.0, 1.0, 1.0),
+                      make_transient(1, 1.0, 1.0, 1.0)]
+        # Half the total (5.0) would be below the worst peak.
+        assert default_rush_budget_ma(transients) == 9.0
+        many = [make_transient(i, 2.0, 1.0, 1.0) for i in range(10)]
+        assert default_rush_budget_ma(many) == pytest.approx(10.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.tuples(st.floats(0.1, 50.0), st.floats(0.01, 10.0),
+                  st.floats(0.0, 20.0)),
+        min_size=1, max_size=12),
+        st.floats(1.0, 3.0))
+    def test_invariants_hold_for_random_networks(self, specs, headroom):
+        transients = [make_transient(i, peak, tau, latency)
+                      for i, (peak, tau, latency) in enumerate(specs)]
+        budget = headroom * max(tr.peak_rush_ma for tr in transients)
+        schedule = RushScheduler(transients, budget).schedule()
+        check_invariants(transients, schedule)
+        # Spot-check the budget between enables too (decay only).
+        times = sorted({e.enable_ns for e in schedule.events})
+        for a, b in zip(times, times[1:]):
+            mid = 0.5 * (a + b)
+            assert aggregate_rush_ma(transients, schedule, mid) \
+                <= budget * (1.0 + 1e-9) + 1e-12
+
+
+class TestOnRealNetwork:
+    def test_budget_respected_on_c432(self, standby_design, library):
+        netlist, network = standby_design
+        transients = TransientSolver(network, netlist, library).solve()
+        peaks = [tr.peak_rush_ma for tr in transients]
+        # Tight enough to force staging, feasible for every cluster.
+        budget = max(peaks) * 1.25
+        schedule = RushScheduler(transients, budget).schedule()
+        assert schedule.bins > 1
+        check_invariants(transients, schedule)
+
+    def test_default_budget_halves_the_simultaneous_rush(
+            self, standby_design, library):
+        netlist, network = standby_design
+        transients = TransientSolver(network, netlist, library).solve()
+        schedule = RushScheduler(transients).schedule()
+        total_peak = sum(tr.peak_rush_ma for tr in transients)
+        assert schedule.budget_ma <= total_peak
+        assert not math.isinf(schedule.total_latency_ns)
+        check_invariants(transients, schedule)

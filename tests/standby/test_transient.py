@@ -1,0 +1,150 @@
+"""Transient solver vs the closed-form single-RC solution."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.errors import StandbyError
+from repro.standby.transient import (
+    TransientSolver,
+    sleep_waveform,
+    wake_waveform,
+)
+
+REL = 1e-9
+
+
+def rel_eq(a: float, b: float) -> bool:
+    return abs(a - b) <= REL * max(abs(a), abs(b), 1e-30)
+
+
+@pytest.fixture()
+def transients(standby_design, library):
+    netlist, network = standby_design
+    return TransientSolver(network, netlist, library).solve()
+
+
+class TestClosedForm:
+    def test_wake_settles_exactly_at_threshold(self, transients,
+                                               library):
+        """V(t_settle) == settle_fraction * Vdd (the defining latency
+        equation of the single-RC discharge)."""
+        settle_v = 0.05 * library.tech.vdd
+        checked = 0
+        for tr in transients:
+            if tr.v_standby_v <= settle_v:
+                continue
+            v_at_settle = tr.v_standby_v * math.exp(
+                -tr.wake_latency_ns / tr.tau_wake_ns)
+            assert rel_eq(v_at_settle, settle_v)
+            checked += 1
+        assert checked  # the fixture leaks enough to charge its rails
+
+    def test_sleep_settles_within_threshold_of_steady_state(
+            self, transients):
+        for tr in transients:
+            if tr.tau_sleep_ns <= 0.0:
+                continue
+            v_at_settle = tr.v_standby_v * (
+                1.0 - math.exp(-tr.sleep_latency_ns / tr.tau_sleep_ns))
+            assert rel_eq(v_at_settle, 0.95 * tr.v_standby_v)
+
+    def test_peak_rush_is_initial_voltage_over_resistance(
+            self, transients):
+        for tr in transients:
+            expected = tr.v_standby_v / (tr.ron_kohm + tr.rail_res_kohm)
+            assert rel_eq(tr.peak_rush_ma, expected)
+
+    def test_tau_is_r_times_c(self, transients):
+        for tr in transients:
+            expected = (tr.ron_kohm + tr.rail_res_kohm) \
+                * tr.capacitance_pf
+            assert rel_eq(tr.tau_wake_ns, expected)
+
+    def test_wake_waveform_matches_exponential(self, transients):
+        tr = max(transients, key=lambda t: t.v_standby_v)
+        waveform = wake_waveform(tr, points=33)
+        assert len(waveform.times_ns) == 33
+        for t, v in zip(waveform.times_ns, waveform.volts):
+            assert rel_eq(v, tr.v_standby_v
+                          * math.exp(-t / tr.tau_wake_ns))
+        assert waveform.volts[0] == tr.v_standby_v
+        # Strictly decaying.
+        assert all(a > b for a, b in zip(waveform.volts,
+                                         waveform.volts[1:]))
+
+    def test_sleep_waveform_charges_toward_steady_state(self,
+                                                        transients):
+        tr = max(transients, key=lambda t: t.v_standby_v)
+        waveform = sleep_waveform(tr, points=17)
+        assert waveform.volts[0] == 0.0
+        assert all(a < b for a, b in zip(waveform.volts,
+                                         waveform.volts[1:]))
+        assert waveform.volts[-1] < tr.v_standby_v
+
+
+class TestModel:
+    def test_capacitance_exceeds_bare_rail(self, standby_design,
+                                           library):
+        """Member and switch drains always add to the rail wire cap."""
+        netlist, network = standby_design
+        solver = TransientSolver(network, netlist, library)
+        for cluster in network.clusters:
+            tr = solver.solve_cluster(cluster)
+            rail_only = cluster.rail_length_um \
+                * library.tech.vgnd_cap_per_um
+            assert tr.capacitance_pf > rail_only
+
+    def test_energy_covers_rail_charge(self, transients):
+        for tr in transients:
+            assert tr.energy_per_cycle_pj \
+                >= tr.capacitance_pf * tr.v_standby_v ** 2
+
+    def test_sleep_saves_leakage(self, transients):
+        """Cut-off members must leak less than powered ones."""
+        for tr in transients:
+            assert tr.active_leakage_nw > tr.sleep_leakage_nw > 0.0
+
+    def test_post_route_cap_refines_rail(self, standby_design, library):
+        netlist, network = standby_design
+        cluster = network.clusters[0]
+
+        @dataclasses.dataclass
+        class FakeParasitics:
+            total_cap_pf: float
+
+        base = TransientSolver(network, netlist,
+                               library).solve_cluster(cluster)
+        extra = 0.5
+        rail_cap = cluster.rail_length_um * library.tech.vgnd_cap_per_um
+        refined = TransientSolver(
+            network, netlist, library,
+            parasitics={cluster.net_name:
+                        FakeParasitics(rail_cap + extra)}
+        ).solve_cluster(cluster)
+        assert refined.capacitance_pf == pytest.approx(
+            base.capacitance_pf + extra)
+
+    def test_unsized_cluster_raises(self, standby_design, library):
+        netlist, network = standby_design
+        cluster = network.clusters[0]
+        saved = cluster.switch_cell
+        try:
+            cluster.switch_cell = None
+            with pytest.raises(StandbyError):
+                TransientSolver(network, netlist,
+                                library).solve_cluster(cluster)
+        finally:
+            cluster.switch_cell = saved
+
+    def test_bad_settle_fraction_rejected(self, standby_design,
+                                          library):
+        netlist, network = standby_design
+        with pytest.raises(StandbyError):
+            TransientSolver(network, netlist, library,
+                            settle_fraction=1.5)
+
+    def test_solve_orders_by_cluster_index(self, transients):
+        indices = [tr.cluster_index for tr in transients]
+        assert indices == sorted(indices)

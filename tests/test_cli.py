@@ -219,3 +219,31 @@ def test_serve_command_registered():
     args = parser.parse_args(["serve", "--port", "0"])
     assert args.port == 0
     assert args.workers == 1
+
+
+def test_standby_command(tmp_path, capsys):
+    out = tmp_path / "standby.json"
+    assert main(["standby", "--circuit", "c17", "--margin", "0.2",
+                 "--scenarios", "mostly_idle,always_on",
+                 "--corners", "tt_nom", "--json", str(out)]) == 0
+    output = capsys.readouterr().out
+    assert "Standby-transition signoff" in output
+    assert "wake-up schedule" in output
+    assert "mostly_idle" in output
+    payload = _load_checked_payload(out)
+    assert payload["schema"] == "standby_result"
+    assert payload["scenarios"] == ["mostly_idle", "always_on"]
+    assert payload["corners"] == ["tt_nom"]
+
+
+def test_standby_rejects_unknown_scenario(capsys):
+    assert main(["standby", "--circuit", "c17", "--margin", "0.2",
+                 "--scenarios", "hyperdrive"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_standby_rejects_unknown_corner(capsys):
+    assert main(["standby", "--circuit", "c17", "--margin", "0.2",
+                 "--scenarios", "mostly_idle",
+                 "--corners", "tt_blazing"]) == 2
+    assert "unknown corner" in capsys.readouterr().err

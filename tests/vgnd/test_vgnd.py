@@ -212,3 +212,85 @@ class TestDerates:
         assert set(derates) == set(mt_names)
         for value in derates.values():
             assert 0.9 < value < 1.1
+
+
+class TestSimultaneityConfig:
+    """ClusterConfig/FlowConfig overrides of the simultaneity model."""
+
+    def test_cluster_config_validates_ranges(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError) as excinfo:
+            ClusterConfig(simultaneity_exponent=1.5)
+        assert excinfo.value.field == "simultaneity_exponent"
+        with pytest.raises(ConfigError) as excinfo:
+            ClusterConfig(simultaneity_floor=0.0)
+        assert excinfo.value.field == "simultaneity_floor"
+        with pytest.raises(ConfigError):
+            ClusterConfig(simultaneity_floor=1.5)
+
+    def test_flow_config_validates_ranges(self):
+        from repro.config import FlowConfig
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError) as excinfo:
+            FlowConfig(simultaneity_exponent=-0.1)
+        assert excinfo.value.field == "simultaneity_exponent"
+        with pytest.raises(ConfigError):
+            FlowConfig(simultaneity_floor=2.0)
+
+    def test_defaults_match_module_constants(self):
+        from repro.config import FlowConfig
+        from repro.vgnd.bounce import (
+            SIMULTANEITY_EXPONENT,
+            SIMULTANEITY_FLOOR,
+        )
+
+        cluster = ClusterConfig()
+        flow = FlowConfig()
+        assert cluster.simultaneity_exponent == SIMULTANEITY_EXPONENT
+        assert cluster.simultaneity_floor == SIMULTANEITY_FLOOR
+        assert flow.simultaneity_exponent == SIMULTANEITY_EXPONENT
+        assert flow.simultaneity_floor == SIMULTANEITY_FLOOR
+
+    def test_floor_one_disables_the_discount(self, placed_mt_design,
+                                             library):
+        """floor=1.0 makes every cluster current the plain sum."""
+        netlist, placement, mt_names = placed_mt_design
+        config = ClusterConfig(simultaneity_floor=1.0)
+        network = MtClusterer(netlist, library, placement,
+                              config).build(mt_names)
+        defaults = MtClusterer(netlist, library, placement,
+                               ClusterConfig()).build(mt_names)
+        for cluster in network.clusters:
+            expected = cluster_current(cluster.members, netlist, library,
+                                       exponent=0.5, floor=1.0)
+            assert cluster.current_ma == pytest.approx(expected)
+        worst = max(c.current_ma / max(c.size, 1)
+                    for c in network.clusters)
+        worst_default = max(c.current_ma / max(c.size, 1)
+                            for c in defaults.clusters)
+        assert worst >= worst_default
+
+    def test_flow_threads_overrides_into_clustering(self, library):
+        """A pessimistic floor reaches the built switch structure."""
+        from repro.benchcircuits.suite import load_circuit
+        from repro.config import FlowConfig, Technique
+        from repro.core.flow import SelectiveMtFlow
+
+        netlist = load_circuit("c17")
+        # A roomier die: the pessimistic floor grows the switch, and
+        # c17's default floorplan has no slack for it.
+        tuned = SelectiveMtFlow(
+            netlist, library, Technique.IMPROVED_SMT,
+            FlowConfig(timing_margin=0.2, utilization=0.4,
+                       simultaneity_floor=0.8)).run()
+        default = SelectiveMtFlow(
+            netlist, library, Technique.IMPROVED_SMT,
+            FlowConfig(timing_margin=0.2, utilization=0.4)).run()
+        assert tuned.network is not None
+        tuned_current = sum(c.current_ma
+                            for c in tuned.network.clusters)
+        default_current = sum(c.current_ma
+                              for c in default.network.clusters)
+        assert tuned_current >= default_current
