@@ -60,7 +60,10 @@ def circuits(library):
 
 
 @pytest.mark.parametrize("n_gates", SIZES)
-def test_bench_full_sta(circuits, library, n_gates):
+def test_bench_full_sta(circuits, library, n_gates, tmp_path,
+                        monkeypatch):
+    from repro.compute import lowercache
+
     netlist = circuits[n_gates]
     constraints = Constraints(clock_period=CLOCK_PERIOD_NS)
     scalar = TimingSession(netlist, library, constraints,
@@ -70,6 +73,7 @@ def test_bench_full_sta(circuits, library, n_gates):
     scalar_cold_s = time.perf_counter() - started
     scalar_warm_s = _full_sta_seconds(scalar)
 
+    monkeypatch.delenv(lowercache.ENV_VAR, raising=False)
     vector = TimingSession(netlist.clone(), library, constraints,
                            compute_backend="numpy")
     started = time.perf_counter()
@@ -77,22 +81,44 @@ def test_bench_full_sta(circuits, library, n_gates):
     vector_cold_s = time.perf_counter() - started
     vector_warm_s = _full_sta_seconds(vector)
 
+    # Cold start again, this time from a warm persistent lowering
+    # cache (the steady state of any repeat invocation: second CLI
+    # run, service restart, re-queued runner job).
+    monkeypatch.setenv(lowercache.ENV_VAR, str(tmp_path))
+    TimingSession(netlist.clone(), library, constraints,
+                  compute_backend="numpy").report()   # populates disk
+    lowercache.reset_stats()
+    cached = TimingSession(netlist.clone(), library, constraints,
+                           compute_backend="numpy")
+    started = time.perf_counter()
+    cached_report = cached.report()
+    cached_cold_s = time.perf_counter() - started
+    assert lowercache.stats()["hits"] == 1
+    monkeypatch.delenv(lowercache.ENV_VAR, raising=False)
+
     assert vector_report.wns == pytest.approx(scalar_report.wns, rel=1e-9)
+    assert cached_report.wns == vector_report.wns
     instances = len(netlist.instances)
     record(f"sta_{n_gates}", {
         "instances": instances,
         "scalar_cold_s": round(scalar_cold_s, 4),
         "scalar_full_s": round(scalar_warm_s, 4),
         "numpy_cold_s": round(vector_cold_s, 4),
+        "numpy_cached_cold_s": round(cached_cold_s, 4),
         "numpy_full_s": round(vector_warm_s, 4),
         "scalar_inst_per_s": round(instances / scalar_warm_s),
         "numpy_inst_per_s": round(instances / vector_warm_s),
         "warm_speedup": round(scalar_warm_s / vector_warm_s, 2),
     }, path=compute_json_path())
     # Warm numpy full runs must at least keep pace at scale; the real
-    # bar is the batched Monte-Carlo case below.
+    # bar is the batched Monte-Carlo case below.  With a warm lowering
+    # cache, even the numpy COLD start must keep pace with scalar cold
+    # — lowering was the entire cold-start gap.
     if n_gates >= 10_000:
         assert vector_warm_s < scalar_warm_s
+        assert cached_cold_s <= scalar_cold_s, \
+            f"cached numpy cold {cached_cold_s:.2f}s > scalar cold " \
+            f"{scalar_cold_s:.2f}s"
 
 
 def test_bench_montecarlo_10k(circuits, library):

@@ -13,7 +13,13 @@ match the frozen golden fixtures in ``tests/golden/``:
    must have been hit (the signoff reuses the optimize job's flow);
 4. a 3-corner ``standby`` job — the scheduler must respect its rush
    budget, beat the serial daisy-chain, and reuse the corner-library
-   cache the signoff populated.
+   cache the signoff populated;
+5. a **restart**: the first server is torn down and a second
+   ``repro-smt serve`` process re-runs the signoff against the same
+   ``REPRO_LOWER_CACHE`` directory — on the numpy backend its health
+   stats must show a lowering-cache *hit* (the lowered design survived
+   the process boundary); on the scalar backend the cache must stay
+   silent.
 
 Run from the repo root (CI runs it once per compute backend)::
 
@@ -23,10 +29,12 @@ Run from the repo root (CI runs it once per compute backend)::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import socket
 import subprocess
 import sys
+import tempfile
 import time
 
 REPO = pathlib.Path(__file__).resolve().parent.parent
@@ -77,15 +85,31 @@ def wait_for_health(client: ServiceClient, deadline_s: float = 60.0):
     raise SystemExit("service never became healthy")
 
 
+def start_server(port: int, cache_dir: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["REPRO_LOWER_CACHE"] = cache_dir
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port)],
+        cwd=REPO, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+
+
+def stop_server(server: subprocess.Popen):
+    server.terminate()
+    try:
+        server.wait(timeout=10)
+    except subprocess.TimeoutExpired:
+        server.kill()
+
+
 def main() -> int:
     golden = json.loads(
         (REPO / "tests" / "golden" / "table1_c432_s298.json")
         .read_text(encoding="utf-8"))[CIRCUIT]
+    cache_dir = tempfile.mkdtemp(prefix="repro-lower-cache-")
     port = free_port()
-    server = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--port", str(port)],
-        cwd=REPO, stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
+    server = start_server(port, cache_dir)
     client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
     try:
         wait_for_health(client)
@@ -156,14 +180,45 @@ def main() -> int:
         check("standby reused the cached corner libraries",
               stats.get("corner_library", {}).get("hits", 0) >= 1)
         print("cache stats:", json.dumps(stats, sort_keys=True))
+
+        # Restart: a SECOND serve process against the same cache dir.
+        # The numpy backend must pick the lowered design up from disk
+        # (a lowering-cache hit with zero stores); the scalar backend
+        # never lowers, so its counters must stay flat.
+        from repro.compute import resolve_backend
+
+        backend = resolve_backend(None)
+        print(f"restart: second serve process, shared lowering cache "
+              f"({backend} backend)")
+        stop_server(server)
+        port = free_port()
+        server = start_server(port, cache_dir)
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
+        wait_for_health(client)
+        again = client.run(
+            "signoff", CIRCUIT,
+            request=SignoffRequest(technique=Technique.IMPROVED_SMT,
+                                   corners=CORNERS),
+            config=CONFIG)
+        check("restarted signoff reproduces tt_nom exactly",
+              again.row("tt_nom").leakage_nw
+              == signoff.row("tt_nom").leakage_nw)
+        lowering = client.health()["cache_stats"].get("lowering", {})
+        if backend == "numpy":
+            check("second process hit the persistent lowering cache",
+                  lowering.get("hits", 0) >= 1)
+            check("lowering cache load was clean (no errors)",
+                  lowering.get("errors", 0) == 0)
+        else:
+            check("scalar backend leaves the lowering cache untouched",
+                  lowering.get("hits", 0) == 0
+                  and lowering.get("stores", 0) == 0)
+        print("restart lowering stats:",
+              json.dumps(lowering, sort_keys=True))
         print("service smoke: all checks passed")
         return 0
     finally:
-        server.terminate()
-        try:
-            server.wait(timeout=10)
-        except subprocess.TimeoutExpired:
-            server.kill()
+        stop_server(server)
 
 
 if __name__ == "__main__":

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import dataclasses
 import functools
-import hashlib
 import json
 import threading
 
@@ -68,33 +67,12 @@ from repro.liberty.library import (
 )
 from repro.liberty.synth import build_default_library
 from repro.netlist.core import Netlist
+from repro.netlist.fingerprint import netlist_fingerprint
 from repro.netlist.techmap import technology_map
 from repro.power.leakage import LeakageAnalyzer
 from repro.timing.constraints import Constraints
 from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer
-
-
-def netlist_fingerprint(netlist: Netlist) -> str:
-    """Content hash of a netlist: ports, instances, connectivity.
-
-    Independent of construction order (instances and pins are visited
-    sorted) and of the netlist's display name, so the same circuit
-    loaded twice — or under two aliases — shares every per-design
-    cache.
-    """
-    digest = hashlib.sha256()
-    for port in sorted(netlist.ports):
-        direction = netlist.ports[port].direction
-        digest.update(f"port {port} {direction.value}\n".encode())
-    for name in sorted(netlist.instances):
-        inst = netlist.instances[name]
-        digest.update(f"inst {name} {inst.cell_name}\n".encode())
-        for pin_name in sorted(inst.pins):
-            pin = inst.pins[pin_name]
-            net = pin.net.name if pin.net is not None else ""
-            digest.update(f"pin {pin_name} {net}\n".encode())
-    return digest.hexdigest()
 
 
 def config_key(config: FlowConfig) -> str:
@@ -193,12 +171,12 @@ class Workspace:
                 self.stats.hit("corner_library")
                 return self._corner_libraries[corner_name]
             self.stats.miss("corner_library")
-            from repro.variation.corners import derive_corner_library, \
-                resolve_corner
+            from repro.variation.corners import \
+                derive_corner_library_cached, resolve_corner
 
             library = self.library
             corner = resolve_corner(corner_name, library.tech)
-            derived = derive_corner_library(library, corner)
+            derived = derive_corner_library_cached(library, corner)
             self._corner_libraries[corner_name] = derived
             return derived
 
@@ -330,7 +308,20 @@ class Workspace:
         return self.design(circuit, config).standby(request, **kwargs)
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
-        return self.stats.as_dict()
+        stats = self.stats.as_dict()
+        # The persistent lowering cache and the corner-library memo
+        # keep process-wide counters (they outlive any one workspace);
+        # fold them in so the service health endpoint reports them.
+        try:
+            from repro.compute.lowercache import stats as lower_stats
+
+            stats["lowering"] = lower_stats()
+        except ImportError:  # pragma: no cover - python-only installs
+            pass
+        from repro.variation.corners import corner_memo_stats
+
+        stats["corner_memo"] = corner_memo_stats()
+        return stats
 
 
 def _locked(method):
@@ -568,7 +559,7 @@ class Design:
             return self._signoffs[request]
         self._stats().miss("signoff")
         from repro.variation.corners import default_signoff_corners
-        from repro.variation.signoff import evaluate_corners
+        from repro.variation.signoff import evaluate_corners_batched
 
         library = self.library
         corner_names = request.corners or \
@@ -577,7 +568,7 @@ class Design:
         clock_arrivals = flow.cts.clock_arrivals if flow.cts else None
         corner_libraries = {name: self.workspace.corner_library(name)
                             for name in corner_names}
-        results = evaluate_corners(
+        results = evaluate_corners_batched(
             flow.netlist, library, corner_names, flow.constraints,
             parasitics=flow.parasitics, network=flow.network,
             clock_arrivals=clock_arrivals,

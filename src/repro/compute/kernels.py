@@ -36,7 +36,15 @@ def lut_lookup(lut_arrays, ids, x1, x2):
     ``ids`` are :class:`~repro.compute.view.LutStore` ids (-1 means "no
     table": the scalar engine's 0.0).  ``x1``/``x2`` broadcast against
     ``ids`` — typically ``ids`` is per-contribution and ``x1`` carries
-    a leading sample axis.
+    a leading batch axis.
+
+    ``values`` may be 4-D ``(batch, tables, d1, d2)`` — the
+    corner-stacked path of
+    :meth:`~repro.compute.view.NetlistArrayView.corner_stack`.  The
+    leading axis then aligns with the kernels' batch (sample) axis:
+    batch row ``k`` is interpolated from table stack ``k``.  The
+    search/interp axes stay 2-D because corner scaling never moves the
+    index grids.
     """
     search1, interp1, search2, interp2, values = lut_arrays
     ids = np.asarray(ids)
@@ -56,10 +64,17 @@ def lut_lookup(lut_arrays, ids, x1, x2):
     f2 = np.where(span2 > 0.0,
                   (x2 - lo2) / np.where(span2 > 0.0, span2, 1.0), 0.0)
 
-    v00 = values[safe, i1, j1]
-    v01 = values[safe, i1, j1 + 1]
-    v10 = values[safe, i1 + 1, j1]
-    v11 = values[safe, i1 + 1, j1 + 1]
+    if values.ndim == 4:
+        b = np.arange(values.shape[0])[:, None]
+        v00 = values[b, safe, i1, j1]
+        v01 = values[b, safe, i1, j1 + 1]
+        v10 = values[b, safe, i1 + 1, j1]
+        v11 = values[b, safe, i1 + 1, j1 + 1]
+    else:
+        v00 = values[safe, i1, j1]
+        v01 = values[safe, i1, j1 + 1]
+        v10 = values[safe, i1 + 1, j1]
+        v11 = values[safe, i1 + 1, j1 + 1]
     top = v00 + f2 * (v01 - v00)
     bottom = v10 + f2 * (v11 - v10)
     result = top + f1 * (bottom - top)
@@ -86,17 +101,23 @@ class ForwardState:
 
 
 def forward(view: NetlistArrayView, derates: np.ndarray,
-            track_winners: bool = False) -> ForwardState:
+            track_winners: bool = False,
+            lut_arrays=None) -> ForwardState:
     """Levelized arrival/slew/min-arrival propagation.
 
-    ``derates``: (samples, instances).  Startpoints are seeded exactly
+    ``derates``: (batch, instances).  Startpoints are seeded exactly
     like the scalar engine (input ports, FF CK->Q arcs), then each
-    topological level is one vectorized pass per edge stream.
+    topological level is one vectorized pass per edge stream.  The
+    batch axis carries Monte-Carlo samples or PVT corners alike; a
+    ``lut_arrays`` override (e.g. a
+    :meth:`~repro.compute.view.NetlistArrayView.corner_stack`) swaps
+    in per-batch table stacks.
     """
     samples = derates.shape[0]
     nets = len(view.node_names)
     state = ForwardState(samples, nets)
-    lut_arrays = view.luts.arrays()
+    if lut_arrays is None:
+        lut_arrays = view.luts.arrays()
     constraints = view.constraints
 
     if len(view.port_nodes):
@@ -188,18 +209,21 @@ def forward(view: NetlistArrayView, derates: np.ndarray,
 
 
 def backward(view: NetlistArrayView, fwd: ForwardState,
-             derates: np.ndarray):
+             derates: np.ndarray, lut_arrays=None):
     """Required-time propagation; returns (req_rise, req_fall).
 
     Seeds endpoint required times (the scalar engine's
     ``_endpoint_pass`` min-updates), then sweeps levels descending.
+    Accepts the same per-batch ``lut_arrays`` override as
+    :func:`forward`.
     """
     samples = derates.shape[0]
     nets = len(view.node_names)
     req_rise = np.full((samples, nets), np.inf)
     req_fall = np.full((samples, nets), np.inf)
     period = view.constraints.clock_period
-    lut_arrays = view.luts.arrays()
+    if lut_arrays is None:
+        lut_arrays = view.luts.arrays()
 
     for k in range(len(view.out_ep_node)):
         idx = view.out_ep_node[k]
@@ -244,9 +268,15 @@ def backward(view: NetlistArrayView, fwd: ForwardState,
     return req_rise, req_fall
 
 
-def setup_slacks(view: NetlistArrayView, fwd: ForwardState) -> np.ndarray:
-    """Per-sample setup-check slacks, in the scalar check order
-    (output ports first, then flip-flop D setups)."""
+def setup_slacks(view: NetlistArrayView, fwd: ForwardState,
+                 setup=None) -> np.ndarray:
+    """Per-batch setup-check slacks, in the scalar check order
+    (output ports first, then flip-flop D setups).
+
+    ``setup`` optionally overrides the view's nominal ``ff_ep_setup``
+    vector — e.g. a ``(corners, ffs)`` matrix of corner-scaled setup
+    constraints, broadcast against the batch axis.
+    """
     samples = fwd.arr_rise.shape[0]
     period = view.constraints.clock_period
     parts = []
@@ -255,16 +285,39 @@ def setup_slacks(view: NetlistArrayView, fwd: ForwardState) -> np.ndarray:
         arrival = np.maximum(fwd.arr_rise[:, idx],
                              fwd.arr_fall[:, idx]) + view.out_ep_wire
         required = period - view.out_ep_delay - view.out_ep_wire
-        parts.append(required + view.out_ep_wire - arrival)
+        part = required + view.out_ep_wire - arrival
+        parts.append(np.broadcast_to(part, (samples, part.shape[-1])))
     if len(view.ff_ep_node):
         idx = view.ff_ep_node
         arrival = np.maximum(fwd.arr_rise[:, idx],
                              fwd.arr_fall[:, idx]) + view.ff_ep_wire
         capture = period + view.ff_ep_clk
-        parts.append(capture - view.ff_ep_setup - arrival)
+        setup_v = view.ff_ep_setup if setup is None else setup
+        part = capture - setup_v - arrival
+        parts.append(np.broadcast_to(part, (samples, part.shape[-1])))
     if not parts:
         return np.full((samples, 0), np.inf)
     return np.concatenate(parts, axis=-1)
+
+
+def hold_slacks(view: NetlistArrayView, fwd: ForwardState,
+                hold=None) -> np.ndarray:
+    """Per-batch hold-check slacks (flip-flop D holds, scalar order).
+
+    Reproduces the scalar hold check digit for digit:
+    ``min_arrival + wire - (clk_arrival + hold)``.  ``hold`` overrides
+    the nominal per-FF hold constraints like ``setup`` above.
+    """
+    samples = fwd.arr_rise.shape[0]
+    if not len(view.ff_ep_node):
+        return np.full((samples, 0), np.inf)
+    idx = view.ff_ep_node
+    min_arrival = np.minimum(fwd.min_rise[:, idx],
+                             fwd.min_fall[:, idx]) + view.ff_ep_wire
+    hold_v = view.ff_ep_hold if hold is None else hold
+    hold_required = view.ff_ep_clk + hold_v
+    part = min_arrival - hold_required
+    return np.broadcast_to(part, (samples, part.shape[-1]))
 
 
 def setup_wns(view: NetlistArrayView, derates: np.ndarray) -> np.ndarray:
@@ -275,6 +328,28 @@ def setup_wns(view: NetlistArrayView, derates: np.ndarray) -> np.ndarray:
     if slacks.shape[-1] == 0:
         return np.full(derates.shape[0], np.inf)
     return slacks.min(axis=-1)
+
+
+def batched_wns(view: NetlistArrayView, derates: np.ndarray,
+                lut_arrays=None, setup=None, hold=None):
+    """(setup WNS, hold WNS) per batch row from one forward pass.
+
+    Backbone of the corner-batched signoff: ``derates`` carries one
+    row per corner, ``lut_arrays`` the corner stack, and
+    ``setup``/``hold`` the per-corner endpoint constraints.  The
+    reductions mirror :meth:`TimingSession._summarize` (min over the
+    scalar check list, +inf when a kind has no checks).
+    """
+    view.ensure()
+    fwd = forward(view, derates, lut_arrays=lut_arrays)
+    samples = derates.shape[0]
+    slacks = setup_slacks(view, fwd, setup=setup)
+    wns = slacks.min(axis=-1) if slacks.shape[-1] \
+        else np.full(samples, np.inf)
+    holds = hold_slacks(view, fwd, hold=hold)
+    hold_wns = holds.min(axis=-1) if holds.shape[-1] \
+        else np.full(samples, np.inf)
+    return wns, hold_wns
 
 
 # --- leakage kernels --------------------------------------------------------

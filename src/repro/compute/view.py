@@ -38,7 +38,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import TimingError
-from repro.liberty.library import CellKind, Lut
+from repro.liberty.library import CellKind, Lut, VthClass
 
 #: Sense codes used by the backward kernel.
 SENSE_POSITIVE = 0
@@ -49,6 +49,16 @@ _SENSE_CODE = {
     "positive_unate": SENSE_POSITIVE,
     "negative_unate": SENSE_NEGATIVE,
 }
+
+
+def _delay_scale_class(cell) -> int:
+    """Delay-scaling law of a cell's timing tables (0 = low-Vth, 1 = high).
+
+    Mirrors :func:`repro.variation.corners._scaled_cell`: corner
+    derivation scales *every* timing LUT of a cell by its own Vth
+    class's delay factor.
+    """
+    return 1 if cell.vth_class == VthClass.HIGH else 0
 
 
 class LutStore:
@@ -70,31 +80,72 @@ class LutStore:
 
     def __init__(self):
         self._luts: list[Lut] = []
-        self._ids: dict[int, int] = {}
+        self._ids: dict[tuple[int, int], int] = {}
+        self._classes: list[int] = []
         self._arrays = None
+        self._scale_classes = None
+        self._frozen = False
+        self._count = 0
 
-    def register(self, lut: Lut | None) -> int:
-        """The id of ``lut`` (registering it if new); -1 for ``None``."""
+    def register(self, lut: Lut | None, scale_class: int = 0) -> int:
+        """The id of ``lut`` (registering it if new); -1 for ``None``.
+
+        ``scale_class`` tags the table with the delay-scaling law of
+        its owning cell (0 = low-Vth, 1 = high-Vth); the corner-stack
+        path uses it to scale each table by the right per-corner
+        factor.  A table shared by cells of *different* classes gets
+        one id per class, so each copy scales by its own law — exactly
+        what deriving K separate corner libraries would produce.
+        """
         if lut is None:
             return -1
-        key = id(lut)
+        key = (id(lut), scale_class)
         found = self._ids.get(key)
         if found is not None:
             return found
+        if self._frozen:
+            raise TimingError(
+                "cannot register new LUTs in a cache-loaded store")
         index = len(self._luts)
         self._ids[key] = index
         self._luts.append(lut)
+        self._classes.append(int(scale_class))
         self._arrays = None
+        self._scale_classes = None
         return index
 
     def __len__(self) -> int:
-        return len(self._luts)
+        return self._count if self._frozen else len(self._luts)
 
     def arrays(self):
         """(search1, interp1, search2, interp2, values) stacked arrays."""
         if self._arrays is None:
             self._arrays = self._build()
         return self._arrays
+
+    def scale_classes(self) -> np.ndarray:
+        """Per-table delay scale-class codes, aligned with ``arrays()``."""
+        if self._scale_classes is None:
+            count = max(len(self._classes), 1)
+            classes = np.zeros(count, dtype=np.int64)
+            classes[:len(self._classes)] = self._classes
+            self._scale_classes = classes
+        return self._scale_classes
+
+    @classmethod
+    def from_arrays(cls, arrays, scale_classes, count: int) -> "LutStore":
+        """A frozen store over pre-built arrays (lowering-cache load).
+
+        Frozen stores serve ``arrays()``/``scale_classes()`` but refuse
+        new registrations — a view loaded from the cache rebuilds
+        instead of patching in place.
+        """
+        store = cls()
+        store._arrays = tuple(arrays)
+        store._scale_classes = np.asarray(scale_classes, dtype=np.int64)
+        store._count = int(count)
+        store._frozen = True
+        return store
 
     def _build(self):
         count = max(len(self._luts), 1)
@@ -230,6 +281,60 @@ def _bwd_level_slices(sorted_desc_levels: np.ndarray, src: np.ndarray):
         seg_starts = np.concatenate(([0], change)).astype(np.int64)
         slices.append((lo, hi, seg_starts, seg_src[seg_starts]))
     return slices
+
+
+def _str_array(names) -> np.ndarray:
+    return np.array(names, dtype=np.str_) if names \
+        else np.zeros(0, dtype="U1")
+
+
+def _stream_levels(stream: "_Stream") -> np.ndarray:
+    """Recover the level-sorted per-row level array from the slices."""
+    levels = np.zeros(len(stream.out), dtype=np.int64)
+    for level, lo, hi, _starts, _out in stream.levels:
+        levels[lo:hi] = level
+    return levels
+
+
+def _bwd_group_codes(bwd: "_BackwardStream") -> np.ndarray:
+    """Strictly-descending group codes reproducing the bwd slices.
+
+    The backward slices only use level *boundaries*, never the level
+    values, so any strictly-descending code sequence round-trips.
+    """
+    codes = np.zeros(len(bwd.out), dtype=np.int64)
+    groups = len(bwd.levels)
+    for g, (lo, hi, _starts, _src) in enumerate(bwd.levels):
+        codes[lo:hi] = groups - g
+    return codes
+
+
+def _stream_from_state(state, tag: str) -> "_Stream":
+    stream = _Stream.__new__(_Stream)
+    stream.out = state[f"{tag}_out"]
+    stream.src = state[f"{tag}_src"]
+    stream.inst = state[f"{tag}_inst"]
+    stream.src_edge = state[f"{tag}_edge"]
+    stream.dlut = state[f"{tag}_dlut"]
+    stream.slut = state[f"{tag}_slut"]
+    stream.wire = state[f"{tag}_wire"]
+    stream.size = len(stream.out)
+    stream.levels = _level_slices(state[f"{tag}_levels"], stream.out)
+    return stream
+
+
+def _bwd_from_state(state) -> "_BackwardStream":
+    bwd = _BackwardStream.__new__(_BackwardStream)
+    bwd.out = state["bwd_out"]
+    bwd.src = state["bwd_src"]
+    bwd.inst = state["bwd_inst"]
+    bwd.sense = state["bwd_sense"]
+    bwd.rlut = state["bwd_rlut"]
+    bwd.flut = state["bwd_flut"]
+    bwd.wire = state["bwd_wire"]
+    bwd.levels = _bwd_level_slices(state["bwd_levels"], bwd.src) \
+        if len(bwd.out) else []
+    return bwd
 
 
 class NetlistArrayView:
@@ -412,13 +517,14 @@ class NetlistArrayView:
             arc = cell.pin("Q").arc_from("CK")
             if arc is None:
                 raise TimingError(f"flip-flop {cell.name} lacks CK->Q arc")
+            klass = _delay_scale_class(cell)
             ff_node.append(node_index[q_pin.net.name])
             ff_inst.append(inst_index[inst.name])
             ff_launch.append(self.clock_arrivals.get(inst.name, 0.0))
-            ff_cr.append(luts.register(arc.cell_rise))
-            ff_cf.append(luts.register(arc.cell_fall))
-            ff_rt.append(luts.register(arc.rise_transition))
-            ff_ft.append(luts.register(arc.fall_transition))
+            ff_cr.append(luts.register(arc.cell_rise, klass))
+            ff_cf.append(luts.register(arc.cell_fall, klass))
+            ff_rt.append(luts.register(arc.rise_transition, klass))
+            ff_ft.append(luts.register(arc.fall_transition, klass))
         self.ff_node = np.array(ff_node, dtype=np.int64)
         self.ff_inst = np.array(ff_inst, dtype=np.int64)
         self.ff_launch = np.array(ff_launch)
@@ -481,6 +587,7 @@ class NetlistArrayView:
         """
         library = self.library
         cell = library.cell(inst.cell_name)
+        klass = _delay_scale_class(cell)
         iidx = inst_index[inst.name]
         sig: list = []
         my_rise: list[int] = []
@@ -535,12 +642,12 @@ class NetlistArrayView:
                         continue
                     mine.append(len(rows))
                     rows.append([oidx, sidx, iidx, edge,
-                                 luts.register(delay_lut),
-                                 luts.register(slew_lut), wire])
+                                 luts.register(delay_lut, klass),
+                                 luts.register(slew_lut, klass), wire])
                 my_bwd.append(len(bwd_rows))
                 bwd_rows.append([oidx, sidx, iidx, sense,
-                                 luts.register(arc.cell_rise),
-                                 luts.register(arc.cell_fall), wire])
+                                 luts.register(arc.cell_rise, klass),
+                                 luts.register(arc.cell_fall, klass), wire])
                 sig.append((oidx, sidx, sense,
                             arc.cell_rise is not None,
                             arc.cell_fall is not None))
@@ -606,6 +713,7 @@ class NetlistArrayView:
         old_sig, my_rise, my_fall, _my_bwd = entry
         library = self.library
         cell = library.cell(inst.cell_name)
+        klass = _delay_scale_class(cell)
         new_sig = []
         rise_updates: list[tuple[int, int]] = []
         fall_updates: list[tuple[int, int]] = []
@@ -636,12 +744,14 @@ class NetlistArrayView:
                 for _ in range(reps):
                     if arc.cell_rise is not None:
                         rise_updates.append(
-                            (self.luts.register(arc.cell_rise),
-                             self.luts.register(arc.rise_transition)))
+                            (self.luts.register(arc.cell_rise, klass),
+                             self.luts.register(arc.rise_transition,
+                                                klass)))
                     if arc.cell_fall is not None:
                         fall_updates.append(
-                            (self.luts.register(arc.cell_fall),
-                             self.luts.register(arc.fall_transition)))
+                            (self.luts.register(arc.cell_fall, klass),
+                             self.luts.register(arc.fall_transition,
+                                                klass)))
         if new_sig != old_sig:
             return False
         if len(rise_updates) != len(my_rise) \
@@ -682,8 +792,8 @@ class NetlistArrayView:
             arc = arcs_by_key.get(key)
             if arc is None:
                 return False
-            self.bwd.rlut[row] = self.luts.register(arc.cell_rise)
-            self.bwd.flut[row] = self.luts.register(arc.cell_fall)
+            self.bwd.rlut[row] = self.luts.register(arc.cell_rise, klass)
+            self.bwd.flut[row] = self.luts.register(arc.cell_fall, klass)
         return True
 
     # --- helpers --------------------------------------------------------
@@ -703,3 +813,126 @@ class NetlistArrayView:
                 if idx is not None:
                     vec[idx] = value
         return vec
+
+    # --- corner stacking ------------------------------------------------
+
+    def corner_stack(self, delay_factors) -> tuple:
+        """LUT arrays with a leading corner (batch) axis.
+
+        ``delay_factors`` is ``(corners, 2)``: column 0 the low-Vth
+        delay factor, column 1 the high-Vth one.  Each stacked table is
+        the nominal table times its scale class's factor — the same
+        elementwise multiply :meth:`repro.liberty.library.Lut.scaled`
+        performs — so interpolating the stack reproduces a lowering of
+        the corner-derived library bit for bit, without re-lowering.
+        """
+        self.ensure()
+        search1, interp1, search2, interp2, values = self.luts.arrays()
+        factors = np.asarray(delay_factors, dtype=float)
+        per_table = factors[:, self.luts.scale_classes()]
+        stacked = values[None, ...] * per_table[:, :, None, None]
+        return (search1, interp1, search2, interp2, stacked)
+
+    # --- (de)serialization for the on-disk lowering cache ---------------
+
+    def export_state(self) -> dict:
+        """All built arrays as a flat name->array dict (npz-ready)."""
+        self.ensure()
+        search1, interp1, search2, interp2, values = self.luts.arrays()
+        state = {
+            "node_names": _str_array(self.node_names),
+            "inst_names": _str_array(self.inst_names),
+            "comb_count": np.int64(self.comb_count),
+            "loads": self.loads,
+            "lut_count": np.int64(len(self.luts)),
+            "lut_classes": self.luts.scale_classes(),
+            "lut_search1": search1, "lut_interp1": interp1,
+            "lut_search2": search2, "lut_interp2": interp2,
+            "lut_values": values,
+            "port_nodes": self.port_nodes,
+            "port_delay": self.port_delay,
+            "port_min": self.port_min,
+            "ff_node": self.ff_node, "ff_inst": self.ff_inst,
+            "ff_launch": self.ff_launch,
+            "ff_cr": self.ff_cr, "ff_cf": self.ff_cf,
+            "ff_rt": self.ff_rt, "ff_ft": self.ff_ft,
+            "out_ep_names": _str_array(self.out_ep_names),
+            "out_ep_node": self.out_ep_node,
+            "out_ep_wire": self.out_ep_wire,
+            "out_ep_delay": self.out_ep_delay,
+            "ff_ep_names": _str_array(self.ff_ep_names),
+            "ff_ep_node": self.ff_ep_node,
+            "ff_ep_wire": self.ff_ep_wire,
+            "ff_ep_setup": self.ff_ep_setup,
+            "ff_ep_hold": self.ff_ep_hold,
+            "ff_ep_clk": self.ff_ep_clk,
+        }
+        for tag, stream in (("rise", self.rise), ("fall", self.fall)):
+            state[f"{tag}_out"] = stream.out
+            state[f"{tag}_src"] = stream.src
+            state[f"{tag}_inst"] = stream.inst
+            state[f"{tag}_edge"] = stream.src_edge
+            state[f"{tag}_dlut"] = stream.dlut
+            state[f"{tag}_slut"] = stream.slut
+            state[f"{tag}_wire"] = stream.wire
+            state[f"{tag}_levels"] = _stream_levels(stream)
+        state["bwd_out"] = self.bwd.out
+        state["bwd_src"] = self.bwd.src
+        state["bwd_inst"] = self.bwd.inst
+        state["bwd_sense"] = self.bwd.sense
+        state["bwd_rlut"] = self.bwd.rlut
+        state["bwd_flut"] = self.bwd.flut
+        state["bwd_wire"] = self.bwd.wire
+        state["bwd_levels"] = _bwd_group_codes(self.bwd)
+        return state
+
+    @classmethod
+    def from_state(cls, state, netlist, library, constraints, net_model,
+                   clock_arrivals=None) -> "NetlistArrayView":
+        """Rehydrate a view from :meth:`export_state` arrays.
+
+        The loaded view serves kernels immediately (no lowering pass)
+        and honors ``touch_net`` load refreshes; instance patches are
+        refused (``_patch_instances`` reports False), so a variant swap
+        falls back to a normal rebuild against the live netlist.
+        """
+        view = cls(netlist, library, constraints, net_model,
+                   clock_arrivals)
+        view.node_names = [str(s) for s in state["node_names"]]
+        view.node_index = {n: i for i, n in enumerate(view.node_names)}
+        view.inst_names = [str(s) for s in state["inst_names"]]
+        view.inst_index = {n: i for i, n in enumerate(view.inst_names)}
+        view.comb_count = int(state["comb_count"])
+        view.loads = state["loads"]
+        view.luts = LutStore.from_arrays(
+            (state["lut_search1"], state["lut_interp1"],
+             state["lut_search2"], state["lut_interp2"],
+             state["lut_values"]),
+            state["lut_classes"], int(state["lut_count"]))
+        view.rise = _stream_from_state(state, "rise")
+        view.fall = _stream_from_state(state, "fall")
+        view.bwd = _bwd_from_state(state)
+        view.port_nodes = state["port_nodes"]
+        view.port_delay = state["port_delay"]
+        view.port_min = state["port_min"]
+        view.ff_node = state["ff_node"]
+        view.ff_inst = state["ff_inst"]
+        view.ff_launch = state["ff_launch"]
+        view.ff_cr = state["ff_cr"]
+        view.ff_cf = state["ff_cf"]
+        view.ff_rt = state["ff_rt"]
+        view.ff_ft = state["ff_ft"]
+        view.out_ep_names = [str(s) for s in state["out_ep_names"]]
+        view.out_ep_node = state["out_ep_node"]
+        view.out_ep_wire = state["out_ep_wire"]
+        view.out_ep_delay = state["out_ep_delay"]
+        view.ff_ep_names = [str(s) for s in state["ff_ep_names"]]
+        view.ff_ep_node = state["ff_ep_node"]
+        view.ff_ep_wire = state["ff_ep_wire"]
+        view.ff_ep_setup = state["ff_ep_setup"]
+        view.ff_ep_hold = state["ff_ep_hold"]
+        view.ff_ep_clk = state["ff_ep_clk"]
+        view._inst_sig = {}
+        view._built = True
+        view._structural_dirty = False
+        return view

@@ -63,7 +63,7 @@ from repro.standby.scenario import resolve_scenario
 from repro.timing.constraints import Constraints
 from repro.timing.session import TimingSession
 from repro.timing.sta import TimingAnalyzer, TimingReport
-from repro.variation.signoff import CornerResult, evaluate_corners
+from repro.variation.signoff import CornerResult
 from repro.vgnd.cluster import ClusterConfig
 from repro.vgnd.em import check_em
 from repro.vgnd.network import VgndNetwork
@@ -734,17 +734,18 @@ def stage_corner_signoff(ctx: FlowContext) -> dict[str, Any] | None:
         return None
     ctx.require("netlist", "constraints")
     from repro.variation.corners import (
-        derive_corner_library,
+        derive_corner_library_cached,
         resolve_corner,
     )
+    from repro.variation.signoff import evaluate_corners_batched
 
     for name in names:
         if name not in ctx.corner_libraries:
             corner = resolve_corner(name, ctx.tech)
-            ctx.corner_libraries[name] = derive_corner_library(
+            ctx.corner_libraries[name] = derive_corner_library_cached(
                 ctx.library, corner)
     clock_arrivals = ctx.cts.clock_arrivals if ctx.cts else None
-    ctx.corners = evaluate_corners(
+    ctx.corners = evaluate_corners_batched(
         ctx.netlist, ctx.library, names, ctx.constraints,
         parasitics=ctx.parasitics, network=ctx.network,
         clock_arrivals=clock_arrivals,

@@ -359,6 +359,7 @@ class Library:
         self.mt_assumed_bounce_v: float | None = None
         self._cells: dict[str, CellDef] = {}
         self._variant_index: dict[tuple[str, str], str] = {}
+        self._content_digest: str | None = None
 
     # --- container protocol -----------------------------------------------
 
@@ -383,6 +384,7 @@ class Library:
                                f"{self.name!r}")
         self._cells[cell.name] = cell
         self._variant_index[(cell.base_name, cell.variant)] = cell.name
+        self._content_digest = None
         return cell
 
     def cell(self, name: str) -> CellDef:
@@ -425,6 +427,71 @@ class Library:
 
     def base_names(self) -> set[str]:
         return {c.base_name for c in self._cells.values()}
+
+    # --- content identity ---------------------------------------------------
+
+    def content_digest(self) -> str:
+        """SHA-256 of the library's timing/leakage content.
+
+        Covers everything the compute-backend lowering and the corner
+        derivation read: technology constants, per-cell LUTs, pin
+        capacitances, leakage numbers and classification fields — so
+        it keys both the on-disk lowering cache and the corner-library
+        memo.  Memoized; ``add_cell`` invalidates (cells themselves
+        are treated as immutable once added, which every producer in
+        this codebase honors — corner derivation builds fresh cells).
+        """
+        if self._content_digest is None:
+            self._content_digest = self._compute_content_digest()
+        return self._content_digest
+
+    def _compute_content_digest(self) -> str:
+        import hashlib
+
+        digest = hashlib.sha256()
+
+        def put(text: str):
+            digest.update(text.encode("utf-8"))
+            digest.update(b"\n")
+
+        put(f"library {self.name}")
+        put(f"bounce {self.mt_assumed_bounce_v!r}")
+        if self.tech is not None:
+            for key, value in sorted(
+                    dataclasses.asdict(self.tech).items()):
+                put(f"tech {key} {value!r}")
+
+        def put_lut(tag: str, lut: Lut | None):
+            if lut is None:
+                return
+            put(f"{tag} {lut.index_1!r} {lut.index_2!r} {lut.values!r}")
+
+        for name in sorted(self._cells):
+            cell = self._cells[name]
+            put(f"cell {name} {cell.area!r} {cell.vth_class.value} "
+                f"{cell.kind.value} {cell.variant} {cell.base_name} "
+                f"{cell.default_leakage_nw!r} "
+                f"{cell.switching_current_ma!r} "
+                f"{cell.switch_width_um!r} {cell.has_vgnd_port} "
+                f"{cell.footprint!r} {cell.ff_next_state!r} "
+                f"{cell.ff_clocked_on!r}")
+            for state in cell.leakage_states:
+                put(f"leak {state.value_nw!r} {state.when!r}")
+            for pin_name in sorted(cell.pins):
+                pin = cell.pins[pin_name]
+                put(f"pin {pin_name} {pin.direction} "
+                    f"{pin.capacitance!r} {pin.max_capacitance!r} "
+                    f"{pin.is_clock}")
+                for arc in pin.timing_arcs:
+                    put(f"arc {arc.related_pin} {arc.timing_sense} "
+                        f"{arc.timing_type}")
+                    put_lut("cr", arc.cell_rise)
+                    put_lut("cf", arc.cell_fall)
+                    put_lut("rt", arc.rise_transition)
+                    put_lut("ft", arc.fall_transition)
+                    put_lut("rc", arc.rise_constraint)
+                    put_lut("fc", arc.fall_constraint)
+        return digest.hexdigest()
 
 
 def library_from_ast(root, tech=None) -> Library:

@@ -190,6 +190,36 @@ def _point_savings_numpy(points: Sequence[tuple[float, float]],
     return acc.tolist()
 
 
+def _point_savings_numpy_corners(points: Sequence[tuple[float, float]],
+                                 dp_nw: Sequence[Sequence[float]],
+                                 overhead_ns: Sequence[Sequence[float]],
+                                 energy_pj: Sequence[Sequence[float]]
+                                 ) -> list[list[float]]:
+    """Corner-batched path: every corner's quantile grid in one stack.
+
+    Inputs are ``(corners x clusters)`` tables; the result row for
+    corner ``c`` is bit-identical to
+    ``_point_savings_numpy(points, dp_nw[c], ...)`` because the
+    per-element float-op sequence (multiply, subtract, multiply,
+    subtract, max, ordered add per cluster) is unchanged — the corner
+    axis only widens each vector op.
+    """
+    import numpy as np
+
+    durations = np.array([duration for duration, _w in points],
+                         dtype=float)
+    dp = np.asarray(dp_nw, dtype=float)
+    oh = np.asarray(overhead_ns, dtype=float)
+    energy = np.asarray(energy_pj, dtype=float)
+    acc = np.zeros((dp.shape[0], len(points)), dtype=float)
+    zero = np.float64(0.0)
+    for k in range(dp.shape[1]):
+        value = dp[:, k, None] * (durations[None, :] - oh[:, k, None]) \
+            * np.float64(_NW_NS_TO_PJ) - energy[:, k, None]
+        acc = acc + np.maximum(value, zero)
+    return acc.tolist()
+
+
 class StandbyEngine:
     """Runs the standby-transition analysis for one finished design."""
 
@@ -234,10 +264,15 @@ class StandbyEngine:
             points.extend(scenario.idle_points())
             spans.append((start, len(points)))
 
+        # Per-corner scalar work (transients, scheduling) runs first;
+        # the break-even sweep itself is deferred so every corner's
+        # quantile grid rides ONE stacked kernel call on numpy.
         first_transients: tuple[ClusterTransient, ...] | None = None
         first_schedule: WakeupSchedule | None = None
         corner_rows: list[StandbyCornerRow] = []
-        grid: dict[tuple[str, str], ScenarioOutcome] = {}
+        dp_rows: list[list[float]] = []
+        oh_rows: list[list[float]] = []
+        energy_rows: list[list[float]] = []
         for corner_name in self.corners:
             library = self._corner_library(corner_name)
             transients = TransientSolver(
@@ -251,11 +286,30 @@ class StandbyEngine:
             if first_transients is None:
                 first_transients = tuple(transients)
                 first_schedule = schedule
-            row = self._corner_row(corner_name, transients, schedule)
-            corner_rows.append(row)
-            for scenario, outcome in self._evaluate_corner(
-                    corner_name, row, transients, schedule, points,
-                    spans):
+            corner_rows.append(
+                self._corner_row(corner_name, transients, schedule))
+            dp_nw, overhead_ns, energy_pj = self._cluster_vectors(
+                transients, schedule)
+            dp_rows.append(dp_nw)
+            oh_rows.append(overhead_ns)
+            energy_rows.append(energy_pj)
+
+        if self.compute_backend == "numpy" and len(self.corners) > 1:
+            accs = _point_savings_numpy_corners(points, dp_rows,
+                                               oh_rows, energy_rows)
+        elif self.compute_backend == "numpy":
+            accs = [_point_savings_numpy(points, dp_rows[0], oh_rows[0],
+                                         energy_rows[0])]
+        else:
+            accs = [_point_savings_python(points, dp, oh, energy)
+                    for dp, oh, energy in zip(dp_rows, oh_rows,
+                                              energy_rows)]
+
+        grid: dict[tuple[str, str], ScenarioOutcome] = {}
+        for corner_name, row, acc in zip(self.corners, corner_rows,
+                                         accs):
+            for scenario, outcome in self._scenario_outcomes(
+                    corner_name, row, acc, points, spans):
                 grid[(scenario, corner_name)] = outcome
 
         outcomes = tuple(grid[(scenario.name, corner_name)]
@@ -281,12 +335,12 @@ class StandbyEngine:
         if cached is not None:
             return cached
         from repro.variation.corners import (
-            derive_corner_library,
+            derive_corner_library_cached,
             resolve_corner,
         )
 
         corner = resolve_corner(corner_name, self.library.tech)
-        derived = derive_corner_library(self.library, corner)
+        derived = derive_corner_library_cached(self.library, corner)
         self.corner_libraries[corner_name] = derived
         return derived
 
@@ -323,11 +377,10 @@ class StandbyEngine:
             active_leakage_nw=active_leak,
             break_even_ns=break_even)
 
-    def _evaluate_corner(self, corner_name: str, row: StandbyCornerRow,
-                         transients: Sequence[ClusterTransient],
-                         schedule: WakeupSchedule,
-                         points: list[tuple[float, float]],
-                         spans: list[tuple[int, int]]):
+    @staticmethod
+    def _cluster_vectors(transients: Sequence[ClusterTransient],
+                         schedule: WakeupSchedule
+                         ) -> tuple[list[float], list[float], list[float]]:
         dp_nw = [tr.leakage_savings_nw for tr in transients]
         energy_pj = [tr.energy_per_cycle_pj for tr in transients]
         settles = {event.cluster_index: event.settle_ns
@@ -335,12 +388,12 @@ class StandbyEngine:
         overhead_ns = [transient.sleep_latency_ns
                        + settles[transient.cluster_index]
                        for transient in transients]
-        if self.compute_backend == "numpy":
-            acc = _point_savings_numpy(points, dp_nw, overhead_ns,
-                                       energy_pj)
-        else:
-            acc = _point_savings_python(points, dp_nw, overhead_ns,
-                                        energy_pj)
+        return dp_nw, overhead_ns, energy_pj
+
+    def _scenario_outcomes(self, corner_name: str, row: StandbyCornerRow,
+                           acc: Sequence[float],
+                           points: list[tuple[float, float]],
+                           spans: list[tuple[int, int]]):
         for scenario, (start, stop) in zip(self.scenarios, spans):
             per_event = 0.0
             for p in range(start, stop):

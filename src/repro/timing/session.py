@@ -347,11 +347,11 @@ class TimingSession:
         if self._view is not None:
             return self._view
         try:
-            from repro.compute.view import NetlistArrayView
+            from repro.compute.lowercache import cached_view
         except ImportError:
             self.compute_backend = "python"
             return None
-        self._view = NetlistArrayView(
+        self._view = cached_view(
             self.netlist, self.library, self.constraints, self.net_model,
             clock_arrivals=self.clock_arrivals)
         return self._view
@@ -403,6 +403,12 @@ class TimingSession:
         membership = self._membership
 
         # 1. Forward cone: combinational fan-out of every dirty instance.
+        # The cone only ever grows, so the moment it crosses the
+        # full-run threshold the decision is already made — bail out
+        # immediately instead of finishing the BFS first.  (Bisection
+        # probes that swap half the design used to pay a complete cone
+        # walk *and then* a full run.)
+        budget = self.full_threshold * max(self._comb_count, 1)
         cone: set[str] = set()
         frontier: deque[Instance] = deque()
         reset_nets: set[str] = set()
@@ -419,6 +425,9 @@ class TimingSession:
                 if in_pin.net is not None and in_pin.name != "MTE" \
                         and in_pin.net.name in membership:
                     seed_back.add(in_pin.net.name)
+
+        if len(cone) > budget:
+            return self._full_run()
 
         for name in self._dirty_seq:
             inst = netlist.instances.get(name)
@@ -443,6 +452,8 @@ class TimingSession:
                 seed_back.add(d_pin.net.name)
 
         while frontier:
+            if len(cone) > budget:
+                return self._full_run()
             inst = frontier.popleft()
             for out_pin in inst.output_pins():
                 out_net = out_pin.net
@@ -459,15 +470,20 @@ class TimingSession:
                     cone.add(target.name)
                     frontier.append(target)
 
-        if len(cone) > self.full_threshold * max(self._comb_count, 1):
+        if len(cone) > budget:
             return self._full_run()
 
         # 2. Backward region: transitive fan-in of everything that changed.
+        # Same early exit: cone and back_insts only grow, so crossing
+        # the combined threshold mid-walk is final.
+        back_budget = self.full_threshold * 2 * max(self._comb_count, 1)
         seed_back |= reset_nets
         back_nets: set[str] = set()
         back_insts: set[str] = set()
         stack = list(seed_back)
         while stack:
+            if len(cone) + len(back_insts) > back_budget:
+                return self._full_run()
             net_name = stack.pop()
             if net_name in back_nets:
                 continue
@@ -496,8 +512,7 @@ class TimingSession:
         # A full run evaluates every combinational instance twice (one
         # forward, one backward sweep); incremental pays off while the
         # touched region stays below that, scaled by the threshold.
-        if len(cone) + len(back_insts) \
-                > self.full_threshold * 2 * max(self._comb_count, 1):
+        if len(cone) + len(back_insts) > back_budget:
             return self._full_run()
 
         self.stats.incremental_runs += 1

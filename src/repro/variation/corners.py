@@ -23,6 +23,8 @@ timing tables and leakage numbers are scaled per Vth class by the
 from __future__ import annotations
 
 import dataclasses
+import threading
+from collections import OrderedDict
 
 from repro.device.process import DEFAULT_TECHNOLOGY, Technology
 from repro.errors import FlowError
@@ -275,3 +277,57 @@ def derive_corner_library(library: Library, corner: PvtCorner) -> Library:
     for cell in library:
         derived.add_cell(_scaled_cell(cell, scales))
     return derived
+
+
+# --- memoized derivation ---------------------------------------------------
+
+#: Bounded process-wide memo of derived corner libraries, keyed by the
+#: nominal library's content digest plus the full corner identity.
+_CORNER_MEMO_MAX = 64
+_corner_memo: "OrderedDict[tuple, Library]" = OrderedDict()
+_corner_memo_lock = threading.Lock()
+_corner_memo_counters = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def derive_corner_library_cached(library: Library,
+                                 corner: PvtCorner) -> Library:
+    """Memoized :func:`derive_corner_library`.
+
+    Derivation is a pure function of (library content, corner), so a
+    process-wide LRU keyed by ``(library.content_digest(), corner)``
+    makes every entry point — workspace signoff, the flow's
+    ``corner_signoff`` stage, the standby engine, runner jobs — derive
+    each corner of a given library at most once.  The returned library
+    is shared: callers must treat it as immutable (they all do — a
+    derived library is only ever read).
+    """
+    key = (library.content_digest(), corner.name, corner.process,
+           corner.vdd, corner.temperature_k)
+    with _corner_memo_lock:
+        found = _corner_memo.get(key)
+        if found is not None:
+            _corner_memo.move_to_end(key)
+            _corner_memo_counters["hits"] += 1
+            return found
+        _corner_memo_counters["misses"] += 1
+    derived = derive_corner_library(library, corner)
+    with _corner_memo_lock:
+        _corner_memo[key] = derived
+        while len(_corner_memo) > _CORNER_MEMO_MAX:
+            _corner_memo.popitem(last=False)
+            _corner_memo_counters["evictions"] += 1
+    return derived
+
+
+def corner_memo_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters of the corner-derivation memo."""
+    with _corner_memo_lock:
+        return dict(_corner_memo_counters)
+
+
+def reset_corner_memo():
+    """Clear the memo and its counters (test isolation)."""
+    with _corner_memo_lock:
+        _corner_memo.clear()
+        for name in _corner_memo_counters:
+            _corner_memo_counters[name] = 0

@@ -27,7 +27,10 @@ from repro.config import FlowConfig, Technique
 from repro.core.flow import FlowResult, SelectiveMtFlow
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist
-from repro.variation.corners import resolve_corner, derive_corner_library
+from repro.variation.corners import (
+    derive_corner_library_cached,
+    resolve_corner,
+)
 from repro.variation.montecarlo import McConfig, McSample, MonteCarloEngine
 
 
@@ -164,7 +167,7 @@ def build_engine(result: FlowResult, library: Library, mc: McConfig,
     eval_library = library
     if corner_name is not None:
         corner = resolve_corner(corner_name, library.tech)
-        eval_library = derive_corner_library(library, corner)
+        eval_library = derive_corner_library_cached(library, corner)
     derates = None
     if result.network is not None:
         assumed = eval_library.mt_assumed_bounce_v

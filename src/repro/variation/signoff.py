@@ -22,6 +22,8 @@ from repro.variation.corners import (
     PvtCorner,
     corner_scales,
     derive_corner_library,
+    derive_corner_library_cached,
+    leakage_class_is_high,
     resolve_corner,
 )
 
@@ -114,4 +116,130 @@ def evaluate_corners(netlist: Netlist, library: Library,
             netlist, library, corner, constraints, parasitics=parasitics,
             network=network, clock_arrivals=clock_arrivals,
             compute_backend=compute_backend, corner_library=derived)
+    return results
+
+
+def evaluate_corners_batched(netlist: Netlist, library: Library,
+                             corner_names, constraints: Constraints,
+                             parasitics: Mapping[str, object] | None = None,
+                             network=None,
+                             clock_arrivals: Mapping[str, float] | None = None,
+                             compute_backend: str | None = None,
+                             corner_libraries: Mapping[str, Library] | None = None
+                             ) -> dict[str, CornerResult]:
+    """The whole corner grid in one array pass (numpy backend).
+
+    Derived corner libraries differ from the nominal one only by
+    per-Vth-class scale factors, so instead of lowering K libraries
+    this lowers the *nominal* netlist once and evaluates a
+    ``(corners x tables)`` LUT stack — per corner bit-identical to
+    :func:`evaluate_corners`:
+
+    * LUT values are scaled elementwise before interpolation, exactly
+      like :meth:`Lut.scaled`, and the index grids are scale-invariant;
+    * per-corner derates and endpoint setup/hold constraints are
+      computed with the same scalar code on the derived libraries;
+    * leakage totals sum the identical corner-scaled value array in
+      the same index-sorted order.
+
+    Off the numpy backend (or for a 0/1-corner grid) this simply
+    delegates to the sequential loop.
+    """
+    from repro.compute import resolve_backend
+
+    names = list(corner_names)
+    backend = resolve_backend(compute_backend)
+    if backend != "numpy" or len(names) <= 1:
+        return evaluate_corners(
+            netlist, library, names, constraints, parasitics=parasitics,
+            network=network, clock_arrivals=clock_arrivals,
+            compute_backend=compute_backend,
+            corner_libraries=corner_libraries)
+    try:
+        import numpy as np
+
+        from repro.compute.kernels import batched_wns
+        from repro.compute.lowercache import cached_view
+    except ImportError:  # pragma: no cover - backend resolution guards
+        return evaluate_corners(
+            netlist, library, names, constraints, parasitics=parasitics,
+            network=network, clock_arrivals=clock_arrivals,
+            compute_backend=compute_backend,
+            corner_libraries=corner_libraries)
+
+    from repro.timing.delay import NetModel
+    from repro.timing.sta import cell_constraint_value
+
+    corners = [resolve_corner(name, library.tech) for name in names]
+    libs: list[Library] = []
+    for name, corner in zip(names, corners):
+        derived = corner_libraries.get(name) if corner_libraries else None
+        if derived is None:
+            derived = derive_corner_library_cached(library, corner)
+        libs.append(derived)
+    scales_list = [corner_scales(library.tech, corner)
+                   for corner in corners]
+
+    net_model = NetModel(netlist, library, constraints,
+                         parasitics=parasitics)
+    view = cached_view(netlist, library, constraints, net_model,
+                       clock_arrivals=clock_arrivals)
+    view.ensure()
+
+    if network is not None:
+        rows = []
+        for lib_k in libs:
+            assumed = lib_k.mt_assumed_bounce_v
+            if assumed is None:
+                assumed = lib_k.tech.vdd * 0.04
+            rows.append(view.derate_vector(
+                network.derates(netlist, lib_k, assumed)))
+        derates = np.vstack(rows)
+    else:
+        derates = np.ones((len(names), len(view.inst_names)))
+
+    lut_arrays = view.corner_stack(
+        [[s.delay_low, s.delay_high] for s in scales_list])
+
+    input_slew = constraints.input_slew
+    ff_cells = [netlist.instances[name].cell_name
+                for name in view.ff_ep_names]
+    setup = np.empty((len(names), len(ff_cells)))
+    hold = np.empty((len(names), len(ff_cells)))
+    for k, lib_k in enumerate(libs):
+        for j, cell_name in enumerate(ff_cells):
+            cell = lib_k.cell(cell_name)
+            setup[k, j] = cell_constraint_value(cell, "setup", input_slew)
+            hold[k, j] = cell_constraint_value(cell, "hold", input_slew)
+
+    wns, hold_wns = batched_wns(view, derates, lut_arrays=lut_arrays,
+                                setup=setup, hold=hold)
+
+    # Leakage: nominal per-instance defaults (index-sorted) times each
+    # corner's per-class leakage factor, summed in the identical order
+    # the sequential numpy path sums its corner-scaled values.
+    inst_order = sorted(netlist.instances)
+    nominal_nw = np.array(
+        [library.cell(netlist.instances[name].cell_name).default_leakage_nw
+         for name in inst_order], dtype=float)
+    is_high = np.array(
+        [leakage_class_is_high(
+            library.cell(netlist.instances[name].cell_name))
+         for name in inst_order], dtype=bool)
+
+    results: dict[str, CornerResult] = {}
+    for k, name in enumerate(names):
+        scales = scales_list[k]
+        leak_f = np.where(is_high, scales.leakage_high,
+                          scales.leakage_low)
+        leakage_nw = float((nominal_nw * leak_f).sum())
+        results[name] = CornerResult(
+            corner=corners[k],
+            leakage_nw=leakage_nw,
+            wns=float(wns[k]),
+            hold_wns=float(hold_wns[k]),
+            delay_scale_low=scales.delay_low,
+            delay_scale_high=scales.delay_high,
+            leakage_scale_low=scales.leakage_low,
+            leakage_scale_high=scales.leakage_high)
     return results

@@ -106,6 +106,39 @@ def test_property_clustering_partition_and_bounce(config, max_cells):
 
 
 @SLOW
+@given(config=small_configs,
+       subset_seed=st.integers(min_value=0, max_value=1_000))
+def test_property_batched_signoff_bit_identical(config, subset_seed):
+    """Corner-batched signoff == the sequential loop, bit for bit."""
+    pytest.importorskip("numpy")
+    import random
+
+    from repro.timing.constraints import Constraints
+    from repro.variation.corners import default_signoff_corners
+    from repro.variation.signoff import (
+        evaluate_corners,
+        evaluate_corners_batched,
+    )
+
+    library = build_default_library()
+    netlist = generate_circuit("gen", config)
+    technology_map(netlist, library)
+    grid = list(default_signoff_corners(library.tech))
+    rng = random.Random(subset_seed)
+    names = tuple(rng.sample(grid, rng.randint(2, len(grid))))
+    constraints = Constraints(clock_period=2000.0)
+    loop = evaluate_corners(netlist, library, names, constraints,
+                            compute_backend="numpy")
+    batched = evaluate_corners_batched(netlist, library, names,
+                                       constraints,
+                                       compute_backend="numpy")
+    for name in names:
+        assert batched[name].wns == loop[name].wns
+        assert batched[name].hold_wns == loop[name].hold_wns
+        assert batched[name].leakage_nw == loop[name].leakage_nw
+
+
+@SLOW
 @given(config=small_configs)
 def test_property_variant_swaps_preserve_function(config):
     """Any all-HVT re-binding is equivalent to the LVT original."""

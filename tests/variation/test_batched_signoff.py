@@ -1,0 +1,156 @@
+"""Batched corner signoff: per-corner bit-identity vs the loop.
+
+``evaluate_corners_batched`` promises every corner's (wns, hold_wns,
+leakage_nw) triple matches the sequential ``evaluate_corners`` loop
+bit-for-bit — the batched path is an *evaluation strategy*, never a
+numerical approximation.  These tests drive real flow results (derates,
+CTS arrivals, parasitics all live) over random corner subsets on both
+backends.
+"""
+
+import random
+
+import pytest
+
+from repro.benchcircuits.suite import load_circuit
+from repro.config import FlowConfig, Technique
+from repro.core.flow import SelectiveMtFlow
+from repro.variation.corners import (
+    corner_memo_stats,
+    default_signoff_corners,
+    reset_corner_memo,
+)
+from repro.variation.signoff import (
+    evaluate_corners,
+    evaluate_corners_batched,
+)
+
+np = pytest.importorskip("numpy")
+
+
+@pytest.fixture(scope="module", params=["c432", "s298"])
+def flowed(request, library):
+    """A finished improved-SMT flow (one combinational, one sequential)."""
+    config = FlowConfig(timing_margin=0.10)
+    result = SelectiveMtFlow(load_circuit(request.param), library,
+                             Technique.IMPROVED_SMT, config).run()
+    return result
+
+
+def signoff_kwargs(result):
+    return dict(
+        parasitics=result.parasitics,
+        network=result.network,
+        clock_arrivals=result.cts.clock_arrivals if result.cts else None)
+
+
+def corner_subsets(tech, seed=7, draws=4):
+    """Random corner subsets of the full signoff grid (plus tt_nom)."""
+    grid = list(default_signoff_corners(tech))
+    rng = random.Random(seed)
+    subsets = [tuple(grid)]  # the full grid
+    for _ in range(draws):
+        size = rng.randint(2, len(grid))
+        subsets.append(tuple(rng.sample(grid, size)))
+    return subsets
+
+
+class TestBitIdentity:
+    def test_full_grid_and_random_subsets_numpy(self, flowed, library):
+        for names in corner_subsets(library.tech):
+            loop = evaluate_corners(
+                flowed.netlist, library, names, flowed.constraints,
+                compute_backend="numpy", **signoff_kwargs(flowed))
+            batched = evaluate_corners_batched(
+                flowed.netlist, library, names, flowed.constraints,
+                compute_backend="numpy", **signoff_kwargs(flowed))
+            assert tuple(batched) == names  # order preserved
+            for name in names:
+                a, b = loop[name], batched[name]
+                assert b.wns == a.wns, name
+                assert b.hold_wns == a.hold_wns, name
+                assert b.leakage_nw == a.leakage_nw, name
+                assert b.corner == a.corner
+                assert b.delay_scale_low == a.delay_scale_low
+
+    def test_python_backend_delegates_to_loop(self, flowed, library):
+        names = ("tt_nom", "ff_1.32v_125c", "ss_1.08v_m40c")
+        loop = evaluate_corners(
+            flowed.netlist, library, names, flowed.constraints,
+            compute_backend="python", **signoff_kwargs(flowed))
+        batched = evaluate_corners_batched(
+            flowed.netlist, library, names, flowed.constraints,
+            compute_backend="python", **signoff_kwargs(flowed))
+        for name in names:
+            assert batched[name] == loop[name]
+
+    def test_cross_backend_equivalence(self, flowed, library):
+        """numpy batched vs the scalar python loop: 1e-9 relative.
+
+        (Bit-identity is a *within-backend* promise — the scalar
+        backend's reduction order differs from numpy's in the last
+        ulp, exactly as in the existing cross-backend suite.)
+        """
+        def close(a, b):
+            return a == b or abs(a - b) <= 1e-9 * max(1.0, abs(a),
+                                                      abs(b))
+
+        names = tuple(default_signoff_corners(library.tech))
+        python = evaluate_corners(
+            flowed.netlist, library, names, flowed.constraints,
+            compute_backend="python", **signoff_kwargs(flowed))
+        batched = evaluate_corners_batched(
+            flowed.netlist, library, names, flowed.constraints,
+            compute_backend="numpy", **signoff_kwargs(flowed))
+        for name in names:
+            assert close(batched[name].wns, python[name].wns), name
+            assert close(batched[name].hold_wns,
+                         python[name].hold_wns), name
+            assert close(batched[name].leakage_nw,
+                         python[name].leakage_nw), name
+
+    def test_single_corner_and_bare_netlist(self, library, c17):
+        """Degenerate inputs ride the delegation path."""
+        from repro.timing.constraints import Constraints
+
+        constraints = Constraints(clock_period=2000.0)
+        loop = evaluate_corners(c17, library, ("tt_nom",), constraints)
+        batched = evaluate_corners_batched(c17, library, ("tt_nom",),
+                                           constraints)
+        assert batched["tt_nom"] == loop["tt_nom"]
+        assert evaluate_corners_batched(c17, library, (),
+                                        constraints) == {}
+
+
+class TestCornerMemo:
+    def test_one_signoff_derives_each_corner_at_most_once(self, flowed,
+                                                          library):
+        names = tuple(default_signoff_corners(library.tech))
+        reset_corner_memo()
+        evaluate_corners_batched(
+            flowed.netlist, library, names, flowed.constraints,
+            compute_backend="numpy", **signoff_kwargs(flowed))
+        stats = corner_memo_stats()
+        assert stats["misses"] == len(names)
+        assert stats["hits"] == 0
+        # A second signoff of the same grid derives nothing at all.
+        evaluate_corners_batched(
+            flowed.netlist, library, names, flowed.constraints,
+            compute_backend="numpy", **signoff_kwargs(flowed))
+        stats = corner_memo_stats()
+        assert stats["misses"] == len(names)
+        assert stats["hits"] == len(names)
+
+    def test_memo_is_keyed_on_library_content(self, library):
+        from repro.variation.corners import (
+            derive_corner_library_cached,
+            resolve_corner,
+        )
+
+        reset_corner_memo()
+        corner = resolve_corner("ff_1.32v_125c", library.tech)
+        first = derive_corner_library_cached(library, corner)
+        again = derive_corner_library_cached(library, corner)
+        assert again is first
+        stats = corner_memo_stats()
+        assert stats == {"hits": 1, "misses": 1, "evictions": 0}
