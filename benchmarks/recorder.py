@@ -54,6 +54,15 @@ def api_json_path() -> Path:
     return Path(__file__).resolve().parent / "BENCH_api.json"
 
 
+def obs_json_path() -> Path:
+    """Trajectory file for the observability-overhead benchmarks
+    (``BENCH_obs.json``, override with ``BENCH_OBS_JSON``)."""
+    override = os.environ.get("BENCH_OBS_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_obs.json"
+
+
 def standby_json_path() -> Path:
     """Trajectory file for the standby-engine benchmarks
     (``BENCH_standby.json``, override with ``BENCH_STANDBY_JSON``)."""

@@ -17,6 +17,7 @@ import sys
 from repro.api import Workspace
 from repro.config import FlowConfig, Technique
 from repro.errors import ReproError
+from repro.obs import configure_logging, get_logger
 
 #: Legacy aliases from the pre-facade script (fast-variant names).
 TECHNIQUE_ALIASES = {
@@ -24,6 +25,8 @@ TECHNIQUE_ALIASES = {
     "MT": Technique.IMPROVED_SMT,
     "CMT": Technique.CONVENTIONAL_SMT,
 }
+
+logger = get_logger("scripts.scan_margins")
 
 
 def scan(circuit_name, margins, technique):
@@ -37,16 +40,16 @@ def scan(circuit_name, margins, technique):
         try:
             result = design.flow_result(technique)
         except ReproError as exc:
-            print(f"{circuit_name} margin={margin} "
-                  f"technique={technique.value}: INFEASIBLE ({exc})")
+            logger.warning("%s margin=%s technique=%s: INFEASIBLE (%s)",
+                           circuit_name, margin, technique.value, exc)
             continue
         assignment = result.assignment
         total = assignment.fast_count + assignment.slow_count
-        print(f"{circuit_name} margin={margin} "
-              f"technique={technique.value}: "
-              f"fast={assignment.fast_count}/{total} "
-              f"({100 * assignment.fast_fraction:.1f}%) "
-              f"wns={result.timing.wns:+.4f}")
+        logger.info(
+            "%s margin=%s technique=%s: fast=%d/%d (%.1f%%) wns=%+.4f",
+            circuit_name, margin, technique.value,
+            assignment.fast_count, total,
+            100 * assignment.fast_fraction, result.timing.wns)
 
 
 def parse_technique(text: str) -> Technique:
@@ -56,6 +59,9 @@ def parse_technique(text: str) -> Technique:
 
 
 if __name__ == "__main__":
+    # Route through the repro logger; $REPRO_LOG_LEVEL overrides INFO.
+    if not configure_logging():
+        configure_logging("INFO", stream=sys.stdout)
     circuit = sys.argv[1] if len(sys.argv) > 1 else "circuitA"
     margins = [float(m) for m in sys.argv[2].split(",")] \
         if len(sys.argv) > 2 else [0.08, 0.10, 0.12, 0.15]

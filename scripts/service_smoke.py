@@ -49,6 +49,9 @@ from repro.api.requests import (  # noqa: E402
 )
 from repro.config import Technique  # noqa: E402
 from repro.errors import ServiceError  # noqa: E402
+from repro.obs import configure_logging, get_logger  # noqa: E402
+
+logger = get_logger("scripts.service_smoke")
 
 #: The golden Table 1 knobs (tests/golden + scripts/make_golden.py).
 CIRCUIT = "c432"
@@ -62,7 +65,7 @@ def close_enough(a: float, b: float) -> bool:
 
 
 def check(label: str, ok: bool):
-    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    logger.info("  [%s] %s", "ok" if ok else "FAIL", label)
     if not ok:
         raise SystemExit(f"service smoke failed: {label}")
 
@@ -113,9 +116,9 @@ def main() -> int:
     client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
     try:
         wait_for_health(client)
-        print(f"service healthy on port {port}")
+        logger.info("service healthy on port %s", port)
 
-        print("flow job: optimize improved_smt on c432")
+        logger.info("flow job: optimize improved_smt on c432")
         improved = golden["improved_smt"]
         result = client.run(
             "optimize", CIRCUIT,
@@ -130,7 +133,7 @@ def main() -> int:
               == (improved["mt_cells"], improved["switches"],
                   improved["holders"]))
 
-        print("sweep job: all three techniques on c432")
+        logger.info("sweep job: all three techniques on c432")
         sweep = client.run("sweep", CIRCUIT, request=SweepRequest(),
                            config=CONFIG)
         for row in sweep.rows:
@@ -140,7 +143,7 @@ def main() -> int:
                 check(f"sweep {row.technique.value} {field}",
                       close_enough(getattr(row, field), expected[field]))
 
-        print(f"signoff job: {len(CORNERS)} corners on c432")
+        logger.info("signoff job: %d corners on c432", len(CORNERS))
         signoff = client.run(
             "signoff", CIRCUIT,
             request=SignoffRequest(technique=Technique.IMPROVED_SMT,
@@ -154,8 +157,8 @@ def main() -> int:
               close_enough(signoff.nominal_leakage_nw,
                            improved["leakage_nw"]))
 
-        print(f"standby job: wake/rush/break-even at {len(CORNERS)} "
-              f"corners on c432")
+        logger.info("standby job: wake/rush/break-even at %d "
+                    "corners on c432", len(CORNERS))
         standby = client.run(
             "standby", CIRCUIT,
             request=StandbyRequest(scenarios=("mostly_idle",
@@ -179,7 +182,34 @@ def main() -> int:
               stats.get("flow", {}).get("hits", 0) >= 1)
         check("standby reused the cached corner libraries",
               stats.get("corner_library", {}).get("hits", 0) >= 1)
-        print("cache stats:", json.dumps(stats, sort_keys=True))
+        logger.info("cache stats: %s", json.dumps(stats, sort_keys=True))
+
+        health = client.health()
+        check("health reports queue depth",
+              health.get("queue_depth") == 0)
+        check("health counts jobs by kind",
+              health.get("jobs_by_kind", {}).get("optimize", 0) >= 1)
+
+        metrics = client.metrics()
+        check("metrics snapshot is schema-stamped",
+              metrics.get("schema") == "metrics_snapshot")
+        check("metrics counted every finished job kind",
+              all(metrics["counters"].get(f"service.jobs.{kind}", 0) >= 1
+                  for kind in ("optimize", "sweep", "signoff",
+                               "standby")))
+        check("metrics queue gauge drained back to zero",
+              metrics["gauges"].get("service.queue_depth") == 0)
+        check("job latency histogram saw every job",
+              metrics["histograms"].get("service.job_latency_s",
+                                        {}).get("count", 0) >= 4)
+        caches = metrics.get("caches", {})
+        check("metrics unify the workspace cache tree",
+              caches.get("workspace", {}).get("flow", {})
+              .get("hits", 0) >= 1)
+        check("metrics include the corner-memo source",
+              "corner_memo" in caches)
+        logger.info("metrics counters: %s",
+                    json.dumps(metrics["counters"], sort_keys=True))
 
         # Restart: a SECOND serve process against the same cache dir.
         # The numpy backend must pick the lowered design up from disk
@@ -188,8 +218,8 @@ def main() -> int:
         from repro.compute import resolve_backend
 
         backend = resolve_backend(None)
-        print(f"restart: second serve process, shared lowering cache "
-              f"({backend} backend)")
+        logger.info("restart: second serve process, shared lowering "
+                    "cache (%s backend)", backend)
         stop_server(server)
         port = free_port()
         server = start_server(port, cache_dir)
@@ -213,13 +243,16 @@ def main() -> int:
             check("scalar backend leaves the lowering cache untouched",
                   lowering.get("hits", 0) == 0
                   and lowering.get("stores", 0) == 0)
-        print("restart lowering stats:",
-              json.dumps(lowering, sort_keys=True))
-        print("service smoke: all checks passed")
+        logger.info("restart lowering stats: %s",
+                    json.dumps(lowering, sort_keys=True))
+        logger.info("service smoke: all checks passed")
         return 0
     finally:
         stop_server(server)
 
 
 if __name__ == "__main__":
+    # Route through the repro logger; $REPRO_LOG_LEVEL overrides INFO.
+    if not configure_logging():
+        configure_logging("INFO", stream=sys.stdout)
     raise SystemExit(main())

@@ -54,6 +54,14 @@ class ServiceClient:
     def health(self) -> dict:
         return self._call("GET", "/v1/health")
 
+    def metrics(self) -> dict:
+        """The schema-stamped metrics snapshot (``GET /v1/metrics``)."""
+        return self._call("GET", "/v1/metrics")
+
+    def metrics_snapshot(self):
+        """The typed :class:`~repro.obs.MetricsSnapshot` object."""
+        return schemas.from_dict(self.metrics())
+
     def schema_names(self) -> list[str]:
         return self._call("GET", "/v1/schemas")["schemas"]
 

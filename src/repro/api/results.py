@@ -20,6 +20,7 @@ import dataclasses
 from repro.api import schemas
 from repro.api.requests import TECHNIQUE
 from repro.config import Technique
+from repro.obs import MetricsSnapshot, SpanNode, TraceResult
 from repro.standby.engine import (
     ScenarioOutcome,
     StandbyCornerRow,
@@ -210,3 +211,14 @@ schemas.dataclass_schema("standby_result", 1, StandbyResult,
                          schedule=schemas.NESTED,
                          corner_rows=schemas.seq(schemas.NESTED),
                          outcomes=schemas.seq(schemas.NESTED))
+
+# --- observability payloads (repro.obs) -------------------------------------
+# Registered here — not in repro.obs — so the observability package
+# stays importable from the hot layers (core, timing, compute) without
+# dragging the api package in; same pattern as the standby types above.
+
+schemas.dataclass_schema("span_node", 1, SpanNode,
+                         children=schemas.seq(schemas.NESTED))
+schemas.dataclass_schema("trace_result", 1, TraceResult,
+                         spans=schemas.seq(schemas.NESTED))
+schemas.dataclass_schema("metrics_snapshot", 1, MetricsSnapshot)

@@ -12,7 +12,12 @@ the facade instead of forking the CLI per request.
 Endpoints (all payloads JSON)::
 
     GET  /v1/health              -> {"status": "ok", "jobs": N,
+                                     "queue_depth": N,
+                                     "jobs_by_kind": {...},
                                      "cache_stats": {...}}
+    GET  /v1/metrics             -> schema-stamped MetricsSnapshot
+                                    (counters, gauges, histograms,
+                                    cache stats tree)
     GET  /v1/schemas             -> {"schemas": [...]}
     POST /v1/jobs                -> {"job_id": "..."}   (submit)
     GET  /v1/jobs                -> {"jobs": [status...]}
@@ -44,6 +49,7 @@ import itertools
 import json
 import queue
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.api import schemas
@@ -58,6 +64,15 @@ from repro.api.requests import (
 from repro.api.workspace import Workspace
 from repro.config import FlowConfig
 from repro.errors import ReproError, ServiceError
+from repro.obs import (
+    MetricsSnapshot,
+    REGISTRY,
+    get_logger,
+    install_builtin_sources,
+)
+from repro.obs.spans import span
+
+logger = get_logger("repro.api.service")
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -191,6 +206,13 @@ class JobService:
         ]
         self._started = False
         self._closed = False
+        # One coherent metrics surface: the library-wide cache sources
+        # plus this service's workspace tree (re-registering on
+        # restart replaces the previous workspace's source).
+        install_builtin_sources()
+        REGISTRY.register_source(
+            "workspace", self.workspace.stats.tree)
+        REGISTRY.set_gauge("service.queue_depth", 0)
 
     # --- lifecycle ----------------------------------------------------------
 
@@ -250,6 +272,25 @@ class JobService:
             return [self._jobs[job_id].snapshot()
                     for job_id in self._order]
 
+    def queue_depth(self) -> int:
+        """Jobs submitted but not yet picked up by a worker."""
+        with self._lock:
+            return sum(1 for job in self._jobs.values()
+                       if job.status == QUEUED)
+
+    def jobs_by_kind(self) -> dict[str, int]:
+        """Retained job counts per kind (any lifecycle state)."""
+        with self._lock:
+            counts: dict[str, int] = {}
+            for job in self._jobs.values():
+                counts[job.kind] = counts.get(job.kind, 0) + 1
+            return counts
+
+    def metrics_snapshot(self) -> MetricsSnapshot:
+        """The ``/v1/metrics`` payload: registry + live queue gauge."""
+        REGISTRY.set_gauge("service.queue_depth", self.queue_depth())
+        return MetricsSnapshot.from_registry(REGISTRY)
+
     def result(self, job_id: str) -> dict:
         with self._lock:
             job = self._get(job_id)
@@ -287,8 +328,14 @@ class JobService:
                 if job.status != QUEUED:
                     continue  # cancelled while queued
                 job.status = RUNNING
+            REGISTRY.set_gauge("service.queue_depth", self.queue_depth())
+            logger.info("job %s start: %s %s", job.job_id, job.kind,
+                        job.circuit)
+            started = time.perf_counter()
             try:
-                result = self._execute(job)
+                with span("service.job", kind=job.kind,
+                          circuit=job.circuit, job_id=job.job_id):
+                    result = self._execute(job)
                 payload = schemas.check_round_trip(result)
                 with self._lock:
                     job.result_payload = payload
@@ -298,6 +345,13 @@ class JobService:
                 with self._lock:
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.status = FAILED
+                REGISTRY.inc("service.jobs_failed")
+                logger.warning("job %s failed: %s", job.job_id, job.error)
+            elapsed = time.perf_counter() - started
+            REGISTRY.inc(f"service.jobs.{job.kind}")
+            REGISTRY.observe("service.job_latency_s", elapsed)
+            logger.info("job %s %s in %.3fs", job.job_id, job.status,
+                        elapsed)
 
     def _execute(self, job: _Job):
         design = self.workspace.design(job.circuit, job.config)
@@ -369,8 +423,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send(200, {
                     "status": "ok",
                     "jobs": len(service.jobs()),
+                    "queue_depth": service.queue_depth(),
+                    "jobs_by_kind": service.jobs_by_kind(),
                     "cache_stats": service.workspace.cache_stats(),
                 })
+            elif method == "GET" and rest == ["metrics"]:
+                self._send(200, schemas.check_round_trip(
+                    service.metrics_snapshot()))
             elif method == "GET" and rest == ["schemas"]:
                 self._send(200, {"schemas": list(schemas.schema_names())})
             elif method == "POST" and rest == ["jobs"]:

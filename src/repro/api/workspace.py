@@ -69,6 +69,7 @@ from repro.liberty.synth import build_default_library
 from repro.netlist.core import Netlist
 from repro.netlist.fingerprint import netlist_fingerprint
 from repro.netlist.techmap import technology_map
+from repro.obs.spans import span
 from repro.power.leakage import LeakageAnalyzer
 from repro.timing.constraints import Constraints
 from repro.timing.session import TimingSession
@@ -107,6 +108,23 @@ class CacheStats:
             return {cache: {"hits": self.hits.get(cache, 0),
                             "misses": self.misses.get(cache, 0)}
                     for cache in caches}
+
+    def tree(self) -> dict[str, dict[str, float]]:
+        """The unified-stats shape: per cache, hits/misses/hit_rate.
+
+        This is the form :meth:`Workspace.stats_tree` (and through it
+        ``/v1/metrics``) reports; :meth:`as_dict` stays as the
+        compatibility shape ``/v1/health`` has always served.
+        """
+        tree: dict[str, dict[str, float]] = {}
+        for cache, counts in self.as_dict().items():
+            total = counts["hits"] + counts["misses"]
+            tree[cache] = {
+                "hits": counts["hits"],
+                "misses": counts["misses"],
+                "hit_rate": counts["hits"] / total if total else 0.0,
+            }
+        return tree
 
 
 @dataclasses.dataclass
@@ -308,20 +326,42 @@ class Workspace:
         return self.design(circuit, config).standby(request, **kwargs)
 
     def cache_stats(self) -> dict[str, dict[str, int]]:
+        """Compatibility view: the flat dict ``/v1/health`` has always
+        served (workspace caches by name, plus the process-wide
+        ``lowering`` and ``corner_memo`` counter dicts in their native
+        shapes).  New consumers should prefer :meth:`stats_tree`."""
         stats = self.stats.as_dict()
+        tree = self.stats_tree()
         # The persistent lowering cache and the corner-library memo
         # keep process-wide counters (they outlive any one workspace);
         # fold them in so the service health endpoint reports them.
+        if tree["lowering"]:
+            stats["lowering"] = tree["lowering"]
+        stats["corner_memo"] = tree["corner_memo"]
+        return stats
+
+    def stats_tree(self) -> dict[str, dict]:
+        """One coherent stats tree across every cache layer.
+
+        ``workspace`` holds this workspace's hit/miss/hit_rate per
+        cache (:meth:`CacheStats.tree`); ``corner_memo`` and
+        ``lowering`` are the process-wide counter dicts (``lowering``
+        is empty on scalar-only installs).  This is the shape
+        ``/v1/metrics`` reports under ``caches``.
+        """
         try:
             from repro.compute.lowercache import stats as lower_stats
 
-            stats["lowering"] = lower_stats()
+            lowering = lower_stats()
         except ImportError:  # pragma: no cover - python-only installs
-            pass
+            lowering = {}
         from repro.variation.corners import corner_memo_stats
 
-        stats["corner_memo"] = corner_memo_stats()
-        return stats
+        return {
+            "workspace": self.stats.tree(),
+            "corner_memo": corner_memo_stats(),
+            "lowering": lowering,
+        }
 
 
 def _locked(method):
@@ -499,9 +539,11 @@ class Design:
             self._stats().hit("flow")
             return self._flows[technique]
         self._stats().miss("flow")
-        flow = SelectiveMtFlow(self.netlist, self.library, technique,
-                               self.config)
-        result = flow.run()
+        with span("api.flow", circuit=self.circuit,
+                  technique=technique.value):
+            flow = SelectiveMtFlow(self.netlist, self.library, technique,
+                                   self.config)
+            result = flow.run()
         self._flows[technique] = result
         return result
 

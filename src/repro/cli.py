@@ -25,12 +25,33 @@ from repro.api import Workspace, schemas
 from repro.benchcircuits.suite import available_circuits
 from repro.config import FlowConfig, Technique
 from repro.liberty.writer import write_liberty
+from repro.obs import (
+    configure_logging,
+    enable as enable_tracing,
+    take_records,
+    write_chrome_trace,
+)
 from repro.power.report import render_leakage_table
 from repro import units
 
 
+def _add_obs_options(parser: argparse.ArgumentParser):
+    """Observability knobs shared by every heavy subcommand."""
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="record hierarchical spans and write a Chrome "
+             "trace-event JSON file here (loadable in Perfetto / "
+             "chrome://tracing); also honors $REPRO_TRACE=1")
+    parser.add_argument(
+        "--log-level", default=None,
+        help="level for the `repro` logger hierarchy "
+             "(DEBUG/INFO/WARNING/...; default: $REPRO_LOG_LEVEL, "
+             "else logging stays silent)")
+
+
 def _add_config_options(parser: argparse.ArgumentParser):
     """The FlowConfig knobs shared by flow/compare/sweep."""
+    _add_obs_options(parser)
     parser.add_argument("--margin", type=float, default=0.15,
                         help="timing margin over the all-LVT critical delay")
     parser.add_argument("--bounce", type=float, default=0.05,
@@ -487,13 +508,27 @@ def build_parser() -> argparse.ArgumentParser:
              "evicted (default 1000)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request")
+    _add_obs_options(serve_parser)
     serve_parser.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        configure_logging(getattr(args, "log_level", None))
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        enable_tracing()
+    try:
+        return args.func(args)
+    finally:
+        if trace_path:
+            out = write_chrome_trace(trace_path, take_records())
+            print(f"wrote Chrome trace to {out}")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from repro.compute.view import (
     SENSE_NEGATIVE,
     SENSE_POSITIVE,
 )
+from repro.obs.spans import span
 
 NEG_INF = -np.inf
 
@@ -322,12 +323,15 @@ def hold_slacks(view: NetlistArrayView, fwd: ForwardState,
 
 def setup_wns(view: NetlistArrayView, derates: np.ndarray) -> np.ndarray:
     """Per-sample worst setup slack from one batched forward pass."""
-    view.ensure()
-    fwd = forward(view, derates)
-    slacks = setup_slacks(view, fwd)
-    if slacks.shape[-1] == 0:
-        return np.full(derates.shape[0], np.inf)
-    return slacks.min(axis=-1)
+    with span("compute.setup_wns",
+              batch=int(derates.shape[0])) as sp:
+        view.ensure()
+        sp.set(nodes=len(view.node_names))
+        fwd = forward(view, derates)
+        slacks = setup_slacks(view, fwd)
+        if slacks.shape[-1] == 0:
+            return np.full(derates.shape[0], np.inf)
+        return slacks.min(axis=-1)
 
 
 def batched_wns(view: NetlistArrayView, derates: np.ndarray,
@@ -340,16 +344,19 @@ def batched_wns(view: NetlistArrayView, derates: np.ndarray,
     reductions mirror :meth:`TimingSession._summarize` (min over the
     scalar check list, +inf when a kind has no checks).
     """
-    view.ensure()
-    fwd = forward(view, derates, lut_arrays=lut_arrays)
-    samples = derates.shape[0]
-    slacks = setup_slacks(view, fwd, setup=setup)
-    wns = slacks.min(axis=-1) if slacks.shape[-1] \
-        else np.full(samples, np.inf)
-    holds = hold_slacks(view, fwd, hold=hold)
-    hold_wns = holds.min(axis=-1) if holds.shape[-1] \
-        else np.full(samples, np.inf)
-    return wns, hold_wns
+    with span("compute.batched_wns", batch=int(derates.shape[0]),
+              corner_luts=lut_arrays is not None) as sp:
+        view.ensure()
+        sp.set(nodes=len(view.node_names))
+        fwd = forward(view, derates, lut_arrays=lut_arrays)
+        samples = derates.shape[0]
+        slacks = setup_slacks(view, fwd, setup=setup)
+        wns = slacks.min(axis=-1) if slacks.shape[-1] \
+            else np.full(samples, np.inf)
+        holds = hold_slacks(view, fwd, hold=hold)
+        hold_wns = holds.min(axis=-1) if holds.shape[-1] \
+            else np.full(samples, np.inf)
+        return wns, hold_wns
 
 
 # --- leakage kernels --------------------------------------------------------

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.errors import TimingError
 from repro.liberty.library import CellKind, Lut, VthClass
+from repro.obs.spans import span
 
 #: Sense codes used by the backward kernel.
 SENSE_POSITIVE = 0
@@ -404,6 +405,13 @@ class NetlistArrayView:
     # --- build ----------------------------------------------------------
 
     def _rebuild(self):
+        with span("compute.lower",
+                  instances=len(self.netlist.instances)) as sp:
+            self._rebuild_arrays()
+            sp.set(nodes=len(self.node_names),
+                   comb_instances=self.comb_count)
+
+    def _rebuild_arrays(self):
         self.rebuilds += 1
         netlist, library = self.netlist, self.library
         constraints = self.constraints

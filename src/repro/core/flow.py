@@ -38,6 +38,7 @@ from repro.cts.tree import CtsResult
 from repro.errors import FlowError
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist
+from repro.obs.spans import span
 from repro.placement.placer import Placement
 from repro.power.leakage import LeakageBreakdown
 from repro.routing.extract import NetParasitics
@@ -165,7 +166,9 @@ class SelectiveMtFlow:
         """
         ctx = FlowContext.create(self.source_netlist, self.library,
                                  self.technique, self.config)
-        StageRunner(self.pipeline()).run(ctx)
+        with span("flow.run", circuit=self.source_netlist.name,
+                  technique=self.technique.value):
+            StageRunner(self.pipeline()).run(ctx)
         return ctx
 
     def run(self) -> FlowResult:

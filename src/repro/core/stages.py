@@ -28,7 +28,6 @@ parasitics) regime — see ``ARCHITECTURE.md``.
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Any, Callable, Iterable
 
 from repro.config import FlowConfig, Technique
@@ -45,6 +44,7 @@ from repro.netlist.core import Instance, Netlist, PinDirection
 from repro.netlist.techmap import technology_map
 from repro.netlist.transform import swap_variant
 from repro.netlist.validate import check_netlist
+from repro.obs.spans import timed_span
 from repro.placement.legalize import legalize
 from repro.placement.placer import (
     GlobalPlacer,
@@ -282,12 +282,19 @@ class StageRunner:
 
     def run(self, ctx: FlowContext) -> FlowContext:
         for stage in self.stages:
-            started = time.perf_counter()
-            details = stage.run(ctx)
-            elapsed = time.perf_counter() - started
+            # timed_span is the same perf_counter enter/exit pair the
+            # runner always used (StageReport.elapsed_s unchanged);
+            # with tracing on it additionally records a nested span
+            # per stage, carrying the stage's report details.
+            sp = timed_span(f"stage.{stage.key}", label=stage.label)
+            with sp:
+                details = stage.run(ctx)
+                if details is not None:
+                    sp.set(**details)
             if details is not None:
                 ctx.stages.append(StageReport(
-                    name=stage.label, elapsed_s=elapsed, details=details))
+                    name=stage.label, elapsed_s=sp.elapsed_s,
+                    details=details))
         return ctx
 
 

@@ -1,0 +1,62 @@
+"""``repro.obs``: zero-dependency observability for the whole flow.
+
+Three legs, one package:
+
+* :mod:`repro.obs.spans` — hierarchical wall-clock spans (disabled by
+  default; no-op fast path benchmarked < 2 % on the STA bench);
+* :mod:`repro.obs.metrics` — the process-wide registry of counters,
+  gauges, histograms, and polled cache-stats sources;
+* :mod:`repro.obs.export` — Chrome trace-event JSON plus the
+  schema-stamped ``TraceResult`` / ``MetricsSnapshot`` wire shapes;
+* :mod:`repro.obs.logconf` — the stdlib ``repro`` logger hierarchy
+  (NullHandler by default, ``--log-level`` / ``REPRO_LOG_LEVEL``).
+"""
+
+from repro.obs.export import (
+    MetricsSnapshot,
+    SpanNode,
+    TraceResult,
+    chrome_trace_events,
+    write_chrome_trace,
+)
+from repro.obs.logconf import configure_logging, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    install_builtin_sources,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    adopt,
+    disable,
+    dropped_roots,
+    enable,
+    is_enabled,
+    reset,
+    span,
+    take_records,
+    timed_span,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "REGISTRY",
+    "SpanNode",
+    "SpanRecord",
+    "TraceResult",
+    "adopt",
+    "chrome_trace_events",
+    "configure_logging",
+    "disable",
+    "dropped_roots",
+    "enable",
+    "get_logger",
+    "install_builtin_sources",
+    "is_enabled",
+    "reset",
+    "span",
+    "take_records",
+    "timed_span",
+    "write_chrome_trace",
+]

@@ -1,0 +1,137 @@
+"""Exporters: Chrome trace-event JSON and schema-stamped snapshots.
+
+Two consumers, two formats:
+
+* **Chrome trace-event JSON** (:func:`write_chrome_trace`): the file
+  ``repro-smt flow --trace out.json`` writes, loadable directly in
+  Perfetto / ``chrome://tracing``.  Complete events (``"ph": "X"``)
+  with microsecond timestamps; nesting is implied by time containment
+  on each ``pid``/``tid`` track, which is exactly how the spans were
+  measured.
+* **Schema-registered dataclasses** (:class:`SpanNode`,
+  :class:`TraceResult`, :class:`MetricsSnapshot`): the wire shapes
+  ``/v1/metrics`` and trace-carrying results use, versioned through
+  ``repro.api.schemas`` like every other result type.  Registration
+  lives in ``repro.api.results`` (the schema registry's home) so this
+  module stays importable without pulling in the api package.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Any
+
+from repro.obs.spans import _SCALARS, SpanRecord
+
+
+def _clean_value(value) -> Any:
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)   # strict JSON has no Infinity/NaN literal
+    if isinstance(value, _SCALARS):
+        return value
+    return repr(value)
+
+
+def _clean_attrs(attributes: dict) -> dict[str, Any]:
+    """Coerce attribute values to JSON scalars (repr() for the rest)."""
+    return {str(key): _clean_value(value)
+            for key, value in attributes.items()}
+
+
+@dataclasses.dataclass(frozen=True)
+class SpanNode:
+    """One span in wire form: plain scalars, recursively nested."""
+
+    name: str
+    start_s: float
+    duration_s: float
+    pid: int
+    tid: int
+    attributes: dict[str, Any] = dataclasses.field(default_factory=dict)
+    children: tuple["SpanNode", ...] = ()
+
+    @classmethod
+    def from_record(cls, record: SpanRecord) -> "SpanNode":
+        return cls(
+            name=record.name,
+            start_s=record.start_s,
+            duration_s=record.duration_s,
+            pid=record.pid,
+            tid=record.tid,
+            attributes=_clean_attrs(record.attributes),
+            children=tuple(cls.from_record(child)
+                           for child in record.children))
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceResult:
+    """A completed trace: the forest of root spans from one run."""
+
+    spans: tuple[SpanNode, ...] = ()
+
+    @classmethod
+    def from_records(cls, records) -> "TraceResult":
+        return cls(spans=tuple(SpanNode.from_record(r) for r in records))
+
+    def span_names(self) -> tuple[str, ...]:
+        """Every span name in the trace, depth-first (tests/assertions)."""
+        return tuple(node.name for root in self.spans
+                     for node in root.walk())
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricsSnapshot:
+    """Point-in-time metrics: what ``GET /v1/metrics`` returns."""
+
+    counters: dict[str, int] = dataclasses.field(default_factory=dict)
+    gauges: dict[str, float] = dataclasses.field(default_factory=dict)
+    histograms: dict[str, dict] = dataclasses.field(default_factory=dict)
+    caches: dict[str, dict] = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def from_registry(cls, registry) -> "MetricsSnapshot":
+        snap = registry.snapshot()
+        return cls(counters=snap["counters"], gauges=snap["gauges"],
+                   histograms=snap["histograms"], caches=snap["caches"])
+
+
+def chrome_trace_events(records) -> list[dict]:
+    """Flatten span trees into Chrome complete events (``ph: "X"``)."""
+    events: list[dict] = []
+
+    def emit(record: SpanRecord):
+        events.append({
+            "name": record.name,
+            "ph": "X",
+            "ts": record.start_s * 1e6,        # perf_counter µs
+            "dur": record.duration_s * 1e6,
+            "pid": record.pid,
+            "tid": record.tid,
+            "args": _clean_attrs(record.attributes),
+        })
+        for child in record.children:
+            emit(child)
+
+    for record in records:
+        emit(record)
+    return events
+
+
+def write_chrome_trace(path, records) -> pathlib.Path:
+    """Write the trace-event JSON file Perfetto loads; returns path."""
+    out = pathlib.Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(records),
+        "displayTimeUnit": "ms",
+    }
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True),
+                   encoding="utf-8")
+    return out

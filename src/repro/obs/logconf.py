@@ -1,0 +1,80 @@
+"""The ``repro`` logging hierarchy.
+
+Library rule: every module logs through ``get_logger(__name__)``-style
+children of the root ``repro`` logger, which carries a NullHandler so
+importing the library never prints.  Applications (the CLI, the smoke
+scripts) opt in with :func:`configure_logging`, resolved in order:
+
+1. an explicit level argument (``repro-smt --log-level debug``);
+2. the ``REPRO_LOG_LEVEL`` environment variable;
+3. neither → leave logging untouched (NullHandler only).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+ENV_VAR = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker so repeated configure_logging calls replace, not stack,
+#: the handler (the restart leg of the smoke test reconfigures).
+_HANDLER_NAME = "repro-obs-stream"
+
+root_logger = logging.getLogger("repro")
+if not any(isinstance(h, logging.NullHandler)
+           for h in root_logger.handlers):
+    root_logger.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "repro") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Accepts either a dotted module path (``repro.api.service`` passes
+    through) or a bare suffix (``"service"`` → ``repro.service``).
+    """
+    if name == "repro" or name.startswith("repro."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")
+
+
+def resolve_level(level: str | int | None) -> int | None:
+    """Map a level name/number (or the env var) to a logging level."""
+    if level is None:
+        level = os.environ.get(ENV_VAR) or None
+    if level is None:
+        return None
+    if isinstance(level, int):
+        return level
+    text = str(level).strip().upper()
+    if text.isdigit():
+        return int(text)
+    resolved = logging.getLevelName(text)
+    if isinstance(resolved, int):
+        return resolved
+    raise ValueError(f"unknown log level: {level!r}")
+
+
+def configure_logging(level: str | int | None = None,
+                      stream=None) -> bool:
+    """Attach a stream handler to the ``repro`` logger.
+
+    Returns True when logging was configured, False when no level was
+    requested (argument and env var both unset).  Idempotent: the
+    previous obs-owned handler is replaced, never stacked.
+    """
+    resolved = resolve_level(level)
+    if resolved is None:
+        return False
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.name = _HANDLER_NAME
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    for old in list(root_logger.handlers):
+        if old.name == _HANDLER_NAME:
+            root_logger.removeHandler(old)
+    root_logger.addHandler(handler)
+    root_logger.setLevel(resolved)
+    return True

@@ -40,6 +40,7 @@ from repro.errors import FlowError
 from repro.liberty.library import Library
 from repro.liberty.synth import build_default_library
 from repro.netlist.core import Netlist
+from repro.obs import spans as obs_spans
 
 ALL_TECHNIQUES = (Technique.DUAL_VTH, Technique.CONVENTIONAL_SMT,
                   Technique.IMPROVED_SMT)
@@ -82,6 +83,12 @@ class JobOutcome:
     #: The compute backend the job actually ran on (after the graceful
     #: numpy-missing fallback in the worker process).
     compute_backend: str = "python"
+    #: Finished span trees recorded while the job ran (tracing only).
+    #: Spans are collected per process, so a pool worker's trees ride
+    #: home on the outcome; :class:`ExperimentRunner` grafts them into
+    #: the parent trace and clears the field.
+    spans: tuple = dataclasses.field(default=(), repr=False,
+                                     compare=False)
 
     @property
     def ok(self) -> bool:
@@ -99,15 +106,18 @@ def _process_library() -> Library:
     return _PROCESS_LIBRARY
 
 
-def _worker_init(library: Library | None):
+def _worker_init(library: Library | None, tracing: bool = False):
     """Pool initializer: install the caller's library in the worker.
 
     Runs once per worker process under both fork and spawn start
     methods, so a caller-supplied (possibly custom) library reaches
-    every job and serial/parallel runs stay bit-identical.
+    every job and serial/parallel runs stay bit-identical.  When the
+    parent traces, the worker traces too (its finished spans ship back
+    with each result).
     """
     global _PROCESS_LIBRARY
     _PROCESS_LIBRARY = library
+    obs_spans.enable(tracing)
 
 
 def run_flow_job(job: FlowJob, library: Library | None = None) -> JobOutcome:
@@ -122,10 +132,14 @@ def run_flow_job(job: FlowJob, library: Library | None = None) -> JobOutcome:
         backend = resolve_backend(config.compute_backend)
         netlist = job.netlist if job.netlist is not None \
             else load_circuit(job.circuit)
-        flow = SelectiveMtFlow(netlist, library, job.technique, config)
-        result = flow.run()
+        with obs_spans.span("runner.flow_job", circuit=job.circuit,
+                            technique=job.technique.value) as sp:
+            flow = SelectiveMtFlow(netlist, library, job.technique,
+                                   config)
+            result = flow.run()
+            sp.set(backend=backend)
         mt, switches, holders = count_cell_kinds(result.netlist, library)
-        return JobOutcome(
+        outcome = JobOutcome(
             circuit=job.circuit,
             technique=job.technique,
             area_um2=result.total_area,
@@ -136,18 +150,30 @@ def run_flow_job(job: FlowJob, library: Library | None = None) -> JobOutcome:
             elapsed_s=time.perf_counter() - started,
             compute_backend=backend)
     except Exception:
-        return JobOutcome(
+        outcome = JobOutcome(
             circuit=job.circuit, technique=job.technique,
             area_um2=0.0, leakage_nw=0.0, wns=0.0, hold_wns=0.0,
             mt_cells=0, switches=0, holders=0,
             elapsed_s=time.perf_counter() - started,
             error=traceback.format_exc(),
             compute_backend=backend)
+    if obs_spans.is_enabled():
+        # Stash any finished root spans on the outcome so they survive
+        # the pool's pickle boundary; the runner adopts them back into
+        # the live trace (serial and pooled runs end up identical).
+        outcome.spans = tuple(obs_spans.take_records())
+    return outcome
 
 
 def _map_call(fn, item):
-    """Pool-side trampoline: hand the worker's library to the job fn."""
-    return fn(item, _process_library())
+    """Pool-side trampoline: hand the worker's library to the job fn.
+
+    Ships the worker's finished span trees (if tracing) alongside the
+    result, so generic mapped functions — corner signoff, Monte-Carlo
+    chunks — propagate their spans without knowing about tracing.
+    """
+    result = fn(item, _process_library())
+    return result, obs_spans.take_records()
 
 
 class ExperimentRunner:
@@ -175,13 +201,30 @@ class ExperimentRunner:
         if self.jobs == 1 or len(items) <= 1:
             library = self.library if self.library is not None \
                 else _process_library()
-            return [fn(item, library) for item in items]
+            results = [fn(item, library) for item in items]
+            self._graft_result_spans(results)
+            return results
         workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 initializer=_worker_init,
-                                 initargs=(self.library,)) as pool:
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_worker_init,
+                initargs=(self.library, obs_spans.is_enabled())) as pool:
             futures = [pool.submit(_map_call, fn, item) for item in items]
-            return [future.result() for future in futures]
+            results = []
+            for future in futures:
+                result, worker_spans = future.result()
+                obs_spans.adopt(worker_spans)
+                results.append(result)
+        self._graft_result_spans(results)
+        return results
+
+    @staticmethod
+    def _graft_result_spans(results):
+        """Adopt spans riding on outcomes (see JobOutcome.spans)."""
+        for result in results:
+            records = getattr(result, "spans", None)
+            if records:
+                obs_spans.adopt(records)
+                result.spans = ()
 
     def run(self, flow_jobs: Sequence[FlowJob]) -> list[JobOutcome]:
         return self.map(run_flow_job, flow_jobs)

@@ -39,6 +39,7 @@ from repro.config import Technique
 from repro.errors import StandbyError
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist
+from repro.obs.spans import span
 from repro.standby.scenario import PowerModeScenario
 from repro.standby.schedule import (
     RushScheduler,
@@ -256,6 +257,12 @@ class StandbyEngine:
     # --- public -------------------------------------------------------------
 
     def run(self) -> StandbyResult:
+        with span("standby.run", corners=len(self.corners),
+                  scenarios=len(self.scenarios),
+                  clusters=len(self.network.clusters)):
+            return self._run_impl()
+
+    def _run_impl(self) -> StandbyResult:
         # The quantile grids are corner-independent: build them once.
         points: list[tuple[float, float]] = []
         spans: list[tuple[int, int]] = []

@@ -50,6 +50,7 @@ from repro.errors import TimingError
 from repro.liberty.library import CellKind, Library, TimingArc
 from repro.netlist import transform
 from repro.netlist.core import Instance, Net, Netlist, Pin
+from repro.obs.spans import span
 from repro.timing.constraints import Constraints
 from repro.timing.delay import NetModel
 from repro.timing.sta import (
@@ -269,7 +270,13 @@ class TimingSession:
         if self._full_needed or self._report is None:
             report = self._full_run()
         else:
-            report = self._incremental_run()
+            # An incremental pass that blows its cone budget escalates
+            # to _full_run() internally; the trace shows that as an
+            # sta.full_run span nested under this one.
+            with span("sta.incremental",
+                      dirty_comb=len(self._dirty_comb),
+                      dirty_seq=len(self._dirty_seq)):
+                report = self._incremental_run()
         self._dirty_comb.clear()
         self._dirty_seq.clear()
         self._full_needed = False
@@ -357,11 +364,14 @@ class TimingSession:
         return self._view
 
     def _full_run(self) -> TimingReport:
-        if self.compute_backend == "numpy":
-            report = self._full_run_numpy()
-            if report is not None:
-                return report
-        return self._full_run_python()
+        with span("sta.full_run", instances=self._comb_count) as sp:
+            if self.compute_backend == "numpy":
+                report = self._full_run_numpy()
+                if report is not None:
+                    sp.set(backend="numpy")
+                    return report
+            sp.set(backend="python")
+            return self._full_run_python()
 
     def _full_run_numpy(self) -> TimingReport | None:
         view = self._ensure_view()

@@ -30,6 +30,7 @@ from typing import Mapping, Sequence
 from repro.errors import ConfigError, FlowError
 from repro.liberty.library import Library, VthClass
 from repro.netlist.core import Netlist
+from repro.obs.spans import span
 from repro.power.leakage import LeakageAnalyzer
 from repro.timing.constraints import Constraints
 from repro.timing.session import TimingSession
@@ -277,9 +278,12 @@ class MonteCarloEngine:
         """Evaluate samples ``start .. start + count - 1`` in order."""
         if count is None:
             count = self.config.samples
-        if self.compute_backend == "numpy":
-            return self._run_batch(start, count)
-        return [self.sample(index) for index in range(start, start + count)]
+        with span("mc.chunk", start=start, count=count,
+                  backend=self.compute_backend):
+            if self.compute_backend == "numpy":
+                return self._run_batch(start, count)
+            return [self.sample(index)
+                    for index in range(start, start + count)]
 
     #: Memory bound for one batched tile: samples-per-tile is chosen so
     #: the (samples x instances) work arrays stay around this many

@@ -15,6 +15,7 @@ from typing import Any, Mapping
 
 from repro.liberty.library import Library
 from repro.netlist.core import Netlist
+from repro.obs.spans import span
 from repro.power.leakage import LeakageAnalyzer, LeakageBreakdown
 from repro.timing.constraints import Constraints
 from repro.timing.sta import TimingAnalyzer
@@ -67,22 +68,24 @@ def evaluate_corner(netlist: Netlist, library: Library, corner: PvtCorner,
     per-call derivation; results are identical either way because
     :func:`derive_corner_library` is a pure function.
     """
-    if corner_library is None:
-        corner_library = derive_corner_library(library, corner)
-    derates = None
-    if network is not None:
-        assumed = corner_library.mt_assumed_bounce_v
-        if assumed is None:
-            assumed = corner_library.tech.vdd * 0.04
-        derates = network.derates(netlist, corner_library, assumed)
-    report = TimingAnalyzer(netlist, corner_library, constraints,
-                            parasitics=parasitics, derates=derates,
-                            clock_arrivals=clock_arrivals,
-                            compute_backend=compute_backend).run()
-    breakdown = LeakageAnalyzer(
-        netlist, corner_library,
-        compute_backend=compute_backend).standby_leakage()
-    scales = corner_scales(library.tech, corner)
+    with span("signoff.corner", corner=corner.name,
+              instances=len(netlist.instances)):
+        if corner_library is None:
+            corner_library = derive_corner_library(library, corner)
+        derates = None
+        if network is not None:
+            assumed = corner_library.mt_assumed_bounce_v
+            if assumed is None:
+                assumed = corner_library.tech.vdd * 0.04
+            derates = network.derates(netlist, corner_library, assumed)
+        report = TimingAnalyzer(netlist, corner_library, constraints,
+                                parasitics=parasitics, derates=derates,
+                                clock_arrivals=clock_arrivals,
+                                compute_backend=compute_backend).run()
+        breakdown = LeakageAnalyzer(
+            netlist, corner_library,
+            compute_backend=compute_backend).standby_leakage()
+        scales = corner_scales(library.tech, corner)
     return CornerResult(
         corner=corner,
         leakage_nw=breakdown.total_nw,
@@ -127,6 +130,32 @@ def evaluate_corners_batched(netlist: Netlist, library: Library,
                              compute_backend: str | None = None,
                              corner_libraries: Mapping[str, Library] | None = None
                              ) -> dict[str, CornerResult]:
+    """Span-instrumented front door for :func:`_corners_batched_impl`.
+
+    The sequential fallback's per-corner ``signoff.corner`` spans nest
+    under this one, so a trace shows at a glance whether the grid ran
+    as one array pass or as a scalar loop.
+    """
+    from repro.compute import resolve_backend
+
+    names = list(corner_names)
+    with span("signoff.corners_batched", corners=len(names),
+              backend=resolve_backend(compute_backend)):
+        return _corners_batched_impl(
+            netlist, library, names, constraints, parasitics=parasitics,
+            network=network, clock_arrivals=clock_arrivals,
+            compute_backend=compute_backend,
+            corner_libraries=corner_libraries)
+
+
+def _corners_batched_impl(netlist: Netlist, library: Library,
+                          corner_names, constraints: Constraints,
+                          parasitics: Mapping[str, object] | None = None,
+                          network=None,
+                          clock_arrivals: Mapping[str, float] | None = None,
+                          compute_backend: str | None = None,
+                          corner_libraries: Mapping[str, Library] | None = None
+                          ) -> dict[str, CornerResult]:
     """The whole corner grid in one array pass (numpy backend).
 
     Derived corner libraries differ from the nominal one only by

@@ -42,6 +42,37 @@ def test_health(client):
     payload = client.health()
     assert payload["status"] == "ok"
     assert "cache_stats" in payload
+    assert payload["queue_depth"] == 0
+    assert isinstance(payload["jobs_by_kind"], dict)
+
+
+def test_metrics_endpoint_is_schema_stamped(client):
+    payload = client.metrics()
+    assert payload[schemas.SCHEMA_KEY] == "metrics_snapshot"
+    for section in ("counters", "gauges", "histograms", "caches"):
+        assert section in payload
+    # The unified cache tree includes the live workspace and the
+    # process-wide sources.
+    assert "workspace" in payload["caches"]
+    assert "corner_memo" in payload["caches"]
+    assert "lowering" in payload["caches"]
+
+
+def test_metrics_count_jobs_and_latency(client):
+    from repro.obs import MetricsSnapshot
+
+    before = client.metrics_snapshot().counters.get(
+        "service.jobs.analyze", 0)
+    client.run("analyze", "c17", config=CONFIG)
+    snap = client.metrics_snapshot()
+    assert isinstance(snap, MetricsSnapshot)
+    assert snap.counters.get("service.jobs.analyze", 0) == before + 1
+    latency = snap.histograms.get("service.job_latency_s", {})
+    assert latency.get("count", 0) >= 1
+    assert latency["max"] >= latency["min"] >= 0.0
+    assert snap.gauges.get("service.queue_depth") == 0
+    health = client.health()
+    assert health["jobs_by_kind"].get("analyze", 0) >= 1
 
 
 def test_schemas_endpoint(client):

@@ -287,3 +287,34 @@ def test_cache_stats_shape(workspace):
     assert "flow" in stats
     assert set(stats["flow"]) == {"hits", "misses"}
     assert stats["flow"]["misses"] >= 1
+
+
+def test_stats_tree_unifies_every_cache_layer(workspace):
+    tree = workspace.stats_tree()
+    assert set(tree) == {"workspace", "corner_memo", "lowering"}
+    flow = tree["workspace"]["flow"]
+    assert set(flow) == {"hits", "misses", "hit_rate"}
+    assert 0.0 <= flow["hit_rate"] <= 1.0
+    total = flow["hits"] + flow["misses"]
+    assert flow["hit_rate"] == (flow["hits"] / total if total else 0.0)
+    assert "hits" in tree["corner_memo"]
+
+
+def test_cache_stats_is_a_view_of_the_tree(workspace):
+    """The legacy flat dict and the unified tree agree exactly."""
+    stats = workspace.cache_stats()
+    tree = workspace.stats_tree()
+    for cache, counts in tree["workspace"].items():
+        assert stats[cache]["hits"] == counts["hits"]
+        assert stats[cache]["misses"] == counts["misses"]
+    assert stats["corner_memo"] == tree["corner_memo"]
+    if tree["lowering"]:
+        assert stats["lowering"] == tree["lowering"]
+    else:
+        assert "lowering" not in stats
+
+
+def test_empty_cache_stats_tree_has_zero_hit_rates(library):
+    tree = Workspace(library=library).stats_tree()
+    for counts in tree["workspace"].values():
+        assert counts["hit_rate"] == 0.0

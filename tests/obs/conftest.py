@@ -1,0 +1,16 @@
+"""Fixtures for the observability suite: a clean tracer per test."""
+
+import pytest
+
+from repro.obs import spans
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Spans collected (or left enabled) by one test never leak into
+    the next — or into the rest of the suite."""
+    spans.reset()
+    spans.disable()
+    yield
+    spans.reset()
+    spans.disable()

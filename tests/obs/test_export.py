@@ -1,0 +1,100 @@
+"""Exporters: Chrome trace-event JSON and schema round-trips."""
+
+import json
+
+from repro.api import schemas  # registers the obs schemas (results.py)
+from repro.obs import (
+    SpanNode,
+    TraceResult,
+    chrome_trace_events,
+    enable,
+    span,
+    take_records,
+    write_chrome_trace,
+)
+from repro.obs.export import _clean_attrs
+from repro.obs.spans import SpanRecord
+
+
+def _sample_records():
+    enable()
+    with span("flow.run", circuit="c17"):
+        with span("stage.a", cells=3):
+            pass
+        with span("stage.b"):
+            pass
+    return take_records()
+
+
+# --- chrome trace events ----------------------------------------------------
+
+
+def test_chrome_events_flatten_the_tree():
+    events = chrome_trace_events(_sample_records())
+    assert [event["name"] for event in events] == \
+        ["flow.run", "stage.a", "stage.b"]
+    for event in events:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0.0
+        assert isinstance(event["pid"], int)
+    root, stage_a, _ = events
+    assert root["args"] == {"circuit": "c17"}
+    assert stage_a["args"] == {"cells": 3}
+    # Microsecond timestamps: children start inside the parent.
+    assert stage_a["ts"] >= root["ts"]
+
+
+def test_write_chrome_trace_is_loadable_strict_json(tmp_path):
+    path = write_chrome_trace(tmp_path / "trace.json",
+                              _sample_records())
+    payload = json.loads(path.read_text(encoding="utf-8"),
+                         parse_constant=lambda _: (_ for _ in ()).throw(
+                             ValueError("non-strict JSON constant")))
+    assert payload["displayTimeUnit"] == "ms"
+    assert len(payload["traceEvents"]) == 3
+
+
+def test_clean_attrs_coerces_non_scalars_and_non_finite():
+    cleaned = _clean_attrs({
+        "ok": 1, "name": "x", "flag": True, "nothing": None,
+        "obj": object(), "inf": float("inf"), "nan": float("nan"),
+    })
+    assert cleaned["ok"] == 1 and cleaned["flag"] is True
+    assert cleaned["nothing"] is None
+    assert cleaned["obj"].startswith("<object object")
+    assert cleaned["inf"] == "inf"
+    assert cleaned["nan"] == "nan"
+    json.dumps(cleaned, allow_nan=False)  # strict-JSON safe
+
+
+# --- schema round-trips -----------------------------------------------------
+
+
+def test_trace_result_round_trips_through_the_registry():
+    result = TraceResult.from_records(_sample_records())
+    payload = schemas.check_round_trip(result)
+    assert payload[schemas.SCHEMA_KEY] == "trace_result"
+    decoded = schemas.from_dict(payload)
+    assert decoded == result
+    assert decoded.span_names() == \
+        ("flow.run", "stage.a", "stage.b")
+
+
+def test_span_node_nests_recursively():
+    record = SpanRecord(
+        name="outer", start_s=0.0, duration_s=2.0, pid=1, tid=2,
+        attributes={"deep": object()},
+        children=[SpanRecord(name="inner", start_s=0.5, duration_s=1.0,
+                             pid=1, tid=2)])
+    node = SpanNode.from_record(record)
+    assert [n.name for n in node.walk()] == ["outer", "inner"]
+    assert isinstance(node.attributes["deep"], str)  # repr()'d
+    payload = schemas.to_dict(node)
+    assert payload["children"][0]["name"] == "inner"
+    assert schemas.from_dict(payload) == node
+
+
+def test_empty_trace_is_valid():
+    result = TraceResult()
+    assert schemas.from_dict(schemas.check_round_trip(result)) == result
+    assert result.span_names() == ()

@@ -1,0 +1,85 @@
+"""The ``repro`` logging hierarchy and its opt-in configuration."""
+
+import io
+import logging
+
+import pytest
+
+from repro.obs import configure_logging, get_logger
+from repro.obs.logconf import (
+    _HANDLER_NAME,
+    ENV_VAR,
+    resolve_level,
+    root_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def pristine_repro_logger():
+    """Strip obs-owned handlers and level changes after each test."""
+    yield
+    for handler in list(root_logger.handlers):
+        if handler.name == _HANDLER_NAME:
+            root_logger.removeHandler(handler)
+    root_logger.setLevel(logging.NOTSET)
+
+
+def _obs_handlers():
+    return [h for h in root_logger.handlers if h.name == _HANDLER_NAME]
+
+
+def test_import_is_silent_null_handler_only():
+    assert any(isinstance(h, logging.NullHandler)
+               for h in root_logger.handlers)
+    assert not _obs_handlers()
+
+
+def test_get_logger_normalizes_names():
+    assert get_logger().name == "repro"
+    assert get_logger("repro.api.service").name == "repro.api.service"
+    assert get_logger("scripts.smoke").name == "repro.scripts.smoke"
+
+
+def test_resolve_level_accepts_names_numbers_and_env(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert resolve_level(None) is None
+    assert resolve_level("debug") == logging.DEBUG
+    assert resolve_level("INFO") == logging.INFO
+    assert resolve_level(25) == 25
+    assert resolve_level("30") == 30
+    monkeypatch.setenv(ENV_VAR, "warning")
+    assert resolve_level(None) == logging.WARNING
+    with pytest.raises(ValueError, match="unknown log level"):
+        resolve_level("loudest")
+
+
+def test_configure_logging_noop_without_level(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert configure_logging() is False
+    assert not _obs_handlers()
+
+
+def test_configure_logging_routes_messages():
+    stream = io.StringIO()
+    assert configure_logging("INFO", stream=stream) is True
+    get_logger("api.service").info("job %s done", "job-1")
+    text = stream.getvalue()
+    assert "job job-1 done" in text
+    assert "repro.api.service" in text
+
+
+def test_configure_logging_replaces_not_stacks():
+    configure_logging("INFO", stream=io.StringIO())
+    configure_logging("DEBUG", stream=io.StringIO())
+    assert len(_obs_handlers()) == 1
+    assert root_logger.level == logging.DEBUG
+
+
+def test_env_var_drives_configuration(monkeypatch):
+    monkeypatch.setenv(ENV_VAR, "ERROR")
+    stream = io.StringIO()
+    assert configure_logging(stream=stream) is True
+    get_logger("x").warning("hidden")
+    get_logger("x").error("shown")
+    assert "hidden" not in stream.getvalue()
+    assert "shown" in stream.getvalue()

@@ -1,0 +1,84 @@
+"""Tracing across the real flow: stage coverage, pool propagation."""
+
+import os
+
+from repro.api import Workspace
+from repro.config import FlowConfig, Technique
+from repro.core.stages import PIPELINES
+from repro.obs import TraceResult, enable, take_records
+from repro.runner import ExperimentRunner, FlowJob
+
+CONFIG = FlowConfig(timing_margin=0.2)
+
+
+def test_flow_trace_covers_every_pipeline_stage(library):
+    enable()
+    technique = Technique.IMPROVED_SMT
+    Workspace(library=library, config=CONFIG) \
+        .design("c17").flow_result(technique)
+    trace = TraceResult.from_records(take_records())
+    names = trace.span_names()
+    assert "api.flow" in names
+    assert "flow.run" in names
+    for key in PIPELINES[technique]:
+        assert f"stage.{key}" in names, f"stage {key} left untraced"
+    # Nesting: the stages sit under flow.run, not as stray roots.
+    roots = [node.name for node in trace.spans]
+    assert all(not name.startswith("stage.") for name in roots)
+    # The STA engine traced its runs somewhere inside the flow.
+    assert "sta.full_run" in names
+
+
+def test_stage_report_timings_unchanged_by_tracing(library):
+    """StageReport.elapsed_s comes from the same perf_counter pair
+    whether or not spans are recorded."""
+    baseline = Workspace(library=library, config=CONFIG) \
+        .design("c17").flow_result(Technique.DUAL_VTH)
+    enable()
+    traced = Workspace(library=library, config=CONFIG) \
+        .design("c17").flow_result(Technique.DUAL_VTH)
+    take_records()
+    assert [report.name for report in traced.stages] == \
+        [report.name for report in baseline.stages]
+    assert all(report.elapsed_s >= 0.0 for report in traced.stages)
+    # The numbers themselves stay bit-identical run to run.
+    assert traced.leakage_nw == baseline.leakage_nw
+    assert traced.total_area == baseline.total_area
+
+
+def test_pool_ships_worker_spans_back_to_the_parent(library):
+    enable()
+    runner = ExperimentRunner(jobs=2, library=library)
+    jobs = [FlowJob(circuit=circuit, technique=Technique.DUAL_VTH,
+                    config=CONFIG)
+            for circuit in ("c17", "s27")]
+    outcomes = runner.run(jobs)
+    assert all(outcome.ok for outcome in outcomes)
+    # The spans crossed the process boundary and were re-adopted here;
+    # the outcome objects themselves arrive drained.
+    assert all(outcome.spans == () for outcome in outcomes)
+    records = take_records()
+    flow_jobs = [record for root in records for record in root.walk()
+                 if record.name == "runner.flow_job"]
+    assert len(flow_jobs) >= 2
+    assert {record.attributes["circuit"] for record in flow_jobs} == \
+        {"c17", "s27"}
+    # At least one was measured in a pool worker, not this process.
+    assert any(record.pid != os.getpid() for record in flow_jobs)
+    # And the flow itself traced inside the job span, worker-side.
+    assert any(child.name == "flow.run"
+               for record in flow_jobs
+               for child in record.children)
+
+
+def test_serial_runner_traces_identically_shaped_jobs(library):
+    enable()
+    runner = ExperimentRunner(jobs=1, library=library)
+    job = FlowJob(circuit="c17", technique=Technique.DUAL_VTH,
+                  config=CONFIG)
+    assert runner.run([job])[0].ok
+    records = take_records()
+    names = [record.name for root in records
+             for record in root.walk()]
+    assert "runner.flow_job" in names
+    assert "flow.run" in names

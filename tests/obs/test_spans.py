@@ -1,0 +1,180 @@
+"""Span collection: nesting, determinism, no-op fast path, adoption."""
+
+import os
+import threading
+
+from repro.obs import spans
+from repro.obs.spans import (
+    SpanRecord,
+    adopt,
+    disable,
+    dropped_roots,
+    enable,
+    is_enabled,
+    span,
+    take_records,
+    timed_span,
+)
+
+
+# --- disabled fast path -----------------------------------------------------
+
+
+def test_disabled_span_is_shared_noop():
+    assert not is_enabled()
+    first = span("anything", key=1)
+    second = span("else")
+    assert first is second  # one shared null object, no allocation
+    with first as sp:
+        sp.set(ignored=True)
+    assert take_records() == []
+
+
+def test_timed_span_measures_even_when_disabled():
+    sp = timed_span("stage.x")
+    with sp:
+        pass
+    assert sp.elapsed_s >= 0.0
+    assert take_records() == []  # measured, not recorded
+
+
+# --- nesting and attributes -------------------------------------------------
+
+
+def test_spans_nest_into_one_tree():
+    enable()
+    with span("outer", level=0):
+        with span("inner.a"):
+            with span("leaf"):
+                pass
+        with span("inner.b") as sp:
+            sp.set(marked=True)
+    roots = take_records()
+    assert len(roots) == 1
+    outer = roots[0]
+    assert outer.name == "outer"
+    assert outer.attributes == {"level": 0}
+    assert [child.name for child in outer.children] == \
+        ["inner.a", "inner.b"]
+    assert outer.children[0].children[0].name == "leaf"
+    assert outer.children[1].attributes == {"marked": True}
+    assert outer.pid == os.getpid()
+
+
+def test_attributes_set_mid_span_are_snapshotted_at_exit():
+    enable()
+    sp = span("s", fixed=1)
+    with sp:
+        sp.set(late=2)
+    record = take_records()[0]
+    assert record.attributes == {"fixed": 1, "late": 2}
+    sp.set(after=3)  # mutating the handle after exit changes nothing
+    assert record.attributes == {"fixed": 1, "late": 2}
+
+
+def test_durations_are_ordered_and_contained():
+    enable()
+    with span("outer"):
+        with span("inner"):
+            pass
+    outer = take_records()[0]
+    inner = outer.children[0]
+    assert outer.duration_s >= inner.duration_s >= 0.0
+    assert outer.start_s <= inner.start_s
+
+
+# --- determinism ------------------------------------------------------------
+
+
+def _do_work():
+    with span("run", circuit="c17"):
+        for key in ("a", "b"):
+            with span(f"stage.{key}") as sp:
+                sp.set(cells=3)
+
+
+def test_shape_is_deterministic_across_runs():
+    enable()
+    _do_work()
+    first = [record.shape() for record in take_records()]
+    _do_work()
+    second = [record.shape() for record in take_records()]
+    assert first == second
+    assert first[0][0] == "run"
+
+
+# --- adoption (process-pool graft) ------------------------------------------
+
+
+def _shipped() -> SpanRecord:
+    """A record as a pool worker would ship it back."""
+    return SpanRecord(name="worker.flow", start_s=0.0, duration_s=1.0,
+                      pid=99999, tid=1)
+
+
+def test_adopt_under_open_span_becomes_a_child():
+    enable()
+    with span("parent"):
+        adopt([_shipped()])
+    parent = take_records()[0]
+    assert [child.name for child in parent.children] == ["worker.flow"]
+    assert parent.children[0].pid == 99999
+
+
+def test_adopt_without_open_span_lands_as_roots():
+    enable()
+    adopt([_shipped(), _shipped()])
+    assert [record.name for record in take_records()] == \
+        ["worker.flow", "worker.flow"]
+
+
+def test_adopt_is_noop_when_disabled():
+    adopt([_shipped()])
+    assert take_records() == []
+
+
+def test_adopt_ignores_non_records():
+    enable()
+    adopt(["garbage", None, 42])
+    assert take_records() == []
+
+
+# --- thread isolation and the root cap --------------------------------------
+
+
+def test_threads_keep_separate_stacks():
+    enable()
+    done = threading.Event()
+
+    def other():
+        with span("thread.other"):
+            pass
+        done.set()
+
+    with span("thread.main"):
+        worker = threading.Thread(target=other)
+        worker.start()
+        worker.join()
+        assert done.wait(5)
+    roots = {record.name for record in take_records()}
+    # The other thread's span is a sibling root, never a child of the
+    # span that happened to be open on the main thread.
+    assert roots == {"thread.main", "thread.other"}
+
+
+def test_root_cap_drops_and_counts(monkeypatch):
+    monkeypatch.setattr(spans, "MAX_ROOTS", 2)
+    enable()
+    for index in range(4):
+        with span(f"s{index}"):
+            pass
+    assert len(take_records()) == 2
+    assert dropped_roots() == 2
+
+
+def test_disable_keeps_collected_records():
+    enable()
+    with span("kept"):
+        pass
+    disable()
+    assert [record.name for record in take_records()] == ["kept"]

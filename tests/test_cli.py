@@ -247,3 +247,48 @@ def test_standby_rejects_unknown_corner(capsys):
                  "--scenarios", "mostly_idle",
                  "--corners", "tt_blazing"]) == 2
     assert "unknown corner" in capsys.readouterr().err
+
+
+def test_flow_command_trace(tmp_path, capsys):
+    import json
+
+    from repro.obs import spans
+
+    trace = tmp_path / "trace.json"
+    try:
+        assert main(["flow", "--circuit", "c17", "--margin", "0.2",
+                     "--trace", str(trace)]) == 0
+    finally:
+        spans.disable()
+        spans.reset()
+    output = capsys.readouterr().out
+    assert f"wrote Chrome trace to {trace}" in output
+    payload = json.loads(trace.read_text(encoding="utf-8"))
+    names = {event["name"] for event in payload["traceEvents"]}
+    assert "flow.run" in names
+    assert "stage.physical_synthesis" in names
+    assert "sta.full_run" in names
+
+
+def test_log_level_option_routes_repro_logger():
+    import logging
+
+    from repro.obs.logconf import _HANDLER_NAME, root_logger
+
+    try:
+        assert main(["flow", "--circuit", "c17", "--margin", "0.2",
+                     "--log-level", "DEBUG"]) == 0
+        assert root_logger.level == logging.DEBUG
+        assert any(h.name == _HANDLER_NAME
+                   for h in root_logger.handlers)
+    finally:
+        for handler in list(root_logger.handlers):
+            if handler.name == _HANDLER_NAME:
+                root_logger.removeHandler(handler)
+        root_logger.setLevel(logging.NOTSET)
+
+
+def test_bad_log_level_is_exit_2(capsys):
+    assert main(["flow", "--circuit", "c17",
+                 "--log-level", "loudest"]) == 2
+    assert "unknown log level" in capsys.readouterr().err
