@@ -63,6 +63,15 @@ def obs_json_path() -> Path:
     return Path(__file__).resolve().parent / "BENCH_obs.json"
 
 
+def service_json_path() -> Path:
+    """Trajectory file for the job-service tier benchmarks
+    (``BENCH_service.json``, override with ``BENCH_SERVICE_JSON``)."""
+    override = os.environ.get("BENCH_SERVICE_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_service.json"
+
+
 def standby_json_path() -> Path:
     """Trajectory file for the standby-engine benchmarks
     (``BENCH_standby.json``, override with ``BENCH_STANDBY_JSON``)."""

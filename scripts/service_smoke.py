@@ -88,12 +88,14 @@ def wait_for_health(client: ServiceClient, deadline_s: float = 60.0):
     raise SystemExit("service never became healthy")
 
 
-def start_server(port: int, cache_dir: str) -> subprocess.Popen:
+def start_server(port: int, cache_dir: str, store_dir: str,
+                 *extra_args: str) -> subprocess.Popen:
     env = dict(os.environ)
     env["REPRO_LOWER_CACHE"] = cache_dir
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
-         "--port", str(port)],
+         "--port", str(port), "--result-store", store_dir,
+         *extra_args],
         cwd=REPO, env=env,
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT)
 
@@ -111,8 +113,9 @@ def main() -> int:
         (REPO / "tests" / "golden" / "table1_c432_s298.json")
         .read_text(encoding="utf-8"))[CIRCUIT]
     cache_dir = tempfile.mkdtemp(prefix="repro-lower-cache-")
+    store_dir = tempfile.mkdtemp(prefix="repro-result-store-")
     port = free_port()
-    server = start_server(port, cache_dir)
+    server = start_server(port, cache_dir, store_dir)
     client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
     try:
         wait_for_health(client)
@@ -182,6 +185,10 @@ def main() -> int:
               stats.get("flow", {}).get("hits", 0) >= 1)
         check("standby reused the cached corner libraries",
               stats.get("corner_library", {}).get("hits", 0) >= 1)
+        check("every finished job was persisted to the result store",
+              stats.get("result_store", {}).get("stores", 0) >= 4)
+        check("result store writes were clean (no errors)",
+              stats.get("result_store", {}).get("errors", 0) == 0)
         logger.info("cache stats: %s", json.dumps(stats, sort_keys=True))
 
         health = client.health()
@@ -211,18 +218,21 @@ def main() -> int:
         logger.info("metrics counters: %s",
                     json.dumps(metrics["counters"], sort_keys=True))
 
-        # Restart: a SECOND serve process against the same cache dir.
-        # The numpy backend must pick the lowered design up from disk
-        # (a lowering-cache hit with zero stores); the scalar backend
+        # Restart: a SECOND serve process against the same lowering
+        # cache AND the same result store.  The identical signoff must
+        # come straight off the result store (no recompute); a signoff
+        # the store has NOT seen must still execute — and on the numpy
+        # backend pick the lowered design up from disk (a
+        # lowering-cache hit with zero stores); the scalar backend
         # never lowers, so its counters must stay flat.
         from repro.compute import resolve_backend
 
         backend = resolve_backend(None)
         logger.info("restart: second serve process, shared lowering "
-                    "cache (%s backend)", backend)
+                    "cache + result store (%s backend)", backend)
         stop_server(server)
         port = free_port()
-        server = start_server(port, cache_dir)
+        server = start_server(port, cache_dir, store_dir)
         client = ServiceClient(f"http://127.0.0.1:{port}", timeout=60.0)
         wait_for_health(client)
         again = client.run(
@@ -232,6 +242,30 @@ def main() -> int:
             config=CONFIG)
         check("restarted signoff reproduces tt_nom exactly",
               again.row("tt_nom").leakage_nw
+              == signoff.row("tt_nom").leakage_nw)
+        check("restarted signoff matches the first process bit-for-bit",
+              tuple((row.corner, row.leakage_nw) for row in again.rows)
+              == tuple((row.corner, row.leakage_nw)
+                       for row in signoff.rows))
+        store_stats = client.health()["cache_stats"] \
+            .get("result_store", {})
+        check("second process served the signoff from the result store",
+              store_stats.get("hits", 0) >= 1)
+        check("result store load was clean (no errors)",
+              store_stats.get("errors", 0) == 0)
+        logger.info("restart result-store stats: %s",
+                    json.dumps(store_stats, sort_keys=True))
+
+        # A request the store has never seen (same config, fewer
+        # corners) must actually execute — this is what drives the
+        # lowering cache below.
+        nominal_only = client.run(
+            "signoff", CIRCUIT,
+            request=SignoffRequest(technique=Technique.IMPROVED_SMT,
+                                   corners=("tt_nom",)),
+            config=CONFIG)
+        check("store-missed signoff still reproduces tt_nom exactly",
+              nominal_only.row("tt_nom").leakage_nw
               == signoff.row("tt_nom").leakage_nw)
         lowering = client.health()["cache_stats"].get("lowering", {})
         if backend == "numpy":
@@ -245,6 +279,32 @@ def main() -> int:
                   and lowering.get("stores", 0) == 0)
         logger.info("restart lowering stats: %s",
                     json.dumps(lowering, sort_keys=True))
+
+        # Shard leg: a THIRD serve process with --shards 2 and a fresh
+        # result store, so the optimize actually executes in a shard
+        # worker process — cross-process determinism against golden.
+        logger.info("shard leg: serve --shards 2, fresh result store")
+        stop_server(server)
+        port = free_port()
+        shard_store = tempfile.mkdtemp(prefix="repro-result-store-")
+        server = start_server(port, cache_dir, shard_store,
+                              "--shards", "2")
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=120.0)
+        wait_for_health(client)
+        sharded = client.run(
+            "optimize", CIRCUIT,
+            request=OptimizeRequest(technique=Technique.IMPROVED_SMT),
+            config=CONFIG, timeout=300.0)
+        check("sharded optimize matches golden area",
+              close_enough(sharded.area_um2, improved["area_um2"]))
+        check("sharded optimize matches golden leakage",
+              close_enough(sharded.leakage_nw, improved["leakage_nw"]))
+        check("sharded optimize matches the in-process result exactly",
+              sharded.leakage_nw == result.leakage_nw
+              and sharded.area_um2 == result.area_um2)
+        check("shard leg executed (fresh store, so no hit)",
+              client.health()["cache_stats"]
+              .get("result_store", {}).get("hits", 0) == 0)
         logger.info("service smoke: all checks passed")
         return 0
     finally:

@@ -52,7 +52,9 @@ from repro.api import registry as _registry  # noqa: F401  (registers the
 #                                             legacy payload schemas)
 from repro.api import studies
 from repro.api.client import ServiceClient
+from repro.api.resultstore import ResultStore
 from repro.api.service import JobService, ServiceServer, serve
+from repro.api.shards import ShardPool
 
 __all__ = [
     "AnalyzeRequest",
@@ -63,7 +65,9 @@ __all__ = [
     "MonteCarloResult",
     "OptimizeRequest",
     "OptimizeResult",
+    "ResultStore",
     "ServiceClient",
+    "ShardPool",
     "ServiceServer",
     "SignoffCornerRow",
     "SignoffRequest",

@@ -7,6 +7,12 @@ client itself does no computation: the only heavy work it triggers is
 the one-time import of the :mod:`repro.api` package (for the schema
 registry that decodes result payloads).
 
+Back-pressure aware: when the service rejects a call with HTTP 429
+(queue full), the client retries with bounded exponential backoff —
+``backoff_s * 2**attempt`` capped at ``max_backoff_s``, at most
+``retries`` retries — honoring the server's ``Retry-After`` hint as a
+lower bound (still capped, so tests can keep backoff tight).
+
 :meth:`ServiceClient.run` is the convenience loop: submit, poll until
 terminal, decode the result payload back into the typed result object
 via the schema registry.
@@ -26,13 +32,33 @@ from repro.errors import ServiceError
 class ServiceClient:
     """One service endpoint, e.g. ``ServiceClient("http://127.0.0.1:8731")``."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(self, base_url: str, timeout: float = 30.0,
+                 retries: int = 5, backoff_s: float = 0.05,
+                 max_backoff_s: float = 2.0):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
 
     # --- HTTP plumbing ------------------------------------------------------
 
     def _call(self, method: str, path: str, body: dict | None = None):
+        for attempt in range(self.retries + 1):
+            try:
+                return self._call_once(method, path, body)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt >= self.retries:
+                    raise
+                delay = min(self.max_backoff_s,
+                            self.backoff_s * (2 ** attempt))
+                if exc.retry_after is not None:
+                    delay = min(self.max_backoff_s,
+                                max(delay, float(exc.retry_after)))
+                time.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, method: str, path: str, body: dict | None):
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=data, method=method,
@@ -42,12 +68,22 @@ class ServiceClient:
                                         timeout=self.timeout) as response:
                 return json.loads(response.read())
         except urllib.error.HTTPError as exc:
+            retry_after = None
             try:
                 payload = json.loads(exc.read())
                 message = payload["error"]["message"]
+                retry_after = payload["error"].get("retry_after")
             except Exception:  # noqa: BLE001 — non-JSON error body
                 message = str(exc)
-            raise ServiceError(message, status=exc.code) from None
+            if retry_after is None:
+                header = exc.headers.get("Retry-After") \
+                    if exc.headers is not None else None
+                try:
+                    retry_after = float(header) if header else None
+                except ValueError:
+                    retry_after = None
+            raise ServiceError(message, status=exc.code,
+                               retry_after=retry_after) from None
 
     # --- protocol -----------------------------------------------------------
 
@@ -71,13 +107,16 @@ class ServiceClient:
 
         ``request`` may be a typed request object (encoded via the
         schema registry) or an already encoded payload dict.
+        ``config`` is sent whenever it is not ``None`` — an explicit
+        empty dict means "the default FlowConfig", and that intent
+        reaches the service rather than being silently dropped.
         """
         body: dict = {"kind": kind, "circuit": circuit}
         if request is not None:
             if not isinstance(request, dict):
                 request = schemas.to_dict(request)
             body["request"] = request
-        if config:
+        if config is not None:
             body["config"] = config
         return self._call("POST", "/v1/jobs", body)["job_id"]
 
@@ -99,10 +138,24 @@ class ServiceClient:
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll_s: float = 0.05) -> dict:
-        """Poll until the job reaches a terminal state."""
+        """Poll until the job reaches a terminal state.
+
+        A job that disappears mid-poll (the service's retention cap
+        evicted it between submissions) raises a :class:`ServiceError`
+        that says so, instead of surfacing as a bare 404.
+        """
         deadline = time.monotonic() + timeout
         while True:
-            status = self.status(job_id)
+            try:
+                status = self.status(job_id)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    raise ServiceError(
+                        f"job {job_id} was evicted or is unknown — the "
+                        f"service's retention cap may have dropped it "
+                        f"mid-poll (raise `serve --retain`, or fetch "
+                        f"results sooner)", status=404) from None
+                raise
             if status["status"] not in ("queued", "running"):
                 return status
             if time.monotonic() >= deadline:
@@ -112,10 +165,11 @@ class ServiceClient:
             time.sleep(poll_s)
 
     def run(self, kind: str, circuit: str, request=None,
-            config: dict | None = None, timeout: float = 300.0):
+            config: dict | None = None, timeout: float = 300.0,
+            poll_s: float = 0.05):
         """Submit, wait, and return the typed result object."""
         job_id = self.submit(kind, circuit, request=request, config=config)
-        status = self.wait(job_id, timeout=timeout)
+        status = self.wait(job_id, timeout=timeout, poll_s=poll_s)
         if status["status"] != "done":
             raise ServiceError(
                 f"job {job_id} ended {status['status']}: "

@@ -1,13 +1,36 @@
 """Persistent job-service mode (``repro-smt serve``).
 
-A :class:`JobService` wraps one long-lived
-:class:`~repro.api.Workspace` behind a submit/status/result/cancel
-queue, and :class:`ServiceServer` exposes it over plain HTTP + JSON
-(stdlib ``http.server`` — no new runtime dependencies).  Because the
-workspace persists across requests, repeated jobs against the same
-design hit the compiled-state caches (library, netlists, flow results,
-timing sessions) instead of cold-starting — the whole point of serving
-the facade instead of forking the CLI per request.
+A :class:`JobService` wraps a submit/status/result/cancel queue around
+the workspace facade, and :class:`ServiceServer` exposes it over plain
+HTTP + JSON (stdlib ``http.server`` — no new runtime dependencies).
+The execution tier comes in two flavors:
+
+* **in-process** (default): worker threads over one warm
+  :class:`~repro.api.Workspace`, so repeated jobs against the same
+  design hit the compiled-state caches instead of cold-starting;
+* **sharded** (``shards > 0``): a :class:`~repro.api.shards.ShardPool`
+  of worker *processes*, routed by the design's SHA-256 netlist
+  fingerprint — each shard keeps its own warm workspace, so
+  same-design jobs stay cache-local while different designs run truly
+  in parallel (no shared GIL).
+
+Around either tier the service layers three traffic mechanisms:
+
+* **request coalescing** — identical in-flight work (same job kind +
+  frozen request payload + design fingerprint + config digest)
+  collapses onto one computation; later duplicates become
+  *subscribers* that resolve the moment the primary finishes
+  (``service.coalesced`` counts them);
+* a **persistent result store**
+  (:class:`~repro.api.resultstore.ResultStore`) — finished payloads
+  are written to disk keyed by the same content key, so a restarted
+  service answers previously computed requests without recomputing
+  (``service.result_store_hits`` counts them);
+* **back-pressure** — with ``queue_limit`` set, submissions past the
+  queued backlog are rejected with HTTP **429** and a ``Retry-After``
+  hint instead of accepting unbounded work
+  (:class:`~repro.api.client.ServiceClient` retries these with
+  bounded exponential backoff).
 
 Endpoints (all payloads JSON)::
 
@@ -36,10 +59,7 @@ request payload plus flow-config overrides::
 
 Errors come back as ``{"error": {"message": ..., "status": ...}}``
 with the matching HTTP status (400 malformed, 404 unknown job, 409
-conflicting state).  Grid fan-out inside a job (Monte-Carlo chunking,
-sweep grids) rides the existing
-:class:`~repro.runner.ExperimentRunner` process pool via the
-workspace's ``jobs`` knob.
+conflicting state, 429 queue full, 500 unexpected server error).
 """
 
 from __future__ import annotations
@@ -61,6 +81,8 @@ from repro.api.requests import (
     StandbyRequest,
     SweepRequest,
 )
+from repro.api.resultstore import ResultStore, work_key
+from repro.api.shards import ShardPool, execute_kind
 from repro.api.workspace import Workspace
 from repro.config import FlowConfig
 from repro.errors import ReproError, ServiceError
@@ -110,15 +132,25 @@ class _Job:
     """Internal mutable job record (lock-protected by the service)."""
 
     def __init__(self, job_id: str, kind: str, circuit: str, request,
-                 config: FlowConfig):
+                 config: FlowConfig, fingerprint: str = "",
+                 work_key: str = "", request_payload: dict | None = None,
+                 config_payload: dict | None = None):
         self.job_id = job_id
         self.kind = kind
         self.circuit = circuit
         self.request = request
         self.config = config
+        self.fingerprint = fingerprint
+        self.work_key = work_key
+        self.request_payload = request_payload
+        self.config_payload = config_payload
         self.status = QUEUED
         self.result_payload: dict | None = None
         self.error: str | None = None
+        #: Coalescing: job ids riding on this job's computation.
+        self.subscribers: list[str] = []
+        #: Set on subscriber jobs: the primary job id they ride on.
+        self.coalesced_into: str | None = None
 
     def snapshot(self) -> JobStatus:
         return JobStatus(job_id=self.job_id, kind=self.kind,
@@ -176,12 +208,15 @@ def parse_submission(payload) -> tuple[str, str, object, FlowConfig]:
 
 
 class JobService:
-    """A persistent job queue over one warm :class:`Workspace`.
+    """A persistent job queue over the workspace facade.
 
-    ``workers`` is the number of in-process worker threads draining
-    the queue (jobs on the same workspace share its caches; the
-    CPU-heavy grid fan-out inside a job uses the process pool, so one
-    worker thread is usually right).
+    ``workers`` is the number of worker threads draining the queue.
+    In the default in-process tier they execute on the shared warm
+    workspace (per-design locks keep that race-free); with
+    ``shards > 0`` each worker thread dispatches to the
+    fingerprint-routed process pool and blocks on the result, so
+    ``workers`` is raised to at least the shard count to keep every
+    shard busy.
     """
 
     #: Default cap on retained *finished* job records (results
@@ -189,20 +224,45 @@ class JobService:
     #: long-lived service does not grow without bound.
     DEFAULT_RETAIN = 1000
 
+    #: The Retry-After hint (seconds) sent with 429 rejections.
+    RETRY_AFTER_S = 1
+
     def __init__(self, workspace: Workspace | None = None, jobs: int = 1,
-                 workers: int = 1, retain: int | None = None):
+                 workers: int = 1, retain: int | None = None,
+                 shards: int = 0, queue_limit: int | None = None,
+                 result_store: "ResultStore | str | None" = None):
         self.workspace = workspace or Workspace(jobs=jobs)
         self.retain = self.DEFAULT_RETAIN if retain is None \
             else max(1, int(retain))
+        self.shards = max(0, int(shards))
+        self.queue_limit = None if queue_limit is None \
+            else max(1, int(queue_limit))
+        if isinstance(result_store, (str, bytes)) or \
+                hasattr(result_store, "__fspath__"):
+            result_store = ResultStore(result_store)
+        self._store: ResultStore | None = result_store
+        self._pool: ShardPool | None = None
+        if self.shards:
+            self._pool = ShardPool(self.shards,
+                                   library=self.workspace.peek_library(),
+                                   jobs=jobs)
         self._jobs: dict[str, _Job] = {}
         self._order: list[str] = []
         self._queue: queue.Queue[str | None] = queue.Queue()
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
+        #: work_key -> primary job id, while that job is queued/running.
+        self._inflight: dict[str, str] = {}
+        #: Jobs enqueued and not yet picked up or cancelled (the
+        #: back-pressure budget; coalesced subscribers are free).
+        self._queued = 0
+        workers = max(1, int(workers))
+        if self.shards:
+            workers = max(workers, self.shards)
         self._workers = [
             threading.Thread(target=self._work, daemon=True,
                              name=f"repro-api-worker-{index}")
-            for index in range(max(1, int(workers)))
+            for index in range(workers)
         ]
         self._started = False
         self._closed = False
@@ -212,6 +272,10 @@ class JobService:
         install_builtin_sources()
         REGISTRY.register_source(
             "workspace", self.workspace.stats.tree)
+        if self._store is not None:
+            REGISTRY.register_source("result_store", self._store.stats)
+        else:
+            REGISTRY.unregister_source("result_store")
         REGISTRY.set_gauge("service.queue_depth", 0)
 
     # --- lifecycle ----------------------------------------------------------
@@ -224,24 +288,72 @@ class JobService:
         return self
 
     def close(self):
-        """Stop accepting work and unblock the worker threads."""
-        self._closed = True
+        """Stop accepting work, resolve queued jobs, unblock workers.
+
+        Jobs still queued when the service closes are marked
+        ``cancelled`` (with an explanatory error) instead of being
+        left ``queued`` forever for clients to poll.
+        """
+        with self._lock:
+            self._closed = True
+            for job in self._jobs.values():
+                if job.status == QUEUED:
+                    job.status = CANCELLED
+                    job.error = "service closed before the job ran"
+            self._queued = 0
+            self._inflight.clear()
+        self._set_queue_gauge()
         for _ in self._workers:
             self._queue.put(None)
+        if self._pool is not None:
+            self._pool.close()
 
     # --- the queue ----------------------------------------------------------
 
     def submit(self, payload: dict) -> JobStatus:
-        if self._closed:
-            raise ServiceError("service is shutting down", status=409)
         kind, circuit, request, config = parse_submission(payload)
+        # Fingerprint/encodings outside the lock: the first touch of a
+        # circuit loads its netlist (workspace-locked separately).
+        fingerprint = self.workspace.fingerprint(circuit)
+        request_payload = None if request is None \
+            else schemas.to_dict(request)
+        config_payload = schemas.to_dict(config)
+        key = work_key(kind, fingerprint, request_payload, config_payload)
         with self._lock:
+            if self._closed:
+                raise ServiceError("service is shutting down", status=409)
             job_id = f"job-{next(self._ids)}"
-            job = _Job(job_id, kind, circuit, request, config)
+            job = _Job(job_id, kind, circuit, request, config,
+                       fingerprint=fingerprint, work_key=key,
+                       request_payload=request_payload,
+                       config_payload=config_payload)
+            primary_id = self._inflight.get(key)
+            primary = self._jobs.get(primary_id) \
+                if primary_id is not None else None
+            if primary is not None and primary.status in (QUEUED, RUNNING):
+                # Coalesce: identical in-flight work -> one
+                # computation, N subscribers.
+                job.coalesced_into = primary.job_id
+                primary.subscribers.append(job_id)
+                self._jobs[job_id] = job
+                self._order.append(job_id)
+                self._evict_finished()
+                REGISTRY.inc("service.coalesced")
+                return job.snapshot()
+            if self.queue_limit is not None \
+                    and self._queued >= self.queue_limit:
+                REGISTRY.inc("service.rejected")
+                raise ServiceError(
+                    f"queue is full ({self._queued} jobs queued, "
+                    f"limit {self.queue_limit}); retry later",
+                    status=429, retry_after=self.RETRY_AFTER_S)
             self._jobs[job_id] = job
             self._order.append(job_id)
+            self._inflight[key] = job_id
+            self._queued += 1
             self._evict_finished()
         self._queue.put(job_id)
+        self._set_queue_gauge()
         return job.snapshot()
 
     def _evict_finished(self):
@@ -249,13 +361,20 @@ class JobService:
 
         Called with the lock held.  Queued/running jobs are never
         evicted, so the cap bounds memory without losing live work.
+        ``_order`` is rebuilt once per eviction pass (not
+        ``.remove()``d per job, which made eviction O(n^2)).
         """
         terminal = (DONE, FAILED, CANCELLED)
         finished = [job_id for job_id in self._order
                     if self._jobs[job_id].status in terminal]
-        for job_id in finished[:max(0, len(finished) - self.retain)]:
+        excess = len(finished) - self.retain
+        if excess <= 0:
+            return
+        doomed = set(finished[:excess])
+        for job_id in doomed:
             del self._jobs[job_id]
-            self._order.remove(job_id)
+        self._order = [job_id for job_id in self._order
+                       if job_id not in doomed]
 
     def _get(self, job_id: str) -> _Job:
         job = self._jobs.get(job_id)
@@ -273,10 +392,13 @@ class JobService:
                     for job_id in self._order]
 
     def queue_depth(self) -> int:
-        """Jobs submitted but not yet picked up by a worker."""
+        """Jobs enqueued but not yet picked up by a worker
+        (coalesced subscribers ride a primary and do not count)."""
         with self._lock:
-            return sum(1 for job in self._jobs.values()
-                       if job.status == QUEUED)
+            return self._queued
+
+    def _set_queue_gauge(self):
+        REGISTRY.set_gauge("service.queue_depth", self.queue_depth())
 
     def jobs_by_kind(self) -> dict[str, int]:
         """Retained job counts per kind (any lifecycle state)."""
@@ -288,8 +410,15 @@ class JobService:
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """The ``/v1/metrics`` payload: registry + live queue gauge."""
-        REGISTRY.set_gauge("service.queue_depth", self.queue_depth())
+        self._set_queue_gauge()
         return MetricsSnapshot.from_registry(REGISTRY)
+
+    def cache_stats(self) -> dict:
+        """The ``/v1/health`` cache view: workspace + result store."""
+        stats = self.workspace.cache_stats()
+        if self._store is not None:
+            stats["result_store"] = self._store.stats()
+        return stats
 
     def result(self, job_id: str) -> dict:
         with self._lock:
@@ -309,12 +438,42 @@ class JobService:
         """Cancel a queued job; running/finished jobs are a conflict."""
         with self._lock:
             job = self._get(job_id)
-            if job.status == QUEUED:
-                job.status = CANCELLED
-                return job.snapshot()
-            raise ServiceError(
-                f"job {job_id} is {job.status}; only queued jobs can be "
-                f"cancelled", status=409)
+            if job.status != QUEUED:
+                raise ServiceError(
+                    f"job {job_id} is {job.status}; only queued jobs "
+                    f"can be cancelled", status=409)
+            job.status = CANCELLED
+            if job.coalesced_into is not None:
+                primary = self._jobs.get(job.coalesced_into)
+                if primary is not None \
+                        and job_id in primary.subscribers:
+                    primary.subscribers.remove(job_id)
+            else:
+                self._queued -= 1
+                self._promote_subscriber_locked(job)
+            snapshot = job.snapshot()
+        self._set_queue_gauge()
+        return snapshot
+
+    def _promote_subscriber_locked(self, job: _Job):
+        """A queued primary was cancelled: its oldest live subscriber
+        becomes the new primary and is enqueued in its place."""
+        if self._inflight.get(job.work_key) == job.job_id:
+            del self._inflight[job.work_key]
+        live = [sub_id for sub_id in job.subscribers
+                if sub_id in self._jobs
+                and self._jobs[sub_id].status == QUEUED]
+        job.subscribers = []
+        if not live:
+            return
+        primary = self._jobs[live[0]]
+        primary.coalesced_into = None
+        primary.subscribers = live[1:]
+        for sub_id in live[1:]:
+            self._jobs[sub_id].coalesced_into = primary.job_id
+        self._inflight[job.work_key] = primary.job_id
+        self._queued += 1
+        self._queue.put(primary.job_id)
 
     # --- execution ----------------------------------------------------------
 
@@ -324,27 +483,48 @@ class JobService:
             if job_id is None:
                 return
             with self._lock:
-                job = self._jobs[job_id]
-                if job.status != QUEUED:
-                    continue  # cancelled while queued
+                job = self._jobs.get(job_id)
+                if job is None or job.status != QUEUED:
+                    # Cancelled (or shutdown-cancelled) while queued;
+                    # its queue slot was released by cancel()/close().
+                    continue
                 job.status = RUNNING
-            REGISTRY.set_gauge("service.queue_depth", self.queue_depth())
+                self._queued -= 1
+            self._set_queue_gauge()
             logger.info("job %s start: %s %s", job.job_id, job.kind,
                         job.circuit)
             started = time.perf_counter()
             try:
-                with span("service.job", kind=job.kind,
-                          circuit=job.circuit, job_id=job.job_id):
-                    result = self._execute(job)
-                payload = schemas.check_round_trip(result)
+                payload = self._store.load(job.work_key) \
+                    if self._store is not None else None
+                if payload is not None:
+                    REGISTRY.inc("service.result_store_hits")
+                else:
+                    with span("service.job", kind=job.kind,
+                              circuit=job.circuit, job_id=job.job_id,
+                              shard=(self._pool.shard_for(job.fingerprint)
+                                     if self._pool is not None else -1)):
+                        if self._pool is not None:
+                            shard = self._pool.shard_for(job.fingerprint)
+                            REGISTRY.inc(f"service.shard.{shard}.jobs")
+                            payload = self._pool.run(
+                                job.kind, job.circuit, job.fingerprint,
+                                job.request_payload, job.config_payload)
+                        else:
+                            result = self._execute(job)
+                            payload = schemas.check_round_trip(result)
+                    if self._store is not None:
+                        self._store.store(job.work_key, payload)
                 with self._lock:
                     job.result_payload = payload
                     job.status = DONE
+                    self._finish_locked(job)
             except Exception as exc:  # noqa: BLE001 — jobs never kill
                 #                       the worker; errors land on the job
                 with self._lock:
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.status = FAILED
+                    self._finish_locked(job)
                 REGISTRY.inc("service.jobs_failed")
                 logger.warning("job %s failed: %s", job.job_id, job.error)
             elapsed = time.perf_counter() - started
@@ -353,25 +533,33 @@ class JobService:
             logger.info("job %s %s in %.3fs", job.job_id, job.status,
                         elapsed)
 
+    def _finish_locked(self, job: _Job):
+        """Resolve a finished primary: release the in-flight slot and
+        propagate the outcome to every coalesced subscriber."""
+        if self._inflight.get(job.work_key) == job.job_id:
+            del self._inflight[job.work_key]
+        for sub_id in job.subscribers:
+            sub = self._jobs.get(sub_id)
+            if sub is None or sub.status != QUEUED:
+                continue
+            if job.status == DONE:
+                sub.result_payload = dict(job.result_payload)
+                sub.status = DONE
+            else:
+                sub.error = job.error
+                sub.status = FAILED
+        job.subscribers = []
+
     def _execute(self, job: _Job):
         design = self.workspace.design(job.circuit, job.config)
-        if job.kind == "analyze":
-            return design.analyze(job.request)
-        if job.kind == "optimize":
-            return design.optimize(job.request)
-        if job.kind == "signoff":
-            return design.signoff(job.request)
-        if job.kind == "montecarlo":
-            return design.montecarlo(job.request)
-        if job.kind == "standby":
-            return design.standby(job.request)
-        if job.kind == "sweep":
-            return design.sweep(job.request)
-        raise ServiceError(f"unhandled job kind {job.kind!r}")
+        return execute_kind(design, job.kind, job.request)
 
 
 def _error_payload(error: ServiceError) -> dict:
-    return {"error": {"message": str(error), "status": error.status}}
+    payload = {"error": {"message": str(error), "status": error.status}}
+    if error.retry_after is not None:
+        payload["error"]["retry_after"] = error.retry_after
+    return payload
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -386,14 +574,19 @@ class _Handler(BaseHTTPRequestHandler):
         if self.server.verbose:
             super().log_message(fmt, *args)
 
-    def _send(self, status: int, payload: dict):
+    def _send(self, status: int, payload: dict,
+              headers: dict | None = None):
         # allow_nan=False keeps the wire strict JSON: non-finite floats
-        # must have been string-encoded by the schema layer.
+        # must have been string-encoded by the schema layer.  The body
+        # is built before the status line goes out, so an encoding
+        # failure here can still be answered with a clean 500.
         body = json.dumps(payload, sort_keys=True,
                           allow_nan=False).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, str(value))
         self.end_headers()
         self.wfile.write(body)
 
@@ -425,7 +618,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "jobs": len(service.jobs()),
                     "queue_depth": service.queue_depth(),
                     "jobs_by_kind": service.jobs_by_kind(),
-                    "cache_stats": service.workspace.cache_stats(),
+                    "cache_stats": service.cache_stats(),
                 })
             elif method == "GET" and rest == ["metrics"]:
                 self._send(200, schemas.check_round_trip(
@@ -450,7 +643,23 @@ class _Handler(BaseHTTPRequestHandler):
                 raise ServiceError(f"unknown path {self.path!r}",
                                    status=404)
         except ServiceError as error:
-            self._send(error.status, _error_payload(error))
+            headers = {}
+            if error.retry_after is not None:
+                headers["Retry-After"] = error.retry_after
+            self._send(error.status, _error_payload(error),
+                       headers=headers)
+        except Exception as exc:  # noqa: BLE001 — anything else must
+            #                       still answer with a JSON 500, not a
+            #                       silently dropped connection
+            logger.exception("unhandled error serving %s %s",
+                             method, self.path)
+            try:
+                self._send(500, {"error": {
+                    "message": f"internal server error: "
+                               f"{type(exc).__name__}: {exc}",
+                    "status": 500}})
+            except Exception:  # the socket itself is gone
+                pass
 
     def do_GET(self):
         self._dispatch("GET")
@@ -463,6 +672,11 @@ class ServiceServer(ThreadingHTTPServer):
     """The HTTP front of a :class:`JobService`."""
 
     daemon_threads = True
+    #: Listen backlog.  The stdlib default (5) resets connections the
+    #: moment a few dozen clients connect at once; the service's
+    #: back-pressure must come from the 429 queue limit, not from the
+    #: kernel dropping SYNs.
+    request_queue_size = 128
 
     def __init__(self, service: JobService, host: str = "127.0.0.1",
                  port: int = 0, verbose: bool = False):
@@ -478,7 +692,9 @@ class ServiceServer(ThreadingHTTPServer):
 
 def serve(host: str = "127.0.0.1", port: int = 0, jobs: int = 1,
           workers: int = 1, workspace: Workspace | None = None,
-          retain: int | None = None,
+          retain: int | None = None, shards: int = 0,
+          queue_limit: int | None = None,
+          result_store: "ResultStore | str | None" = None,
           verbose: bool = False) -> ServiceServer:
     """Build and start a service (worker threads + HTTP listener).
 
@@ -486,5 +702,7 @@ def serve(host: str = "127.0.0.1", port: int = 0, jobs: int = 1,
     use it programmatically (tests drive it from a background thread).
     """
     service = JobService(workspace=workspace, jobs=jobs,
-                         workers=workers, retain=retain).start()
+                         workers=workers, retain=retain, shards=shards,
+                         queue_limit=queue_limit,
+                         result_store=result_store).start()
     return ServiceServer(service, host=host, port=port, verbose=verbose)

@@ -182,6 +182,14 @@ class Workspace:
                 self.stats.hit("library")
             return self._library
 
+    def peek_library(self) -> Library | None:
+        """The caller-supplied (or already built) library, without
+        triggering a build.  The sharded service tier uses this to
+        ship a custom library to its worker processes while letting
+        default-library shards build their own deterministically."""
+        with self._lock:
+            return self._library
+
     def corner_library(self, corner_name: str) -> Library:
         """Corner-derived library, derived at most once per corner."""
         with self._lock:

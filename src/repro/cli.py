@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.api import Workspace, schemas
@@ -322,9 +323,15 @@ def cmd_serve(args) -> int:
 
     server = serve(host=args.host, port=args.port, jobs=args.jobs,
                    workers=args.workers, retain=args.retain,
+                   shards=args.shards, queue_limit=args.queue_limit,
+                   result_store=args.result_store,
                    verbose=args.verbose)
+    tier = f"shards={args.shards}" if args.shards else \
+        f"workers={args.workers}"
     print(f"repro-smt job service listening on {server.address} "
-          f"(workers={args.workers}, pool jobs={args.jobs})",
+          f"({tier}, pool jobs={args.jobs}, "
+          f"queue_limit={args.queue_limit or 'unbounded'}, "
+          f"result_store={args.result_store or 'off'})",
           flush=True)
     try:
         server.serve_forever()
@@ -506,6 +513,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--retain", type=int, default=None,
         help="finished job records kept before the oldest are "
              "evicted (default 1000)")
+    serve_parser.add_argument(
+        "--shards", type=int, default=0,
+        help="worker *processes* sharded by design fingerprint "
+             "(0 = in-process worker threads); same-design jobs stay "
+             "cache-local, different designs run truly in parallel")
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=None,
+        help="max queued jobs before submissions are rejected with "
+             "HTTP 429 + Retry-After (default: unbounded)")
+    serve_parser.add_argument(
+        "--result-store", metavar="DIR",
+        default=os.environ.get("REPRO_RESULT_STORE") or None,
+        help="persist finished result payloads here so warm hits "
+             "survive restarts (default: $REPRO_RESULT_STORE)")
     serve_parser.add_argument("--verbose", action="store_true",
                               help="log every HTTP request")
     _add_obs_options(serve_parser)

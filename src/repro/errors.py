@@ -104,11 +104,15 @@ class ServiceError(ReproError):
 
     ``status`` mirrors HTTP semantics: 400 malformed request, 404
     unknown job, 409 conflicting state (e.g. cancelling a finished
-    job).
+    job), 429 queue full (back-pressure).  ``retry_after`` is the
+    optional hint (seconds) a 429 carries so clients know when to
+    retry.
     """
 
-    def __init__(self, message: str, status: int = 400):
+    def __init__(self, message: str, status: int = 400,
+                 retry_after: float | None = None):
         self.status = status
+        self.retry_after = retry_after
         super().__init__(message)
 
 

@@ -1,0 +1,158 @@
+"""The persistent result store: keys, robustness contract, eviction."""
+
+import json
+import os
+import time
+
+from repro.api.resultstore import (
+    FORMAT_VERSION,
+    ResultStore,
+    work_key,
+)
+
+PAYLOAD = {"schema": "optimize_result", "schema_version": 1,
+           "leakage_nw": 12.5, "circuit": "c432"}
+FP = "a" * 64
+CONFIG = {"schema": "flow_config", "timing_margin": 0.12}
+REQUEST = {"schema": "optimize_request", "technique": "improved_smt"}
+
+
+def _key(**overrides):
+    kwargs = dict(kind="optimize", fingerprint=FP,
+                  request_payload=REQUEST, config_payload=CONFIG)
+    kwargs.update(overrides)
+    return work_key(kwargs["kind"], kwargs["fingerprint"],
+                    kwargs["request_payload"], kwargs["config_payload"])
+
+
+# --- keys -------------------------------------------------------------------
+
+
+def test_key_is_content_addressed_and_sensitive():
+    base = _key()
+    assert base == _key()  # deterministic
+    assert base != _key(kind="signoff")
+    assert base != _key(fingerprint="b" * 64)
+    assert base != _key(request_payload=None)
+    assert base != _key(request_payload={**REQUEST,
+                                         "technique": "dual_vth"})
+    assert base != _key(config_payload={**CONFIG, "timing_margin": 0.2})
+
+
+def test_key_ignores_dict_ordering():
+    shuffled = dict(reversed(list(REQUEST.items())))
+    assert _key() == _key(request_payload=shuffled)
+
+
+# --- round trip -------------------------------------------------------------
+
+
+def test_store_load_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    assert store.load(key) is None  # cold: a miss
+    assert store.store(key, PAYLOAD)
+    assert store.load(key) == PAYLOAD
+    assert store.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                             "evictions": 0, "errors": 0}
+
+
+def test_second_store_instance_reads_the_first_ones_entries(tmp_path):
+    ResultStore(tmp_path).store(_key(), PAYLOAD)
+    fresh = ResultStore(tmp_path)  # a restarted service
+    assert fresh.load(_key()) == PAYLOAD
+    assert fresh.stats()["hits"] == 1
+
+
+# --- corruption safety ------------------------------------------------------
+
+
+def test_corrupt_entry_is_a_miss_and_is_unlinked(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    store.store(key, PAYLOAD)
+    path = store._entry_path(key)
+    path.write_text("{truncated", encoding="utf-8")
+    assert store.load(key) is None
+    assert not path.exists()
+    stats = store.stats()
+    assert stats["errors"] == 1 and stats["misses"] == 1
+
+
+def test_format_version_mismatch_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    store.store(key, PAYLOAD)
+    path = store._entry_path(key)
+    entry = json.loads(path.read_text(encoding="utf-8"))
+    entry["format_version"] = FORMAT_VERSION + 1
+    path.write_text(json.dumps(entry), encoding="utf-8")
+    assert store.load(key) is None
+    assert not path.exists()
+
+
+def test_key_mismatch_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    key, other = _key(), _key(kind="signoff")
+    store.store(key, PAYLOAD)
+    os.replace(store._entry_path(key), store._entry_path(other))
+    assert store.load(other) is None
+
+
+def test_non_object_payload_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    key = _key()
+    path = store._entry_path(key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({"format_version": FORMAT_VERSION,
+                                "key": key, "payload": [1, 2]}),
+                    encoding="utf-8")
+    assert store.load(key) is None
+
+
+def test_store_failure_is_counted_not_raised(tmp_path):
+    target = tmp_path / "blocked"
+    target.write_text("a file, not a directory", encoding="utf-8")
+    store = ResultStore(target)
+    assert store.store(_key(), PAYLOAD) is False
+    assert store.stats()["errors"] == 1
+
+
+def test_no_temp_files_left_behind(tmp_path):
+    store = ResultStore(tmp_path)
+    store.store(_key(), PAYLOAD)
+    assert not list(tmp_path.glob("*.tmp"))
+
+
+# --- eviction ---------------------------------------------------------------
+
+
+def test_eviction_drops_oldest_mtime_first(tmp_path):
+    store = ResultStore(tmp_path, max_entries=2)
+    keys = [_key(fingerprint=c * 64) for c in "abc"]
+    for index, key in enumerate(keys):
+        store.store(key, PAYLOAD)
+        # Backdate each entry well into the past, oldest first, so the
+        # eviction order is unambiguous regardless of fs timestamp
+        # resolution.
+        mtime = time.time() - 100 + index
+        os.utime(store._entry_path(key), (mtime, mtime))
+        store._evict()
+    assert store.stats()["evictions"] == 1
+    assert store.load(keys[0]) is None  # the oldest went
+    assert store.load(keys[1]) == PAYLOAD
+    assert store.load(keys[2]) == PAYLOAD
+
+
+def test_hit_refreshes_mtime_so_hot_entries_survive(tmp_path):
+    store = ResultStore(tmp_path, max_entries=2)
+    old, hot, new = (_key(fingerprint=c * 64) for c in "abc")
+    now = time.time()
+    store.store(hot, PAYLOAD)
+    os.utime(store._entry_path(hot), (now - 100, now - 100))
+    store.store(old, PAYLOAD)
+    os.utime(store._entry_path(old), (now - 50, now - 50))
+    assert store.load(hot) == PAYLOAD  # refreshes its age
+    store.store(new, PAYLOAD)  # evicts one: must be `old`, not `hot`
+    assert store.load(old) is None
+    assert store.load(hot) == PAYLOAD
