@@ -81,6 +81,15 @@ def standby_json_path() -> Path:
     return Path(__file__).resolve().parent / "BENCH_standby.json"
 
 
+def policy_json_path() -> Path:
+    """Trajectory file for the sleep-policy optimizer benchmarks
+    (``BENCH_policy.json``, override with ``BENCH_POLICY_JSON``)."""
+    override = os.environ.get("BENCH_POLICY_JSON")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent / "BENCH_policy.json"
+
+
 def record(section: str, metrics: dict, path: Path | None = None) -> Path:
     """Merge one section's metrics into the bench JSON; returns the path."""
     path = path or bench_json_path()

@@ -43,6 +43,7 @@ sys.path.insert(0, str(REPO / "src"))
 from repro.api import ServiceClient  # noqa: E402
 from repro.api.requests import (  # noqa: E402
     OptimizeRequest,
+    PolicyRequest,
     SignoffRequest,
     StandbyRequest,
     SweepRequest,
@@ -180,13 +181,32 @@ def main() -> int:
               standby.outcome("mostly_idle", "tt_nom").worthwhile
               and not standby.outcome("always_on", "tt_nom").worthwhile)
 
+        logger.info("policy job: %d-candidate sleep-policy sweep at "
+                    "%d corners on c432", 256, len(CORNERS))
+        policy = client.run(
+            "policy", CIRCUIT,
+            request=PolicyRequest(scenarios=("mostly_idle", "bursty"),
+                                  corners=CORNERS, candidates=256),
+            config=CONFIG)
+        check("policy swept at least the requested candidates",
+              policy.candidates >= 256)
+        check("policy evaluated every corner",
+              policy.corners == CORNERS)
+        check("policy front is non-empty and oracle-bounded",
+              len(policy.pareto) >= 1
+              and all(point.net_savings_pj
+                      <= policy.oracle_net_savings_pj + 1e-9
+                      for point in policy.pareto))
+
         stats = client.health()["cache_stats"]
         check("signoff hit the warm flow cache",
               stats.get("flow", {}).get("hits", 0) >= 1)
-        check("standby reused the cached corner libraries",
-              stats.get("corner_library", {}).get("hits", 0) >= 1)
+        check("standby and policy reused the cached corner "
+              "libraries",
+              stats.get("corner_library", {}).get("hits", 0)
+              >= 2 * len(CORNERS))
         check("every finished job was persisted to the result store",
-              stats.get("result_store", {}).get("stores", 0) >= 4)
+              stats.get("result_store", {}).get("stores", 0) >= 5)
         check("result store writes were clean (no errors)",
               stats.get("result_store", {}).get("errors", 0) == 0)
         logger.info("cache stats: %s", json.dumps(stats, sort_keys=True))
@@ -203,12 +223,12 @@ def main() -> int:
         check("metrics counted every finished job kind",
               all(metrics["counters"].get(f"service.jobs.{kind}", 0) >= 1
                   for kind in ("optimize", "sweep", "signoff",
-                               "standby")))
+                               "standby", "policy")))
         check("metrics queue gauge drained back to zero",
               metrics["gauges"].get("service.queue_depth") == 0)
         check("job latency histogram saw every job",
               metrics["histograms"].get("service.job_latency_s",
-                                        {}).get("count", 0) >= 4)
+                                        {}).get("count", 0) >= 5)
         caches = metrics.get("caches", {})
         check("metrics unify the workspace cache tree",
               caches.get("workspace", {}).get("flow", {})

@@ -33,6 +33,7 @@ from repro.api.requests import (
     AnalyzeRequest,
     MonteCarloRequest,
     OptimizeRequest,
+    PolicyRequest,
     SignoffRequest,
     StandbyRequest,
     SweepRequest,
@@ -47,6 +48,7 @@ from repro.api.results import (
     SweepRow,
 )
 from repro.api.workspace import Design, Workspace, netlist_fingerprint
+from repro.policy.optimize import PolicyResult
 from repro.standby.engine import StandbyResult
 from repro.api import registry as _registry  # noqa: F401  (registers the
 #                                             legacy payload schemas)
@@ -65,6 +67,8 @@ __all__ = [
     "MonteCarloResult",
     "OptimizeRequest",
     "OptimizeResult",
+    "PolicyRequest",
+    "PolicyResult",
     "ResultStore",
     "ServiceClient",
     "ShardPool",

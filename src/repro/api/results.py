@@ -21,6 +21,8 @@ from repro.api import schemas
 from repro.api.requests import TECHNIQUE
 from repro.config import Technique
 from repro.obs import MetricsSnapshot, SpanNode, TraceResult
+from repro.policy.domains import DomainPlan, PowerDomain
+from repro.policy.optimize import PolicyPoint, PolicyResult
 from repro.standby.engine import (
     ScenarioOutcome,
     StandbyCornerRow,
@@ -198,7 +200,15 @@ schemas.dataclass_schema("cluster_transient", 1, ClusterTransient,
 schemas.dataclass_schema("wakeup_event", 1, WakeupEvent)
 schemas.dataclass_schema("wakeup_schedule", 1, WakeupSchedule,
                          events=schemas.seq(schemas.NESTED))
-schemas.dataclass_schema("standby_scenario", 1, PowerModeScenario)
+# (duration, weight) / member-group grids: tuples of tuples <-> lists
+# of lists.
+_POINT_GRID = (lambda pts: [list(p) for p in pts],
+               lambda pts: tuple((float(d), float(w)) for d, w in pts))
+_CLUSTER_GROUPS = (lambda gs: [list(g) for g in gs],
+                   lambda gs: tuple(tuple(int(i) for i in g) for g in gs))
+
+schemas.dataclass_schema("standby_scenario", 1, PowerModeScenario,
+                         points=_POINT_GRID)
 schemas.dataclass_schema("scenario_outcome", 1, ScenarioOutcome,
                          break_even_ns=schemas.FLOAT)
 schemas.dataclass_schema("standby_corner_row", 1, StandbyCornerRow,
@@ -211,6 +221,24 @@ schemas.dataclass_schema("standby_result", 1, StandbyResult,
                          schedule=schemas.NESTED,
                          corner_rows=schemas.seq(schemas.NESTED),
                          outcomes=schemas.seq(schemas.NESTED))
+
+# --- sleep-policy payloads (repro.policy) -----------------------------------
+# Same pattern: registered here so the optimizer stays api-free.
+
+schemas.dataclass_schema("power_domain", 1, PowerDomain,
+                         clusters=schemas.TUPLE,
+                         break_even_ns=schemas.FLOAT)
+schemas.dataclass_schema("domain_plan", 1, DomainPlan,
+                         domains=schemas.seq(schemas.NESTED))
+schemas.dataclass_schema("policy_point", 1, PolicyPoint,
+                         domains=_CLUSTER_GROUPS,
+                         thresholds_ns=schemas.seq(schemas.FLOAT))
+schemas.dataclass_schema("policy_result", 1, PolicyResult,
+                         technique=TECHNIQUE,
+                         scenarios=schemas.TUPLE,
+                         corners=schemas.TUPLE,
+                         plans=schemas.TUPLE,
+                         pareto=schemas.seq(schemas.NESTED))
 
 # --- observability payloads (repro.obs) -------------------------------------
 # Registered here — not in repro.obs — so the observability package

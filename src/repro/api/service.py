@@ -77,6 +77,7 @@ from repro.api.requests import (
     AnalyzeRequest,
     MonteCarloRequest,
     OptimizeRequest,
+    PolicyRequest,
     SignoffRequest,
     StandbyRequest,
     SweepRequest,
@@ -110,6 +111,7 @@ JOB_KINDS = {
     "signoff": SignoffRequest,
     "montecarlo": MonteCarloRequest,
     "standby": StandbyRequest,
+    "policy": PolicyRequest,
     "sweep": SweepRequest,
 }
 

@@ -64,6 +64,7 @@ def execute_kind(design, kind: str, request):
         "signoff": design.signoff,
         "montecarlo": design.montecarlo,
         "standby": design.standby,
+        "policy": design.policy,
         "sweep": design.sweep,
     }.get(kind)
     if method is None:

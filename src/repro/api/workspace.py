@@ -41,6 +41,7 @@ from repro.api.requests import (
     DEFAULT_TECHNIQUES,
     MonteCarloRequest,
     OptimizeRequest,
+    PolicyRequest,
     SignoffRequest,
     StandbyRequest,
     SweepRequest,
@@ -54,6 +55,7 @@ from repro.api.results import (
     SweepResult,
     SweepRow,
 )
+from repro.policy.optimize import PolicyOptimizer, PolicyResult
 from repro.standby.engine import StandbyResult
 from repro.benchcircuits.suite import load_circuit
 from repro.config import FlowConfig, Technique
@@ -333,6 +335,18 @@ class Workspace:
         """
         return self.design(circuit, config).standby(request, **kwargs)
 
+    def policy(self, circuit: str,
+               request: "PolicyRequest | None" = None,
+               config: FlowConfig | None = None,
+               **kwargs) -> "PolicyResult":
+        """Sleep-policy sweep of one circuit (facade shortcut).
+
+        Equivalent to ``workspace.design(circuit).policy(...)`` — the
+        cached flow result, corner libraries and compiled library are
+        all reused.
+        """
+        return self.design(circuit, config).policy(request, **kwargs)
+
     def cache_stats(self) -> dict[str, dict[str, int]]:
         """Compatibility view: the flat dict ``/v1/health`` has always
         served (workspace caches by name, plus the process-wide
@@ -419,6 +433,7 @@ class Design:
         self._montecarlos: dict[MonteCarloRequest, MonteCarloResult] = {}
         self._sweeps: dict[tuple[SweepRequest, int], SweepResult] = {}
         self._standbys: dict[StandbyRequest, StandbyResult] = {}
+        self._policies: dict[PolicyRequest, PolicyResult] = {}
 
     @classmethod
     def load(cls, circuit: str, config: FlowConfig | None = None,
@@ -641,10 +656,28 @@ class Design:
 
     # --- standby ------------------------------------------------------------
 
+    def _scenario_objects(self, request):
+        """Resolve a request's named + payload scenarios (in order).
+
+        Built-in names default in only when the request carries
+        neither names nor payloads — a payload-only request means
+        exactly those workloads.
+        """
+        from repro.standby.scenario import (
+            resolve_scenario,
+            standard_scenarios,
+        )
+
+        names = request.scenarios
+        if not names and not request.scenario_payloads:
+            names = tuple(standard_scenarios())
+        return [resolve_scenario(name) for name in names] \
+            + list(request.scenario_payloads)
+
     @_locked
     def standby(self, request: StandbyRequest | None = None, *,
                 technique: Technique | str | None = None,
-                scenarios=None, corners=None,
+                scenarios=None, scenario_payloads=None, corners=None,
                 rush_budget_ma: float | None = None,
                 settle_fraction: float | None = None) -> StandbyResult:
         """Standby-transition study of one technique's finished design.
@@ -668,6 +701,7 @@ class Design:
         """
         self._request_or_kwargs(request, {
             "technique": technique, "scenarios": scenarios,
+            "scenario_payloads": scenario_payloads,
             "corners": corners, "rush_budget_ma": rush_budget_ma,
             "settle_fraction": settle_fraction})
         request = request or StandbyRequest(
@@ -675,6 +709,8 @@ class Design:
             else Technique.IMPROVED_SMT,
             scenarios=tuple(scenarios) if scenarios is not None
             else self.config.standby_scenarios,
+            scenario_payloads=tuple(scenario_payloads)
+            if scenario_payloads is not None else (),
             corners=tuple(corners) if corners is not None
             else self.config.signoff_corners,
             rush_budget_ma=rush_budget_ma
@@ -688,10 +724,6 @@ class Design:
             return self._standbys[request]
         self._stats().miss("standby")
         from repro.standby.engine import StandbyEngine
-        from repro.standby.scenario import (
-            resolve_scenario,
-            standard_scenarios,
-        )
         from repro.variation.corners import default_signoff_corners
 
         library = self.library
@@ -701,10 +733,8 @@ class Design:
                 f"technique {request.technique.value!r} builds no "
                 f"shared-switch VGND network; standby-transition "
                 f"analysis needs improved_smt")
-        scenario_names = request.scenarios \
-            or tuple(standard_scenarios())
-        scenario_objs = [resolve_scenario(name)
-                         for name in scenario_names]
+        scenario_objs = self._scenario_objects(request)
+        scenario_names = tuple(s.name for s in scenario_objs)
         corner_names = request.corners \
             or default_signoff_corners(library.tech)
         # The standby_signoff stage may have computed exactly this
@@ -734,6 +764,106 @@ class Design:
             circuit=self.circuit, technique=request.technique)
         result = engine.run()
         self._standbys[request] = result
+        return result
+
+    # --- sleep policy -------------------------------------------------------
+
+    @_locked
+    def policy(self, request: PolicyRequest | None = None, *,
+               technique: Technique | str | None = None,
+               scenarios=None, scenario_payloads=None, corners=None,
+               candidates: int | None = None,
+               max_domains: int | None = None,
+               rush_budget_ma: float | None = None,
+               settle_fraction: float | None = None) -> PolicyResult:
+        """Sleep-policy sweep of one technique's finished design.
+
+        Sweeps at least ``candidates`` (domain plan, threshold)
+        policies through the batched scenario kernel and returns the
+        Pareto front of (net savings, worst wake latency, peak rush).
+        Scenario, corner and cache semantics match :meth:`standby`:
+        flow result from the optimize cache, corner libraries from the
+        workspace cache, defaults from the design's
+        :class:`FlowConfig` (``policy_candidates`` falls back to 1024
+        when the config leaves the stage off), and when the flow's
+        ``policy_signoff`` stage already ran exactly this sweep its
+        result is reused.
+        """
+        self._request_or_kwargs(request, {
+            "technique": technique, "scenarios": scenarios,
+            "scenario_payloads": scenario_payloads,
+            "corners": corners, "candidates": candidates,
+            "max_domains": max_domains,
+            "rush_budget_ma": rush_budget_ma,
+            "settle_fraction": settle_fraction})
+        request = request or PolicyRequest(
+            technique=Technique(technique) if technique is not None
+            else Technique.IMPROVED_SMT,
+            scenarios=tuple(scenarios) if scenarios is not None
+            else self.config.standby_scenarios,
+            scenario_payloads=tuple(scenario_payloads)
+            if scenario_payloads is not None else (),
+            corners=tuple(corners) if corners is not None
+            else self.config.signoff_corners,
+            candidates=candidates if candidates is not None
+            else (self.config.policy_candidates or 1024),
+            max_domains=max_domains if max_domains is not None
+            else self.config.policy_max_domains,
+            rush_budget_ma=rush_budget_ma
+            if rush_budget_ma is not None
+            else self.config.standby_rush_budget_ma,
+            settle_fraction=settle_fraction
+            if settle_fraction is not None
+            else self.config.standby_settle_fraction)
+        if request in self._policies:
+            self._stats().hit("policy")
+            return self._policies[request]
+        self._stats().miss("policy")
+        from repro.variation.corners import default_signoff_corners
+
+        library = self.library
+        flow = self.flow_result(request.technique)
+        if flow.network is None or not flow.network.clusters:
+            raise FlowError(
+                f"technique {request.technique.value!r} builds no "
+                f"shared-switch VGND network; sleep-policy "
+                f"optimization needs improved_smt")
+        scenario_objs = self._scenario_objects(request)
+        scenario_names = tuple(s.name for s in scenario_objs)
+        corner_names = request.corners \
+            or default_signoff_corners(library.tech)
+        # The policy_signoff stage may have swept exactly this space
+        # during the flow run — reuse it instead of sweeping again.
+        stage_result = flow.policy
+        if stage_result is not None \
+                and stage_result.circuit == self.circuit \
+                and stage_result.scenarios == scenario_names \
+                and stage_result.corners == tuple(corner_names) \
+                and stage_result.settle_fraction \
+                == request.settle_fraction \
+                and request.candidates \
+                == self.config.policy_candidates \
+                and request.max_domains \
+                == self.config.policy_max_domains \
+                and request.rush_budget_ma \
+                == self.config.standby_rush_budget_ma:
+            self._policies[request] = stage_result
+            return stage_result
+        corner_libraries = {name: self.workspace.corner_library(name)
+                            for name in corner_names}
+        optimizer = PolicyOptimizer(
+            flow.netlist, library, flow.network, scenario_objs,
+            corners=tuple(corner_names),
+            candidates=request.candidates,
+            max_domains=request.max_domains,
+            settle_fraction=request.settle_fraction,
+            rush_budget_ma=request.rush_budget_ma,
+            parasitics=flow.parasitics,
+            compute_backend=self.config.compute_backend,
+            corner_libraries=corner_libraries,
+            circuit=self.circuit, technique=request.technique)
+        result = optimizer.run()
+        self._policies[request] = result
         return result
 
     # --- Monte-Carlo --------------------------------------------------------

@@ -270,38 +270,129 @@ def cmd_montecarlo(args) -> int:
     return 0
 
 
+def _load_scenario_payload(path: str):
+    """Read one user-defined power-mode scenario from a JSON file.
+
+    Accepts either a schema-stamped ``standby_scenario`` payload
+    (``schemas.to_dict`` output) or a plain constructor-kwargs object
+    (``{"name": ..., "active_ns": ..., ...}``).
+    """
+    from repro.errors import ConfigError
+    from repro.standby.scenario import PowerModeScenario
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except OSError as exc:
+        raise ConfigError(
+            "scenario_file", f"cannot read {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(
+            "scenario_file", f"invalid JSON in {path!r}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ConfigError(
+            "scenario_file",
+            f"{path!r} must hold a JSON object, got "
+            f"{type(payload).__name__}")
+    if "schema" in payload:
+        scenario = schemas.from_dict(payload)
+        if not isinstance(scenario, PowerModeScenario):
+            raise ConfigError(
+                "scenario_file",
+                f"{path!r} holds a {payload['schema']!r} payload, "
+                f"not a standby_scenario")
+        return scenario
+    if "points" in payload:
+        payload = dict(payload, points=tuple(
+            (float(d), float(w)) for d, w in payload["points"]))
+    try:
+        return PowerModeScenario(**payload)
+    except TypeError as exc:
+        raise ConfigError(
+            "scenario_file", f"bad scenario in {path!r}: {exc}") from exc
+
+
+def _split_names(text: str | None) -> tuple[str, ...]:
+    return tuple(name.strip() for name in
+                 (text or "").split(",") if name.strip())
+
+
+def _check_names(kind: str, names, known) -> bool:
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        print(f"unknown {kind}(s) {unknown}; "
+              f"known: {', '.join(sorted(known))}", file=sys.stderr)
+        return False
+    return True
+
+
 def cmd_standby(args) -> int:
     from repro.api.requests import StandbyRequest
+    from repro.errors import ConfigError, SchemaError
     from repro.standby.scenario import standard_scenarios
     from repro.variation.corners import standard_corners
     from repro.vgnd.report import render_standby_table
 
     workspace = _workspace(args)
     library = workspace.library
-    scenarios = tuple(name.strip() for name in
-                      (args.scenarios or "").split(",") if name.strip())
-    known_scenarios = standard_scenarios()
-    unknown = [name for name in scenarios if name not in known_scenarios]
-    if unknown:
-        print(f"unknown scenario(s) {unknown}; "
-              f"known: {', '.join(known_scenarios)}", file=sys.stderr)
+    scenarios = _split_names(args.scenarios)
+    if not _check_names("scenario", scenarios, standard_scenarios()):
         return 2
-    corners = tuple(name.strip() for name in
-                    (args.corners or "").split(",") if name.strip())
-    known_corners = standard_corners(library.tech)
-    unknown = [name for name in corners if name not in known_corners]
-    if unknown:
-        print(f"unknown corner(s) {unknown}; "
-              f"known: {', '.join(sorted(known_corners))}",
-              file=sys.stderr)
+    corners = _split_names(args.corners)
+    if not _check_names("corner", corners,
+                        standard_corners(library.tech)):
         return 2
-    request = StandbyRequest(
-        technique=Technique(args.technique),
-        scenarios=scenarios, corners=corners,
-        rush_budget_ma=args.rush_budget,
-        settle_fraction=args.settle_fraction)
+    try:
+        payloads = tuple(_load_scenario_payload(path)
+                         for path in (args.scenario_file or ()))
+        request = StandbyRequest(
+            technique=Technique(args.technique),
+            scenarios=scenarios, scenario_payloads=payloads,
+            corners=corners,
+            rush_budget_ma=args.rush_budget,
+            settle_fraction=args.settle_fraction)
+    except (ConfigError, SchemaError) as error:
+        print(error, file=sys.stderr)
+        return 2
     result = workspace.standby(args.circuit, request)
     print(render_standby_table(result))
+    _emit_json(result, args.json)
+    return 0
+
+
+def cmd_policy(args) -> int:
+    from repro.api.requests import PolicyRequest
+    from repro.errors import ConfigError
+    from repro.policy.traces import load_trace, trace_scenario
+    from repro.standby.scenario import standard_scenarios
+    from repro.variation.corners import standard_corners
+
+    workspace = _workspace(args)
+    library = workspace.library
+    scenarios = _split_names(args.scenarios)
+    if not _check_names("scenario", scenarios, standard_scenarios()):
+        return 2
+    corners = _split_names(args.corners)
+    if not _check_names("corner", corners,
+                        standard_corners(library.tech)):
+        return 2
+    try:
+        payloads = tuple(
+            trace_scenario(load_trace(path), active_ns=args.active_ns,
+                           quantile_points=args.quantile_points)
+            for path in (args.trace_file or ()))
+        request = PolicyRequest(
+            technique=Technique(args.technique),
+            scenarios=scenarios, scenario_payloads=payloads,
+            corners=corners, candidates=args.candidates,
+            max_domains=args.max_domains,
+            rush_budget_ma=args.rush_budget,
+            settle_fraction=args.settle_fraction)
+    except ConfigError as error:
+        print(error, file=sys.stderr)
+        return 2
+    result = workspace.policy(args.circuit, request)
+    print(result.render())
     _emit_json(result, args.json)
     return 0
 
@@ -485,10 +576,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--settle-fraction", type=float, default=0.05,
         help="VGND settle threshold as a fraction of Vdd")
     standby_parser.add_argument(
+        "--scenario-file", action="append", metavar="PATH",
+        help="JSON file with one user-defined power-mode scenario "
+             "(schema-stamped standby_scenario payload or plain "
+             "constructor kwargs); repeatable")
+    standby_parser.add_argument(
         "--json", metavar="PATH",
         help="also write the standby result as JSON")
     _add_config_options(standby_parser)
     standby_parser.set_defaults(func=cmd_standby)
+
+    policy_parser = sub.add_parser(
+        "policy", help="sleep-policy sweep: thousands of candidate "
+                       "threshold/power-domain policies batched "
+                       "through the scenario engine, reduced to the "
+                       "Pareto front of (net savings, wake latency, "
+                       "peak rush)")
+    policy_parser.add_argument("--circuit", required=True,
+                               help="circuit name (see `list`)")
+    policy_parser.add_argument(
+        "--technique", default="improved_smt",
+        choices=[t.value for t in Technique],
+        help="only improved_smt builds the shared-switch network")
+    policy_parser.add_argument(
+        "--scenarios", default=None,
+        help="comma-separated built-in power-mode scenario names "
+             "(default: every built-in scenario unless trace files "
+             "are given)")
+    policy_parser.add_argument(
+        "--trace-file", action="append", metavar="PATH",
+        help="idle-interval trace (one interval in ns per line, or "
+             "the compact JSON format) reduced to an empirical "
+             "workload scenario; repeatable")
+    policy_parser.add_argument(
+        "--active-ns", type=float, default=None,
+        help="active burst length between idle intervals for trace "
+             "workloads (default: the trace's own value)")
+    policy_parser.add_argument(
+        "--quantile-points", type=int, default=16,
+        help="quantile-grid points a trace is reduced to")
+    policy_parser.add_argument(
+        "--corners", default=None,
+        help="comma-separated PVT corner names (default: nominal + "
+             "worst leakage + worst timing)")
+    policy_parser.add_argument(
+        "--candidates", type=int, default=1024,
+        help="minimum number of candidate policies swept")
+    policy_parser.add_argument(
+        "--max-domains", type=int, default=4,
+        help="largest hierarchical power-domain count per plan "
+             "(the per-cluster plan is always swept too)")
+    policy_parser.add_argument(
+        "--rush-budget", type=float, default=None,
+        help="aggregate wake-up rush-current budget in mA (default: "
+             "half the simultaneous-enable rush)")
+    policy_parser.add_argument(
+        "--settle-fraction", type=float, default=0.05,
+        help="VGND settle threshold as a fraction of Vdd")
+    policy_parser.add_argument(
+        "--json", metavar="PATH",
+        help="also write the Pareto front as JSON")
+    _add_config_options(policy_parser)
+    policy_parser.set_defaults(func=cmd_policy)
 
     library_parser = sub.add_parser(
         "library", help="emit the synthesized multi-Vth library")

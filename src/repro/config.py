@@ -94,6 +94,15 @@ class FlowConfig:
     # finished once the rail is below it.
     standby_settle_fraction: float = 0.05
 
+    # Sleep-policy signoff (repro.policy): candidate budget for the
+    # batched threshold/domain sweep.  0 = the policy_signoff stage is
+    # a no-op.  Workloads come from standby_scenarios, corners from
+    # signoff_corners (nominal only when none are set).
+    policy_candidates: int = 0
+    # Largest hierarchical power-domain count a plan may use (the
+    # per-cluster plan is always swept as well).
+    policy_max_domains: int = 4
+
     # Simultaneity model of the VGND cluster current (overrides the
     # repro.vgnd.bounce defaults): the fraction of summed member peak
     # current flowing at once is max(n^-exponent, floor).
@@ -133,6 +142,15 @@ class FlowConfig:
                 "standby_settle_fraction",
                 f"must be in (0, 0.5), got "
                 f"{self.standby_settle_fraction!r}")
+        if self.policy_candidates < 0:
+            raise ConfigError(
+                "policy_candidates",
+                f"must be non-negative, got {self.policy_candidates!r}")
+        if self.policy_max_domains < 1:
+            raise ConfigError(
+                "policy_max_domains",
+                f"needs at least one domain, got "
+                f"{self.policy_max_domains!r}")
         if not 0.0 <= self.simultaneity_exponent <= 1.0:
             raise ConfigError(
                 "simultaneity_exponent",

@@ -42,6 +42,7 @@ from repro.obs.spans import span
 from repro.placement.placer import Placement
 from repro.power.leakage import LeakageBreakdown
 from repro.routing.extract import NetParasitics
+from repro.policy.optimize import PolicyResult
 from repro.standby.engine import StandbyResult
 from repro.timing.constraints import Constraints
 from repro.timing.sta import TimingReport
@@ -84,6 +85,9 @@ class FlowResult:
     #: ``FlowConfig.standby_scenarios`` was set and the technique
     #: built a shared-switch VGND network).
     standby: "StandbyResult | None" = None
+    #: Sleep-policy signoff (None unless ``FlowConfig.policy_candidates``
+    #: was positive alongside standby scenarios and a VGND network).
+    policy: "PolicyResult | None" = None
 
     @property
     def leakage_nw(self) -> float:
@@ -130,7 +134,8 @@ class FlowResult:
             stages=list(ctx.stages),
             sta_stats=dict(ctx.sta_stats),
             corners=dict(ctx.corners),
-            standby=ctx.standby)
+            standby=ctx.standby,
+            policy=ctx.policy)
 
 
 class SelectiveMtFlow:

@@ -58,6 +58,7 @@ from repro.routing.extract import (
     PreRouteEstimator,
 )
 from repro.routing.steiner import build_mst
+from repro.policy.optimize import PolicyOptimizer, PolicyResult
 from repro.standby.engine import StandbyEngine, StandbyResult
 from repro.standby.scenario import resolve_scenario
 from repro.timing.constraints import Constraints
@@ -121,6 +122,7 @@ class FlowContext:
     corner_libraries: dict[str, Library] = dataclasses.field(
         default_factory=dict)
     standby: "StandbyResult | None" = None
+    policy: "PolicyResult | None" = None
 
     # Improved-SMT intermediates (between replacement and the switch
     # structure construction).
@@ -237,6 +239,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "eco_and_sta",
         "corner_signoff",
         "standby_signoff",
+        "policy_signoff",
         "finalize",
     ),
     Technique.CONVENTIONAL_SMT: (
@@ -249,6 +252,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "eco_and_sta",
         "corner_signoff",
         "standby_signoff",
+        "policy_signoff",
         "finalize",
     ),
     Technique.IMPROVED_SMT: (
@@ -264,6 +268,7 @@ PIPELINES: dict[Technique, tuple[str, ...]] = {
         "eco_and_sta",
         "corner_signoff",
         "standby_signoff",
+        "policy_signoff",
         "finalize",
     ),
 }
@@ -815,6 +820,57 @@ def stage_standby_signoff(ctx: FlowContext) -> dict[str, Any] | None:
         "break_even_ns": (round(first.break_even_ns, 1)
                           if first.break_even_ns != float("inf")
                           else "inf"),
+    }
+
+
+@flow_stage("policy_signoff")
+def stage_policy_signoff(ctx: FlowContext) -> dict[str, Any] | None:
+    """Sleep-policy signoff (repro.policy).
+
+    Sweeps ``FlowConfig.policy_candidates`` candidate
+    (domain plan, per-domain threshold) policies against the standby
+    workloads and signoff corners in one batched pass, keeping the
+    Pareto front of (net savings, worst wake latency, peak rush).
+    Invisible with ``policy_candidates == 0``, with no standby
+    scenarios configured, and for techniques without a shared-switch
+    network.  Reuses the corner libraries the earlier signoff stages
+    derived.
+    """
+    if ctx.config.policy_candidates < 1:
+        return None
+    names = ctx.config.standby_scenarios
+    if not names:
+        return None
+    network = ctx.network
+    if network is None or not network.clusters:
+        return None
+    ctx.require("netlist")
+    from repro.variation.corners import default_signoff_corners
+
+    scenarios = [resolve_scenario(name) for name in names]
+    corners = ctx.config.signoff_corners \
+        or default_signoff_corners(ctx.tech)
+    optimizer = PolicyOptimizer(
+        ctx.netlist, ctx.library, network, scenarios, corners=corners,
+        candidates=ctx.config.policy_candidates,
+        max_domains=ctx.config.policy_max_domains,
+        settle_fraction=ctx.config.standby_settle_fraction,
+        rush_budget_ma=ctx.config.standby_rush_budget_ma,
+        parasitics=ctx.parasitics,
+        compute_backend=ctx.config.compute_backend,
+        corner_libraries=ctx.corner_libraries,
+        circuit=ctx.source_netlist.name, technique=ctx.technique)
+    result = optimizer.run()
+    ctx.policy = result
+    best = result.best
+    return {
+        "candidates": result.candidates,
+        "pareto_points": len(result.pareto),
+        "best_plan": best.plan,
+        "best_net_savings_pj": round(best.net_savings_pj, 3),
+        "best_wake_latency_ns": round(best.worst_wake_latency_ns, 4),
+        "oracle_net_savings_pj": round(result.oracle_net_savings_pj,
+                                       3),
     }
 
 

@@ -17,9 +17,11 @@ is the transient latency computed by
 **Distributions are deterministic quantile grids.**  Instead of
 sampling, an idle-interval distribution is represented by a small
 fixed set of ``(duration, weight)`` points (exact for fixed intervals,
-mid-quantile discretization for exponential ones).  That keeps the
-scenario engine's big batched computation pure arithmetic — which is
-what makes the numpy and scalar backends bit-identical.
+mid-quantile discretization for exponential ones, explicit points for
+empirical trace-derived workloads — see :mod:`repro.policy.traces`).
+That keeps the scenario engine's big batched computation pure
+arithmetic — which is what makes the numpy and scalar backends
+bit-identical.
 """
 
 from __future__ import annotations
@@ -32,7 +34,11 @@ from typing import Any
 from repro.errors import ConfigError, StandbyError
 
 #: Recognized idle-interval distributions.
-DISTRIBUTIONS = ("fixed", "exponential")
+DISTRIBUTIONS = ("fixed", "exponential", "empirical")
+
+#: Relative slack allowed when empirical point weights are checked to
+#: sum to one (they come from ``count / total`` divisions).
+_WEIGHT_TOL = 1e-9
 
 
 class PowerMode(enum.Enum):
@@ -58,6 +64,11 @@ class PowerModeScenario:
     distribution: str = "fixed"
     quantile_points: int = 16
     horizon_ns: float = 1e9
+    #: ``empirical`` only: the explicit (duration, weight) quantile
+    #: grid, typically reduced from an idle-interval trace by
+    #: :func:`repro.policy.traces.trace_scenario`.  Must be empty for
+    #: the analytic distributions.
+    points: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self):
         if not self.name:
@@ -81,6 +92,38 @@ class PowerModeScenario:
             raise ConfigError(
                 "horizon_ns",
                 f"must be positive, got {self.horizon_ns!r}")
+        if self.distribution == "empirical":
+            self._check_points()
+        elif self.points:
+            raise ConfigError(
+                "points",
+                f"only the 'empirical' distribution carries explicit "
+                f"points, got {len(self.points)} for "
+                f"{self.distribution!r}")
+
+    def _check_points(self):
+        if not self.points:
+            raise ConfigError(
+                "points", "the 'empirical' distribution needs at "
+                          "least one (duration, weight) point")
+        total = 0.0
+        for point in self.points:
+            if len(point) != 2:
+                raise ConfigError(
+                    "points",
+                    f"points are (duration, weight) pairs, got {point!r}")
+            duration, weight = point
+            if duration <= 0.0:
+                raise ConfigError(
+                    "points",
+                    f"durations must be positive, got {duration!r}")
+            if weight <= 0.0:
+                raise ConfigError(
+                    "points", f"weights must be positive, got {weight!r}")
+            total += weight
+        if abs(total - 1.0) > _WEIGHT_TOL:
+            raise ConfigError(
+                "points", f"weights must sum to 1, got {total!r}")
 
     # --- duty accounting -----------------------------------------------------
 
@@ -101,9 +144,12 @@ class PowerModeScenario:
         with mean ``idle_ns``: mid-quantile durations
         ``-mean * ln(1 - (q + 0.5)/n)``, each weighted ``1/n`` —
         deterministic, and exact in the limit of many points.
+        ``empirical``: the explicit trace-derived grid, verbatim.
         """
         if self.distribution == "fixed":
             return ((self.idle_ns, 1.0),)
+        if self.distribution == "empirical":
+            return self.points
         n = self.quantile_points
         weight = 1.0 / n
         return tuple(

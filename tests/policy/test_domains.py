@@ -1,0 +1,109 @@
+"""Hierarchical power domains: partitions and characterization."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.policy.domains import (
+    characterize_plan,
+    plan_name,
+    plan_partitions,
+)
+from repro.policy.model import break_even_ns, threshold_factors
+from repro.standby.schedule import default_rush_budget_ma
+
+
+def test_partitions_cover_the_cluster_space(transients):
+    indices = sorted(tr.cluster_index for tr in transients)
+    partitions = plan_partitions(transients, max_domains=4)
+    for partition in partitions:
+        flat = sorted(i for group in partition for i in group)
+        assert flat == indices           # every cluster exactly once
+        for group in partition:
+            assert list(group) == sorted(group)
+    sizes = [len(p) for p in partitions]
+    assert sizes == sorted(set(sizes))   # one plan per domain count
+    assert sizes[0] == 1                 # unified always swept
+    assert sizes[-1] == len(indices)     # per-cluster always swept
+
+
+def test_partitions_are_deterministic(transients):
+    assert plan_partitions(transients, 4) == \
+        plan_partitions(transients, 4)
+    assert plan_partitions(list(reversed(transients)), 4) == \
+        plan_partitions(transients, 4)
+    with pytest.raises(ConfigError):
+        plan_partitions(transients, 0)
+    with pytest.raises(ConfigError):
+        plan_partitions([], 2)
+
+
+def test_plan_names():
+    assert plan_name(((0, 1),), 2) == "unified"
+    assert plan_name(((0,), (1,)), 2) == "per-cluster"
+    assert plan_name(((0,), (1, 2)), 3) == "domains-2"
+
+
+def test_characterized_domains_use_the_scheduler(transients):
+    budget = default_rush_budget_ma(transients)
+    for partition in plan_partitions(transients, 3):
+        plan, overheads = characterize_plan(partition, transients,
+                                            budget)
+        assert len(plan.domains) == len(partition)
+        assert len(overheads) == len(transients)
+        for domain in plan.domains:
+            # Scheduler-derived, not summed: bounded by the serial
+            # daisy-chain and by the di/dt budget.
+            assert domain.wake_latency_ns \
+                <= domain.serial_wake_latency_ns + 1e-12
+            assert domain.peak_rush_ma <= budget + 1e-9
+            assert domain.bins >= 1
+        # A domain's sleep entry waits for its slowest member.
+        by_index = {tr.cluster_index: tr for tr in transients}
+        for members, domain in zip(partition, plan.domains):
+            entry = max(by_index[i].sleep_latency_ns for i in members)
+            assert domain.sleep_latency_ns == entry
+
+
+def test_unified_break_even_matches_closed_form(transients):
+    budget = default_rush_budget_ma(transients)
+    partition = plan_partitions(transients, 1)[0]
+    plan, _ = characterize_plan(partition, transients, budget)
+    (domain,) = plan.domains
+    expected = break_even_ns(
+        domain.leakage_savings_nw,
+        domain.sleep_latency_ns + domain.wake_latency_ns,
+        domain.cycle_energy_pj)
+    assert domain.break_even_ns == expected
+
+
+def test_overheads_bound_below_by_own_transition(transients):
+    # A domain can only add overhead over the member's own sleep
+    # entry (group entry waits for the slowest member).
+    budget = default_rush_budget_ma(transients)
+    for partition in plan_partitions(transients, 4):
+        _, overheads = characterize_plan(partition, transients, budget)
+        for tr, overhead in zip(transients, overheads):
+            assert overhead >= tr.sleep_latency_ns - 1e-12
+
+
+def test_threshold_factors_grid():
+    factors = threshold_factors(9)
+    assert len(factors) == 9
+    assert factors[0] == 0.25
+    assert math.isclose(factors[-1], 8.0, rel_tol=1e-12)
+    assert list(factors) == sorted(factors)
+    assert threshold_factors(1) == (math.sqrt(0.25 * 8.0),)
+    with pytest.raises(ConfigError):
+        threshold_factors(0)
+    with pytest.raises(ConfigError):
+        threshold_factors(3, lo=0.0)
+
+
+def test_break_even_closed_form():
+    assert break_even_ns(1000.0, 5.0, 2.0) == 5.0 + 2.0 / 1e-3
+    assert break_even_ns(0.0, 5.0, 2.0) == math.inf
+    assert break_even_ns(-1.0, 5.0, 2.0) == math.inf
